@@ -1,0 +1,67 @@
+// E1 — Theorem 1: CONT(UCQ, UCQ) with the generic (NP) Chandra-Merlin /
+// Sagiv-Yannakakis procedure. Series: runtime and backtracking effort as
+// the query size grows; cliques on the right-hand side are the hard case.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "bench/workloads.h"
+#include "cq/containment.h"
+
+namespace qcont {
+namespace {
+
+// Chain ⊆ chain: the easy (acyclic target) regime of the NP test.
+void BM_ChainInChain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ConjunctiveQuery lhs = bench::ChainCq(2 * n);
+  ConjunctiveQuery rhs = bench::ChainCq(n);
+  HomSearchStats stats;
+  bool contained = false;
+  for (auto _ : state) {
+    stats = HomSearchStats();
+    contained = *CqContained(lhs, rhs, &stats);
+  }
+  state.counters["contained"] = contained ? 1 : 0;
+  state.counters["atom_attempts"] = static_cast<double>(stats.atom_attempts);
+}
+BENCHMARK(BM_ChainInChain)->DenseRange(2, 14, 2);
+
+// Clique ⊆ clique: the combinatorial regime (contained, but the search must
+// find an automorphism-like mapping among n! candidates).
+void BM_CliqueInClique(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ConjunctiveQuery lhs = bench::CliqueCq(n + 1);
+  ConjunctiveQuery rhs = bench::CliqueCq(n);
+  HomSearchStats stats;
+  bool contained = false;
+  for (auto _ : state) {
+    stats = HomSearchStats();
+    contained = *CqContained(lhs, rhs, &stats);
+  }
+  state.counters["contained"] = contained ? 1 : 0;
+  state.counters["atom_attempts"] = static_cast<double>(stats.atom_attempts);
+}
+BENCHMARK(BM_CliqueInClique)->DenseRange(3, 7, 1);
+
+// Random UCQ vs UCQ containment at growing disjunct counts.
+void BM_RandomUnionContainment(benchmark::State& state) {
+  const int disjuncts = static_cast<int>(state.range(0));
+  std::mt19937 rng(12345);
+  std::vector<ConjunctiveQuery> lhs_cqs, rhs_cqs;
+  for (int i = 0; i < disjuncts; ++i) {
+    lhs_cqs.push_back(bench::ChainCq(3 + (i % 3), "e", 1));
+    rhs_cqs.push_back(bench::ChainCq(1 + (i % 4), "e", 1));
+  }
+  UnionQuery lhs(lhs_cqs), rhs(rhs_cqs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(*UcqContained(lhs, rhs));
+  }
+}
+BENCHMARK(BM_RandomUnionContainment)->DenseRange(2, 10, 2);
+
+}  // namespace
+}  // namespace qcont
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// E6 — Propositions 3/4: H(ACk) — containment modulo equivalence. The
+// normalization (drop subsumed disjuncts, take cores) is NP-hard in
+// principle; the series measures its cost on increasingly padded queries
+// and the payoff: after normalization the EXPTIME engine applies.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/workloads.h"
+#include "core/hack.h"
+#include "cq/core.h"
+
+namespace qcont {
+namespace {
+
+// A padded query: an acyclic core (chain of length 2) plus `pad` existential
+// triangle gadgets, each dominated by a self-loop, so everything folds away.
+UnionQuery PaddedQuery(int pad) {
+  std::vector<Atom> atoms;
+  atoms.emplace_back("e", std::vector<Term>{Term::Variable("x"),
+                                            Term::Variable("m")});
+  atoms.emplace_back("e", std::vector<Term>{Term::Variable("m"),
+                                            Term::Variable("y")});
+  atoms.emplace_back("e", std::vector<Term>{Term::Variable("s"),
+                                            Term::Variable("s")});
+  for (int i = 0; i < pad; ++i) {
+    std::string a = "a" + std::to_string(i), b = "b" + std::to_string(i),
+                c = "c" + std::to_string(i);
+    atoms.emplace_back("e", std::vector<Term>{Term::Variable(a), Term::Variable(b)});
+    atoms.emplace_back("e", std::vector<Term>{Term::Variable(b), Term::Variable(c)});
+    atoms.emplace_back("e", std::vector<Term>{Term::Variable(c), Term::Variable(a)});
+  }
+  return UnionQuery({ConjunctiveQuery(
+      {Term::Variable("x"), Term::Variable("y")}, std::move(atoms))});
+}
+
+void BM_CoreComputation(benchmark::State& state) {
+  const int pad = static_cast<int>(state.range(0));
+  UnionQuery ucq = PaddedQuery(pad);
+  std::size_t core_atoms = 0;
+  for (auto _ : state) {
+    auto core = CoreOf(ucq.disjuncts().front());
+    core_atoms = core->atoms().size();
+    benchmark::DoNotOptimize(core_atoms);
+  }
+  state.counters["original_atoms"] =
+      static_cast<double>(ucq.disjuncts().front().atoms().size());
+  state.counters["core_atoms"] = static_cast<double>(core_atoms);
+}
+BENCHMARK(BM_CoreComputation)->DenseRange(0, 4, 1);
+
+void BM_NormalizeIntoAck(benchmark::State& state) {
+  const int pad = static_cast<int>(state.range(0));
+  UnionQuery ucq = PaddedQuery(pad);
+  bool in_hack = false;
+  int level = 0;
+  for (auto _ : state) {
+    auto norm = NormalizeIntoAck(ucq);
+    in_hack = norm->in_hack;
+    level = norm->level;
+  }
+  state.counters["in_hack"] = in_hack;
+  state.counters["level"] = level;
+}
+BENCHMARK(BM_NormalizeIntoAck)->DenseRange(0, 4, 1);
+
+// End-to-end CONT(Datalog, H(ACk)): normalize then run the ACk engine.
+void BM_ContainmentViaHAck(benchmark::State& state) {
+  const int pad = static_cast<int>(state.range(0));
+  DatalogProgram tc = bench::TcProgram();
+  UnionQuery ucq = PaddedQuery(pad);
+  bool contained = true;
+  for (auto _ : state) {
+    contained = DatalogContainedInHAck(tc, ucq)->contained;
+  }
+  state.counters["contained"] = contained;  // expansions lack the self-loop
+}
+BENCHMARK(BM_ContainmentViaHAck)->DenseRange(0, 3, 1);
+
+// Subsumed-disjunct minimization at growing union sizes.
+void BM_UnionMinimization(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  std::vector<ConjunctiveQuery> disjuncts;
+  for (int len = 1; len <= m; ++len) {
+    disjuncts.push_back(bench::ChainCq(len, "e", 1));  // each ⊆ the previous
+  }
+  UnionQuery ucq(std::move(disjuncts));
+  std::size_t kept = 0;
+  for (auto _ : state) {
+    auto norm = NormalizeIntoAck(ucq);
+    kept = norm->normalized->disjuncts().size();
+  }
+  state.counters["kept_disjuncts"] = static_cast<double>(kept);
+}
+BENCHMARK(BM_UnionMinimization)->DenseRange(2, 8, 2);
+
+}  // namespace
+}  // namespace qcont
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// E7 — Theorem 9: CONT(Datalog, ACRk) in EXPTIME. Series: the ACRk engine
+// on graph-database workloads, scaling (a) the regular expressions, (b) the
+// program's recursion stride, with the summary/antichain counters as the
+// complexity signal.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench/workloads.h"
+#include "core/acrk_containment.h"
+#include "parser/parser.h"
+
+namespace qcont {
+namespace {
+
+// TC over `e` against [e+]: contained; regex automaton padded with a chain
+// of optional symbols to scale the NFA.
+void BM_TcInPaddedRegex(benchmark::State& state) {
+  const int pad = static_cast<int>(state.range(0));
+  DatalogProgram tc = bench::TcProgram();
+  std::string pattern = "e+";
+  for (int i = 0; i < pad; ++i) pattern += " e?";
+  auto gamma = ParseUC2rpq("Q(x,y) :- [" + pattern + "](x,y).");
+  AcrkEngineStats stats;
+  bool contained = false;
+  for (auto _ : state) {
+    stats = AcrkEngineStats();
+    contained = DatalogContainedInAcyclicUC2rpq(tc, *gamma, &stats)->contained;
+  }
+  state.counters["contained"] = contained;
+  state.counters["summaries"] = static_cast<double>(stats.summaries);
+  state.counters["game_states"] = static_cast<double>(stats.game_states);
+}
+BENCHMARK(BM_TcInPaddedRegex)->DenseRange(0, 8, 2);
+
+// Stride program (chains of length ≡ 1 mod m) against [e e* ]: contained;
+// the stride scales the proof-tree alphabet.
+void BM_StrideInStar(benchmark::State& state) {
+  const int stride = static_cast<int>(state.range(0));
+  DatalogProgram program = bench::StrideProgram(stride);
+  auto gamma = ParseUC2rpq("Q(x,y) :- [e e*](x,y).");
+  AcrkEngineStats stats;
+  bool contained = false;
+  for (auto _ : state) {
+    stats = AcrkEngineStats();
+    contained =
+        DatalogContainedInAcyclicUC2rpq(program, *gamma, &stats)->contained;
+  }
+  state.counters["contained"] = contained;
+  state.counters["summaries"] = static_cast<double>(stats.summaries);
+}
+BENCHMARK(BM_StrideInStar)->DenseRange(1, 5, 1);
+
+// Refuted instance: stride-2 chains against even-length-only paths — the
+// length-1 expansion escapes; witness extraction included in the cost.
+void BM_ParityRefutation(benchmark::State& state) {
+  const int stride = static_cast<int>(state.range(0));
+  DatalogProgram program = bench::StrideProgram(stride);
+  auto gamma = ParseUC2rpq("Q(x,y) :- [e e (e e)*](x,y).");
+  AcrkEngineStats stats;
+  bool contained = true;
+  for (auto _ : state) {
+    stats = AcrkEngineStats();
+    contained =
+        DatalogContainedInAcyclicUC2rpq(program, *gamma, &stats)->contained;
+  }
+  state.counters["contained"] = contained;
+  state.counters["summaries"] = static_cast<double>(stats.summaries);
+}
+BENCHMARK(BM_ParityRefutation)->DenseRange(1, 4, 1);
+
+// Variable-tree depth: Γ is a path of star-labeled edges x0 -[e*]- x1
+// -[e*]- ... of length d (strongly acyclic, ACR1).
+void BM_DeepVariableTree(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  DatalogProgram tc = bench::TcProgram();
+  std::string text = "Q(x0,x" + std::to_string(depth) + ") :- ";
+  for (int i = 0; i < depth; ++i) {
+    if (i > 0) text += ", ";
+    text += "[e*](x" + std::to_string(i) + ",x" + std::to_string(i + 1) + ")";
+  }
+  text += ".";
+  auto gamma = ParseUC2rpq(text);
+  AcrkEngineStats stats;
+  bool contained = false;
+  for (auto _ : state) {
+    stats = AcrkEngineStats();
+    contained = DatalogContainedInAcyclicUC2rpq(tc, *gamma, &stats)->contained;
+  }
+  state.counters["contained"] = contained;
+  state.counters["summaries"] = static_cast<double>(stats.summaries);
+  state.counters["antichain_sets"] = static_cast<double>(stats.antichain_sets);
+}
+BENCHMARK(BM_DeepVariableTree)->DenseRange(1, 4, 1);
+
+}  // namespace
+}  // namespace qcont
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// E8 — the ACR vs ACRk boundary (Theorems 8/9, Proposition 5): the number
+// k of atoms connecting one variable pair is the source of hardness for
+// acyclic UC2RPQs. The engine stays exact for any k, but its state space
+// (multiedge states track k NFAs and k bindings simultaneously) grows
+// exponentially with k — exactly the paper's EXPTIME-per-fixed-k /
+// 2EXPTIME-in-general message, observable in the counters.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench/workloads.h"
+#include "core/acrk_containment.h"
+#include "parser/parser.h"
+
+namespace qcont {
+namespace {
+
+// k parallel constraints between x and y; the program satisfies all of them.
+void BM_ParallelAtoms(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  DatalogProgram tc = bench::TcProgram();
+  std::string text = "Q(x,y) :- ";
+  for (int i = 0; i < k; ++i) {
+    if (i > 0) text += ", ";
+    text += "[e e*](x,y)";  // all k bundles hold for every tc pair
+  }
+  text += ".";
+  auto gamma = ParseUC2rpq(text);
+  AcrkEngineStats stats;
+  bool contained = false;
+  for (auto _ : state) {
+    stats = AcrkEngineStats();
+    contained = DatalogContainedInAcyclicUC2rpq(tc, *gamma, &stats)->contained;
+  }
+  state.counters["contained"] = contained;
+  state.counters["k"] = stats.acrk_level;
+  state.counters["summaries"] = static_cast<double>(stats.summaries);
+  state.counters["game_states"] = static_cast<double>(stats.game_states);
+}
+BENCHMARK(BM_ParallelAtoms)->DenseRange(1, 3, 1);
+
+// Opposing multiedges with inverses: x reaches y forwards and y reaches x
+// via the inverse bundle (as in Examples 5/6).
+void BM_OpposingBundle(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  DatalogProgram tc = bench::TcProgram();
+  std::string text = "Q(x,y) :- [e+](x,y)";
+  for (int i = 1; i < k; ++i) text += ", [e- e-*](y,x)";
+  text += ".";
+  auto gamma = ParseUC2rpq(text);
+  AcrkEngineStats stats;
+  bool contained = true;
+  for (auto _ : state) {
+    stats = AcrkEngineStats();
+    contained = DatalogContainedInAcyclicUC2rpq(tc, *gamma, &stats)->contained;
+  }
+  state.counters["contained"] = contained;
+  state.counters["k"] = stats.acrk_level;
+  state.counters["game_states"] = static_cast<double>(stats.game_states);
+}
+BENCHMARK(BM_OpposingBundle)->DenseRange(1, 3, 1);
+
+// Control: strongly acyclic (ACR1) queries of the same total size — the
+// paper's tractable frontier; cost grows mildly with query size.
+void BM_StronglyAcyclicControl(benchmark::State& state) {
+  const int atoms = static_cast<int>(state.range(0));
+  DatalogProgram tc = bench::TcProgram();
+  std::string text = "Q(x0,x1) :- [e+](x0,x1)";
+  for (int i = 1; i < atoms; ++i) {
+    text += ", [e*](x" + std::to_string(i) + ",x" + std::to_string(i + 1) + ")";
+  }
+  text += ".";
+  auto gamma = ParseUC2rpq(text);
+  AcrkEngineStats stats;
+  bool contained = false;
+  for (auto _ : state) {
+    stats = AcrkEngineStats();
+    contained = DatalogContainedInAcyclicUC2rpq(tc, *gamma, &stats)->contained;
+  }
+  state.counters["contained"] = contained;
+  state.counters["k"] = stats.acrk_level;
+  state.counters["game_states"] = static_cast<double>(stats.game_states);
+}
+BENCHMARK(BM_StronglyAcyclicControl)->DenseRange(1, 3, 1);
+
+}  // namespace
+}  // namespace qcont
+
+BENCHMARK_MAIN();

@@ -1,0 +1,125 @@
+#ifndef QCONT_BENCH_WORKLOADS_H_
+#define QCONT_BENCH_WORKLOADS_H_
+
+// Scaling workload families used by the experiment benchmarks (EXPERIMENTS.md).
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "cq/database.h"
+#include "cq/query.h"
+#include "datalog/program.h"
+
+namespace qcont {
+namespace bench {
+
+/// Boolean chain CQ: ∃x0..xn E(x0,x1) ∧ ... ∧ E(x{n-1},xn). AC1, TW(1).
+inline ConjunctiveQuery ChainCq(int n, const std::string& pred = "e",
+                                int free_endpoints = 0) {
+  std::vector<Atom> atoms;
+  for (int i = 0; i < n; ++i) {
+    atoms.emplace_back(pred, std::vector<Term>{
+                                 Term::Variable("x" + std::to_string(i)),
+                                 Term::Variable("x" + std::to_string(i + 1))});
+  }
+  std::vector<Term> head;
+  if (free_endpoints >= 1) head.push_back(Term::Variable("x0"));
+  if (free_endpoints >= 2) {
+    head.push_back(Term::Variable("x" + std::to_string(n)));
+  }
+  return ConjunctiveQuery(std::move(head), std::move(atoms));
+}
+
+/// Boolean clique CQ on n variables: treewidth n-1, cyclic for n >= 3.
+inline ConjunctiveQuery CliqueCq(int n, const std::string& pred = "e") {
+  std::vector<Atom> atoms;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      atoms.emplace_back(pred, std::vector<Term>{
+                                   Term::Variable("x" + std::to_string(i)),
+                                   Term::Variable("x" + std::to_string(j))});
+    }
+  }
+  return ConjunctiveQuery({}, std::move(atoms));
+}
+
+/// The paper's Section 3 acyclic-but-wide family: a clique covered by one
+/// wide atom T(x1..xn); acyclic, in AC2, treewidth n-1's Gaifman clique.
+inline ConjunctiveQuery CoveredCliqueCq(int n) {
+  std::vector<Atom> atoms;
+  std::vector<Term> wide;
+  for (int i = 0; i < n; ++i) wide.push_back(Term::Variable("x" + std::to_string(i)));
+  atoms.emplace_back("t" + std::to_string(n), wide);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      atoms.emplace_back("e", std::vector<Term>{
+                                  Term::Variable("x" + std::to_string(i)),
+                                  Term::Variable("x" + std::to_string(j))});
+    }
+  }
+  return ConjunctiveQuery({}, std::move(atoms));
+}
+
+/// Transitive closure over `pred` edges.
+inline DatalogProgram TcProgram(const std::string& pred = "e") {
+  std::vector<Rule> rules;
+  Term x = Term::Variable("x"), y = Term::Variable("y"), z = Term::Variable("z");
+  rules.push_back(Rule{Atom("tc", {x, y}), {Atom(pred, {x, y})}});
+  rules.push_back(
+      Rule{Atom("tc", {x, y}), {Atom(pred, {x, z}), Atom("tc", {z, y})}});
+  return DatalogProgram(std::move(rules), "tc");
+}
+
+/// A program whose expansions are e-chains of length ≡ 1 (mod m): chains
+/// are extended m edges at a time. Larger m makes the UCQ-side analysis
+/// harder while staying AC1.
+inline DatalogProgram StrideProgram(int m) {
+  std::vector<Rule> rules;
+  Term x = Term::Variable("x"), y = Term::Variable("y");
+  rules.push_back(Rule{Atom("p", {x, y}), {Atom("e", {x, y})}});
+  std::vector<Atom> body;
+  Term prev = x;
+  for (int i = 0; i < m; ++i) {
+    Term next = Term::Variable("z" + std::to_string(i));
+    body.push_back(Atom("e", {prev, next}));
+    prev = next;
+  }
+  body.push_back(Atom("p", {prev, y}));
+  rules.push_back(Rule{Atom("p", {x, y}), std::move(body)});
+  return DatalogProgram(std::move(rules), "p");
+}
+
+/// UCQ of chain disjuncts with both endpoints free, lengths 1..m.
+inline UnionQuery ChainUnion(int m) {
+  std::vector<ConjunctiveQuery> disjuncts;
+  for (int len = 1; len <= m; ++len) {
+    disjuncts.push_back(ChainCq(len, "e", 2));
+  }
+  return UnionQuery(std::move(disjuncts));
+}
+
+/// Random directed graph database over labels {e} with n nodes.
+inline Database RandomEdgeDatabase(std::mt19937* rng, int nodes, int edges,
+                                   const std::string& pred = "e") {
+  Database db;
+  for (int i = 0; i < edges; ++i) {
+    db.AddFact(pred, {"n" + std::to_string((*rng)() % nodes),
+                      "n" + std::to_string((*rng)() % nodes)});
+  }
+  return db;
+}
+
+/// Chain database n0 -> n1 -> ... -> n_len.
+inline Database ChainDatabase(int len, const std::string& pred = "e") {
+  Database db;
+  for (int i = 0; i < len; ++i) {
+    db.AddFact(pred, {"n" + std::to_string(i), "n" + std::to_string(i + 1)});
+  }
+  return db;
+}
+
+}  // namespace bench
+}  // namespace qcont
+
+#endif  // QCONT_BENCH_WORKLOADS_H_

@@ -1,0 +1,153 @@
+// qcont_cli: command-line front-end to the containment engines.
+//
+// Usage:
+//   qcont_cli contains  <program-file> <ucq-file>     relational containment
+//   qcont_cli equiv     <program-file> <ucq-file>     boundedness check
+//   qcont_cli rcontains <program-file> <uc2rpq-file>  graph containment
+//   qcont_cli classify  <ucq-file>                    structural classes
+//   qcont_cli eval      <program-file> <db-file>      bottom-up evaluation
+//
+// File formats are the library's text syntax (see README "Input syntax").
+// Exit code: 0 = containment/equivalence holds, 1 = it does not (witness on
+// stdout), 2 = usage or input error, 3 = undecided (cyclic UC2RPQ search
+// exhausted).
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/datalog_uc2rpq.h"
+#include "core/equivalence.h"
+#include "core/router.h"
+#include "datalog/eval.h"
+#include "parser/parser.h"
+#include "structure/classify.h"
+
+namespace {
+
+using namespace qcont;
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: qcont_cli contains|equiv|rcontains <program> <query>\n"
+               "       qcont_cli classify <ucq>\n"
+               "       qcont_cli eval <program> <database>\n");
+  return 2;
+}
+
+template <typename T>
+bool Check(const Result<T>& r, const char* what) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, r.status().ToString().c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string mode = argv[1];
+  std::string first_text;
+  if (!ReadFile(argv[2], &first_text)) {
+    std::fprintf(stderr, "cannot read %s\n", argv[2]);
+    return 2;
+  }
+
+  if (mode == "classify") {
+    auto ucq = ParseUcq(first_text);
+    if (!Check(ucq, "query")) return 2;
+    auto c = ClassifyUcq(*ucq);
+    if (!Check(c, "classify")) return 2;
+    std::printf("%s\n", DescribeClassification(*c).c_str());
+    return 0;
+  }
+
+  if (argc < 4) return Usage();
+  std::string second_text;
+  if (!ReadFile(argv[3], &second_text)) {
+    std::fprintf(stderr, "cannot read %s\n", argv[3]);
+    return 2;
+  }
+  auto program = ParseProgram(first_text);
+  if (!Check(program, "program")) return 2;
+
+  if (mode == "eval") {
+    auto db = ParseDatabase(second_text);
+    if (!Check(db, "database")) return 2;
+    auto result = EvaluateGoal(*program, *db);
+    if (!Check(result, "evaluation")) return 2;
+    for (const Tuple& t : *result) {
+      std::string line = program->goal_predicate() + "(";
+      for (std::size_t i = 0; i < t.size(); ++i) {
+        if (i > 0) line += ",";
+        line += t[i];
+      }
+      std::printf("%s)\n", line.c_str());
+    }
+    return 0;
+  }
+
+  if (mode == "contains" || mode == "equiv") {
+    auto ucq = ParseUcq(second_text);
+    if (!Check(ucq, "query")) return 2;
+    if (mode == "contains") {
+      auto routed = DecideContainment(*program, *ucq);
+      if (!Check(routed, "containment")) return 2;
+      std::printf("%s  (%s)\n",
+                  routed->answer.contained ? "CONTAINED" : "NOT CONTAINED",
+                  RouteName(routed->route));
+      if (routed->answer.witness.has_value()) {
+        std::printf("witness expansion: %s\n",
+                    routed->answer.witness->ToString().c_str());
+      }
+      return routed->answer.contained ? 0 : 1;
+    }
+    auto eq = DatalogEquivalentToUcq(*program, *ucq);
+    if (!Check(eq, "equivalence")) return 2;
+    std::printf("program in query: %s\nquery in program: %s\nequivalent: %s\n",
+                eq->program_in_ucq ? "yes" : "no",
+                eq->ucq_in_program ? "yes" : "no",
+                eq->equivalent ? "yes" : "no");
+    if (eq->witness.has_value()) {
+      std::printf("witness: %s\n", eq->witness->ToString().c_str());
+    }
+    return eq->equivalent ? 0 : 1;
+  }
+
+  if (mode == "rcontains") {
+    auto gamma = ParseUC2rpq(second_text);
+    if (!Check(gamma, "query")) return 2;
+    auto verdict = DatalogContainedInUC2rpq(*program, *gamma);
+    if (!Check(verdict, "containment")) return 2;
+    switch (verdict->verdict) {
+      case Uc2rpqVerdict::kContained:
+        std::printf("CONTAINED  (%s)\n", verdict->used_exact_engine
+                                             ? "exact ACRk engine"
+                                             : "bounded search");
+        return 0;
+      case Uc2rpqVerdict::kNotContained:
+        std::printf("NOT CONTAINED\n");
+        if (verdict->witness.has_value()) {
+          std::printf("witness expansion: %s\n",
+                      verdict->witness->ToString().c_str());
+        }
+        return 1;
+      case Uc2rpqVerdict::kUnknown:
+        std::printf("UNDECIDED (cyclic query; refutation search exhausted)\n");
+        return 3;
+    }
+  }
+  return Usage();
+}

@@ -1,0 +1,78 @@
+// workload_classifier: route a UCQ workload to the right containment engine.
+//
+// The paper's message is that *which* structural class a UCQ falls into
+// decides the cost of checking a recursive program against it: acyclic
+// queries with few shared variables (ACk) admit the EXPTIME engine, while
+// cyclic or wide queries need the doubly-exponential general engine. This
+// example classifies a workload the way Section 3/4 of the paper does and
+// runs each check on its cheapest engine.
+//
+// Build & run:  cmake --build build && ./build/examples/workload_classifier
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/hack.h"
+#include "core/router.h"
+#include "parser/parser.h"
+#include "structure/classify.h"
+
+int main() {
+  using namespace qcont;
+
+  // A recursive "audit" program: flags accounts reachable from a seed
+  // account through transfers.
+  auto program = ParseProgram(R"(
+    flagged(x) :- seed(x).
+    flagged(x) :- transfer(y, x), flagged(y).
+    goal flagged.
+  )");
+
+  struct Entry {
+    const char* name;
+    const char* text;
+  };
+  const std::vector<Entry> workload = {
+      {"direct_seed", "Q(x) :- seed(x)."},
+      {"one_hop", "Q(x) :- seed(x). Q(x) :- transfer(y,x), seed(y)."},
+      {"triangle_alert",
+       "Q(x) :- transfer(x,y), transfer(y,z), transfer(z,x)."},
+      {"padded_seed",  // cyclic-looking, but the existential triangle folds
+                       // onto the self-loop: equivalent to an acyclic CQ
+       "Q(x) :- seed(x), transfer(a,b), transfer(b,c), transfer(c,a), "
+       "transfer(d,d)."},
+      {"self_dealing", "Q(x) :- transfer(x,x). Q(x) :- seed(x)."},
+  };
+
+  std::printf("%-15s %-28s %-34s %s\n", "query", "class", "engine",
+              "program contained?");
+  for (const Entry& entry : workload) {
+    auto ucq = ParseUcq(entry.text);
+    if (!ucq.ok()) {
+      std::fprintf(stderr, "%s: %s\n", entry.name,
+                   ucq.status().ToString().c_str());
+      continue;
+    }
+    auto classification = ClassifyUcq(*ucq);
+    std::string klass = DescribeClassification(*classification);
+    // Try the H(ACk) normalization for cyclic queries (Proposition 3).
+    if (!classification->acyclic) {
+      auto norm = NormalizeIntoAck(*ucq);
+      if (norm.ok() && norm->in_hack) {
+        klass += ", in H(AC" + std::to_string(norm->level) + ")";
+        ucq = *norm->normalized;  // containment is invariant modulo ≡
+      }
+    }
+    auto routed = DecideContainment(*program, *ucq);
+    if (!routed.ok()) {
+      std::fprintf(stderr, "%s: %s\n", entry.name,
+                   routed.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-15s %-28s %-34s %s\n", entry.name, klass.c_str(),
+                RouteName(routed->route),
+                routed->answer.contained ? "yes" : "no");
+  }
+  return 0;
+}

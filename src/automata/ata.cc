@@ -1,0 +1,86 @@
+#include "automata/ata.h"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace qcont {
+
+namespace {
+
+using Position = std::pair<int, int>;  // (node, state)
+
+}  // namespace
+
+bool AlternatingTreeAutomaton::Accepts(const RankedTree& tree,
+                                       AtaRunStats* stats) const {
+  // Discover the reachable game arena from (root, initial).
+  std::map<Position, AtaFormula> formulas;
+  // Resolved target positions per (position, conjunct, literal):
+  // -1 encodes an illegal move (false literal).
+  std::map<Position, std::vector<std::vector<Position>>> targets;
+  std::vector<Position> stack = {{tree.root(), InitialState()}};
+  while (!stack.empty()) {
+    Position pos = stack.back();
+    stack.pop_back();
+    if (formulas.count(pos)) continue;
+    AtaFormula formula = Delta(pos.second, tree.Symbol(pos.first));
+    std::vector<std::vector<Position>> pos_targets;
+    for (const AtaConjunct& conjunct : formula) {
+      std::vector<Position> conj_targets;
+      for (const AtaMove& move : conjunct) {
+        int target_node = -1;
+        if (move.direction == 0) {
+          target_node = pos.first;
+        } else if (move.direction == -1) {
+          target_node = tree.Parent(pos.first);
+        } else {
+          const std::vector<int>& children = tree.Children(pos.first);
+          if (move.direction <= static_cast<int>(children.size())) {
+            target_node = children[move.direction - 1];
+          }
+        }
+        conj_targets.emplace_back(target_node, move.state);
+        if (target_node >= 0) stack.emplace_back(target_node, move.state);
+      }
+      pos_targets.push_back(std::move(conj_targets));
+    }
+    targets.emplace(pos, std::move(pos_targets));
+    formulas.emplace(pos, std::move(formula));
+  }
+  if (stats != nullptr) stats->positions = formulas.size();
+
+  // Least fixpoint of Eve's winning region: a position wins if some
+  // conjunct has all its (legal) targets winning.
+  std::map<Position, bool> winning;
+  for (const auto& [pos, formula] : formulas) winning[pos] = false;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    if (stats != nullptr) ++stats->iterations;
+    for (const auto& [pos, pos_targets] : targets) {
+      if (winning[pos]) continue;
+      bool win = false;
+      for (const std::vector<Position>& conj_targets : pos_targets) {
+        bool all = true;
+        for (const Position& target : conj_targets) {
+          if (target.first < 0 || !winning[target]) {
+            all = false;
+            break;
+          }
+        }
+        if (all) {
+          win = true;
+          break;
+        }
+      }
+      if (win) {
+        winning[pos] = true;
+        changed = true;
+      }
+    }
+  }
+  return winning[{tree.root(), InitialState()}];
+}
+
+}  // namespace qcont

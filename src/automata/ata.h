@@ -1,0 +1,63 @@
+#ifndef QCONT_AUTOMATA_ATA_H_
+#define QCONT_AUTOMATA_ATA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "automata/tree.h"
+
+namespace qcont {
+
+/// A move of a two-way alternating tree automaton: go in `direction`
+/// (-1 = to the parent, 0 = stay, j >= 1 = to the j-th child) and continue
+/// in `state`.
+struct AtaMove {
+  int direction;
+  int state;
+};
+
+/// A conjunct of moves; the empty conjunct is `true`.
+using AtaConjunct = std::vector<AtaMove>;
+
+/// A positive DNF formula over moves; the empty formula is `false`.
+using AtaFormula = std::vector<AtaConjunct>;
+
+/// Statistics of the acceptance-game solver.
+struct AtaRunStats {
+  std::uint64_t positions = 0;   // distinct (node, state) pairs explored
+  std::uint64_t iterations = 0;  // fixpoint rounds
+};
+
+/// A two-way alternating tree automaton (2ATA) over integer-labeled trees
+/// [Slutzki]. Subclasses provide the initial state and the transition
+/// function; both may be computed lazily (the state space never needs to be
+/// materialized), which is what the containment engines rely on — their
+/// alphabets ΣΠ are exponential.
+///
+/// Semantics (finite trees, reachability acceptance): the acceptance game
+/// on tree positions (node, state) is played by Eve, who resolves
+/// disjunctions, against Adam, who resolves conjunctions. Eve wins a play
+/// iff it reaches a `true` transition (empty conjunct) in finitely many
+/// steps; infinite plays and `false` transitions are won by Adam. The tree
+/// is accepted iff Eve wins from (root, initial state). This is the
+/// least-fixpoint semantics used by the automata B^Θ_Π of Theorems 6 and 9
+/// (accepting runs of those automata are finite).
+class AlternatingTreeAutomaton {
+ public:
+  virtual ~AlternatingTreeAutomaton() = default;
+
+  virtual int InitialState() const = 0;
+
+  /// Transition function δ(state, symbol); moves in illegal directions
+  /// (up from the root, to a missing child) make their conjunct false.
+  virtual AtaFormula Delta(int state, int symbol) const = 0;
+
+  /// Membership, decided by solving the reachability game (polynomial in
+  /// |tree| × |reachable states|).
+  bool Accepts(const RankedTree& tree, AtaRunStats* stats = nullptr) const;
+};
+
+}  // namespace qcont
+
+#endif  // QCONT_AUTOMATA_ATA_H_

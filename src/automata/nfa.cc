@@ -1,0 +1,293 @@
+#include "automata/nfa.h"
+
+#include <cctype>
+
+#include "base/check.h"
+
+namespace qcont {
+
+int Nfa::AddState() {
+  transitions_.emplace_back();
+  epsilons_.emplace_back();
+  return num_states() - 1;
+}
+
+void Nfa::AddTransition(int from, const std::string& symbol, int to) {
+  QCONT_CHECK(from >= 0 && from < num_states() && to >= 0 && to < num_states());
+  transitions_[from].emplace_back(symbol, to);
+}
+
+void Nfa::AddEpsilon(int from, int to) {
+  QCONT_CHECK(from >= 0 && from < num_states() && to >= 0 && to < num_states());
+  epsilons_[from].push_back(to);
+}
+
+std::set<std::string> Nfa::Alphabet() const {
+  std::set<std::string> out;
+  for (const auto& from : transitions_) {
+    for (const auto& [symbol, to] : from) out.insert(symbol);
+  }
+  return out;
+}
+
+std::set<int> Nfa::EpsilonClosure(const std::set<int>& states) const {
+  std::set<int> closure = states;
+  std::vector<int> stack(states.begin(), states.end());
+  while (!stack.empty()) {
+    int s = stack.back();
+    stack.pop_back();
+    for (int t : epsilons_[s]) {
+      if (closure.insert(t).second) stack.push_back(t);
+    }
+  }
+  return closure;
+}
+
+std::set<int> Nfa::Step(const std::set<int>& states,
+                        const std::string& symbol) const {
+  std::set<int> next;
+  for (int s : states) {
+    for (const auto& [sym, to] : transitions_[s]) {
+      if (sym == symbol) next.insert(to);
+    }
+  }
+  return EpsilonClosure(next);
+}
+
+bool Nfa::AcceptsWord(const std::vector<std::string>& word) const {
+  if (num_states() == 0) return false;
+  std::set<int> current = EpsilonClosure({initial_});
+  for (const std::string& symbol : word) {
+    current = Step(current, symbol);
+    if (current.empty()) return false;
+  }
+  for (int s : current) {
+    if (IsAccepting(s)) return true;
+  }
+  return false;
+}
+
+bool Nfa::IsLanguageNonempty() const {
+  if (num_states() == 0) return false;
+  std::set<int> reachable = EpsilonClosure({initial_});
+  std::vector<int> stack(reachable.begin(), reachable.end());
+  while (!stack.empty()) {
+    int s = stack.back();
+    stack.pop_back();
+    if (IsAccepting(s)) return true;
+    for (const auto& [symbol, to] : transitions_[s]) {
+      if (reachable.insert(to).second) stack.push_back(to);
+    }
+    for (int to : epsilons_[s]) {
+      if (reachable.insert(to).second) stack.push_back(to);
+    }
+  }
+  for (int s : reachable) {
+    if (IsAccepting(s)) return true;
+  }
+  return false;
+}
+
+Nfa Nfa::ReversedInverse() const {
+  QCONT_CHECK_MSG(accepting_.size() == 1,
+                  "ReversedInverse requires a single accepting state");
+  Nfa out;
+  for (int i = 0; i < num_states(); ++i) out.AddState();
+  auto invert = [](const std::string& symbol) {
+    if (!symbol.empty() && symbol.back() == '-') {
+      return symbol.substr(0, symbol.size() - 1);
+    }
+    return symbol + "-";
+  };
+  for (int s = 0; s < num_states(); ++s) {
+    for (const auto& [symbol, t] : transitions_[s]) {
+      out.AddTransition(t, invert(symbol), s);
+    }
+    for (int t : epsilons_[s]) out.AddEpsilon(t, s);
+  }
+  out.set_initial(*accepting_.begin());
+  out.AddAccepting(initial_);
+  return out;
+}
+
+std::vector<std::pair<std::string, int>> Nfa::ClosedSteps(int state) const {
+  std::set<std::pair<std::string, int>> steps;
+  for (int s : EpsilonClosure({state})) {
+    for (const auto& [symbol, t] : transitions_[s]) {
+      for (int t2 : EpsilonClosure({t})) steps.emplace(symbol, t2);
+    }
+  }
+  return std::vector<std::pair<std::string, int>>(steps.begin(), steps.end());
+}
+
+bool Nfa::IsEffectivelyAccepting(int state) const {
+  for (int s : EpsilonClosure({state})) {
+    if (IsAccepting(s)) return true;
+  }
+  return false;
+}
+
+Nfa Nfa::WithInitial(int state) const {
+  Nfa copy = *this;
+  copy.set_initial(state);
+  return copy;
+}
+
+Nfa Nfa::WithInitialAndFinal(int initial, int final_state) const {
+  Nfa copy = *this;
+  copy.set_initial(initial);
+  copy.accepting_.clear();
+  copy.accepting_.insert(final_state);
+  return copy;
+}
+
+namespace {
+
+// Thompson fragments: a sub-NFA with one entry and one exit state.
+struct Fragment {
+  int entry;
+  int exit;
+};
+
+class RegexParser {
+ public:
+  explicit RegexParser(const std::string& pattern) : input_(pattern) {}
+
+  Result<Nfa> Parse() {
+    Result<Fragment> frag = ParseAlt();
+    if (!frag.ok()) return frag.status();
+    SkipSpace();
+    if (pos_ != input_.size()) {
+      return InvalidArgumentError("unexpected character '" +
+                                  std::string(1, input_[pos_]) +
+                                  "' at position " + std::to_string(pos_) +
+                                  " in regex: " + input_);
+    }
+    nfa_.set_initial(frag->entry);
+    nfa_.AddAccepting(frag->exit);
+    return std::move(nfa_);
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < input_.size() && std::isspace(static_cast<unsigned char>(
+                                       input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtAtomStart() {
+    SkipSpace();
+    if (pos_ >= input_.size()) return false;
+    char c = input_[pos_];
+    return c == '(' || c == '_' ||
+           std::isalpha(static_cast<unsigned char>(c));
+  }
+
+  Result<Fragment> ParseAlt() {
+    Result<Fragment> left = ParseCat();
+    if (!left.ok()) return left.status();
+    Fragment result = *left;
+    SkipSpace();
+    while (pos_ < input_.size() && input_[pos_] == '|') {
+      ++pos_;
+      Result<Fragment> right = ParseCat();
+      if (!right.ok()) return right.status();
+      int entry = nfa_.AddState();
+      int exit = nfa_.AddState();
+      nfa_.AddEpsilon(entry, result.entry);
+      nfa_.AddEpsilon(entry, right->entry);
+      nfa_.AddEpsilon(result.exit, exit);
+      nfa_.AddEpsilon(right->exit, exit);
+      result = {entry, exit};
+      SkipSpace();
+    }
+    return result;
+  }
+
+  Result<Fragment> ParseCat() {
+    Result<Fragment> first = ParseRep();
+    if (!first.ok()) return first.status();
+    Fragment result = *first;
+    while (AtAtomStart()) {
+      Result<Fragment> next = ParseRep();
+      if (!next.ok()) return next.status();
+      nfa_.AddEpsilon(result.exit, next->entry);
+      result.exit = next->exit;
+    }
+    return result;
+  }
+
+  Result<Fragment> ParseRep() {
+    Result<Fragment> atom = ParseAtom();
+    if (!atom.ok()) return atom.status();
+    Fragment result = *atom;
+    SkipSpace();
+    while (pos_ < input_.size() &&
+           (input_[pos_] == '*' || input_[pos_] == '+' || input_[pos_] == '?')) {
+      char op = input_[pos_++];
+      int entry = nfa_.AddState();
+      int exit = nfa_.AddState();
+      nfa_.AddEpsilon(entry, result.entry);
+      nfa_.AddEpsilon(result.exit, exit);
+      if (op == '*' || op == '?') nfa_.AddEpsilon(entry, exit);
+      if (op == '*' || op == '+') nfa_.AddEpsilon(result.exit, result.entry);
+      result = {entry, exit};
+      SkipSpace();
+    }
+    return result;
+  }
+
+  Result<Fragment> ParseAtom() {
+    SkipSpace();
+    if (pos_ >= input_.size()) {
+      return InvalidArgumentError("unexpected end of regex: " + input_);
+    }
+    if (input_[pos_] == '(') {
+      ++pos_;
+      Result<Fragment> inner = ParseAlt();
+      if (!inner.ok()) return inner.status();
+      SkipSpace();
+      if (pos_ >= input_.size() || input_[pos_] != ')') {
+        return InvalidArgumentError("missing ')' in regex: " + input_);
+      }
+      ++pos_;
+      return *inner;
+    }
+    char c = input_[pos_];
+    if (!(c == '_' || std::isalpha(static_cast<unsigned char>(c)))) {
+      return InvalidArgumentError("expected symbol at position " +
+                                  std::to_string(pos_) + " in regex: " + input_);
+    }
+    std::string name;
+    while (pos_ < input_.size() &&
+           (input_[pos_] == '_' ||
+            std::isalnum(static_cast<unsigned char>(input_[pos_])))) {
+      name += input_[pos_++];
+    }
+    if (pos_ < input_.size() && input_[pos_] == '-') {
+      name += input_[pos_++];  // inverse symbol "a-"
+    }
+    int entry = nfa_.AddState();
+    int exit = nfa_.AddState();
+    if (name == "eps") {
+      nfa_.AddEpsilon(entry, exit);
+    } else {
+      nfa_.AddTransition(entry, name, exit);
+    }
+    return Fragment{entry, exit};
+  }
+
+  const std::string& input_;
+  std::size_t pos_ = 0;
+  Nfa nfa_;
+};
+
+}  // namespace
+
+Result<Nfa> ParseRegex(const std::string& pattern) {
+  RegexParser parser(pattern);
+  return parser.Parse();
+}
+
+}  // namespace qcont

@@ -1,0 +1,103 @@
+#ifndef QCONT_AUTOMATA_NFA_H_
+#define QCONT_AUTOMATA_NFA_H_
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+
+namespace qcont {
+
+/// A nondeterministic finite automaton over an alphabet of named symbols
+/// (strings). 2RPQs use symbols "a" and their inverses "a-"; the NFA layer
+/// is agnostic to that convention.
+///
+/// Epsilon transitions are supported (Thompson construction produces them);
+/// `EpsilonClosure` and `Step` are the evaluation primitives that the graph
+/// database product construction uses.
+class Nfa {
+ public:
+  Nfa() = default;
+
+  int AddState();
+  int num_states() const { return static_cast<int>(transitions_.size()); }
+
+  void AddTransition(int from, const std::string& symbol, int to);
+  void AddEpsilon(int from, int to);
+
+  void set_initial(int state) { initial_ = state; }
+  int initial() const { return initial_; }
+
+  void AddAccepting(int state) { accepting_.insert(state); }
+  const std::set<int>& accepting() const { return accepting_; }
+  bool IsAccepting(int state) const { return accepting_.count(state) > 0; }
+
+  /// Symbol transitions leaving `state` (no epsilons).
+  const std::vector<std::pair<std::string, int>>& TransitionsFrom(
+      int state) const {
+    return transitions_[state];
+  }
+
+  /// All alphabet symbols mentioned on transitions.
+  std::set<std::string> Alphabet() const;
+
+  /// States reachable from `states` by epsilon moves (including `states`).
+  std::set<int> EpsilonClosure(const std::set<int>& states) const;
+
+  /// One-symbol successor set (epsilon closure applied afterwards).
+  std::set<int> Step(const std::set<int>& states,
+                     const std::string& symbol) const;
+
+  /// Word membership (evaluation primitive; used by tests and benches).
+  bool AcceptsWord(const std::vector<std::string>& word) const;
+
+  /// True iff the accepted language is nonempty.
+  bool IsLanguageNonempty() const;
+
+  /// The NFA of the "reverse traversal" language: reverses every
+  /// transition, swaps initial and accepting (requires exactly one
+  /// accepting state; Thompson NFAs have one), and replaces each symbol by
+  /// its inverse ("a" <-> "a-"). A path from y to x labeled in L exists iff
+  /// a path from x to y labeled in ReversedInverse(L) exists — this
+  /// normalizes backward atoms L(y, x) so that every 2RPQ atom is walked
+  /// from its first variable.
+  Nfa ReversedInverse() const;
+
+  /// Epsilon-closed symbol steps from `state`: all (symbol, target) pairs
+  /// such that target is reachable by eps* symbol eps*. Deduplicated.
+  std::vector<std::pair<std::string, int>> ClosedSteps(int state) const;
+
+  /// True iff an accepting state is reachable from `state` by epsilons.
+  bool IsEffectivelyAccepting(int state) const;
+
+  /// A copy with the initial state replaced — the (L)_s construction from
+  /// the proof of Theorem 9.
+  Nfa WithInitial(int state) const;
+
+  /// A copy accepting exactly at `state` — the (L)_{s,s'} construction.
+  Nfa WithInitialAndFinal(int initial, int final_state) const;
+
+ private:
+  std::vector<std::vector<std::pair<std::string, int>>> transitions_;
+  std::vector<std::vector<int>> epsilons_;
+  std::set<int> accepting_;
+  int initial_ = 0;
+};
+
+/// Parses a regular expression over identifiers into an NFA (Thompson).
+///
+/// Grammar:  alt  := cat ('|' cat)*
+///           cat  := rep+
+///           rep  := atom ('*' | '+' | '?')*
+///           atom := IDENT ['-']  |  '(' alt ')'  |  'eps'
+/// Identifiers are [A-Za-z_][A-Za-z0-9_]*; `a-` denotes the inverse symbol
+/// of `a` (a distinct alphabet symbol named "a-"). The keyword `eps`
+/// denotes the empty word.
+Result<Nfa> ParseRegex(const std::string& pattern);
+
+}  // namespace qcont
+
+#endif  // QCONT_AUTOMATA_NFA_H_

@@ -1,0 +1,80 @@
+#ifndef QCONT_AUTOMATA_NTA_H_
+#define QCONT_AUTOMATA_NTA_H_
+
+#include <cstddef>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "automata/tree.h"
+
+namespace qcont {
+
+/// A (one-way, top-down) nondeterministic tree automaton over integer
+/// symbols: a transition (q, a) -> (q1,...,qk) allows a node labeled `a`
+/// with k children to be processed in state q with child i processed in
+/// state qi. A leaf is accepted in state q iff there is a transition
+/// (q, a) -> () of rank 0.
+///
+/// On finite trees, top-down and bottom-up nondeterministic automata are
+/// expressively equivalent; acceptance is decided bottom-up here.
+class TreeAutomaton {
+ public:
+  struct Transition {
+    int state;
+    int symbol;
+    std::vector<int> children;
+  };
+
+  int AddState() { return num_states_++; }
+  int num_states() const { return num_states_; }
+
+  void AddInitial(int state) { initial_.insert(state); }
+  const std::set<int>& initial() const { return initial_; }
+
+  void AddTransition(int state, int symbol, std::vector<int> children);
+  const std::vector<Transition>& transitions() const { return transitions_; }
+
+  /// Membership: does the automaton accept `tree` from some initial state?
+  bool Accepts(const RankedTree& tree) const;
+
+  /// Emptiness via the productive-states fixpoint. If nonempty and
+  /// `witness` is non-null, a smallest-depth witness tree is produced.
+  bool IsEmpty(std::optional<RankedTree>* witness = nullptr) const;
+
+  /// Product automaton accepting the intersection of the two languages.
+  static TreeAutomaton Intersection(const TreeAutomaton& a,
+                                    const TreeAutomaton& b);
+
+  /// Disjoint union accepting the union of the two languages.
+  static TreeAutomaton Union(const TreeAutomaton& a, const TreeAutomaton& b);
+
+  /// The complement with respect to the set of trees over `alphabet`
+  /// (symbol, arity) pairs: bottom-up determinization (subset construction
+  /// over the reachable subsets) followed by final-state flipping.
+  /// Exponential in the worst case, as it must be [Seidl]. Only reachable
+  /// subset states are materialized.
+  static TreeAutomaton Complement(
+      const TreeAutomaton& a,
+      const std::vector<std::pair<int, int>>& alphabet);
+
+  /// Language containment L(a) ⊆ L(b) over trees built from `alphabet`:
+  /// emptiness of L(a) ∩ L(b)^c — the decision procedure the paper's
+  /// Theorem 6 upper bound rests on. If not contained and `witness` is
+  /// non-null, a separating tree is produced.
+  static bool Contains(const TreeAutomaton& a, const TreeAutomaton& b,
+                       const std::vector<std::pair<int, int>>& alphabet,
+                       std::optional<RankedTree>* witness = nullptr);
+
+ private:
+  /// States from which the subtree rooted at `node` is accepted.
+  std::set<int> AcceptingStatesAt(const RankedTree& tree, int node) const;
+
+  int num_states_ = 0;
+  std::set<int> initial_;
+  std::vector<Transition> transitions_;
+};
+
+}  // namespace qcont
+
+#endif  // QCONT_AUTOMATA_NTA_H_

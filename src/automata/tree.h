@@ -1,0 +1,52 @@
+#ifndef QCONT_AUTOMATA_TREE_H_
+#define QCONT_AUTOMATA_TREE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "base/check.h"
+
+namespace qcont {
+
+/// A finite ordered tree with integer node labels (symbol ids are assigned
+/// by the user of the class, typically via an Interner). Nodes are stored
+/// in a flat vector with parent pointers so that two-way automata can move
+/// in direction -1.
+class RankedTree {
+ public:
+  struct Node {
+    int symbol;
+    int parent;  // -1 for the root
+    std::vector<int> children;
+  };
+
+  /// Creates a tree with a single root node.
+  explicit RankedTree(int root_symbol) {
+    nodes_.push_back(Node{root_symbol, -1, {}});
+  }
+
+  /// Adds a new node under `parent`; returns its index.
+  int AddChild(int parent, int symbol) {
+    QCONT_CHECK(parent >= 0 && parent < static_cast<int>(nodes_.size()));
+    int id = static_cast<int>(nodes_.size());
+    nodes_.push_back(Node{symbol, parent, {}});
+    nodes_[parent].children.push_back(id);
+    return id;
+  }
+
+  int root() const { return 0; }
+  std::size_t size() const { return nodes_.size(); }
+  const Node& node(int id) const { return nodes_[id]; }
+
+  int Symbol(int id) const { return nodes_[id].symbol; }
+  int Parent(int id) const { return nodes_[id].parent; }
+  const std::vector<int>& Children(int id) const { return nodes_[id].children; }
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+}  // namespace qcont
+
+#endif  // QCONT_AUTOMATA_TREE_H_

@@ -1,0 +1,27 @@
+#ifndef QCONT_BASE_CHECK_H_
+#define QCONT_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Internal invariant check. A failure is a bug in qcont, not a user error,
+/// so it aborts; user-facing validation uses Status instead.
+#define QCONT_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "QCONT_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+#define QCONT_CHECK_MSG(cond, msg)                                           \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "QCONT_CHECK failed at %s:%d: %s (%s)\n",         \
+                   __FILE__, __LINE__, #cond, msg);                          \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+#endif  // QCONT_BASE_CHECK_H_

@@ -1,0 +1,40 @@
+#ifndef QCONT_BASE_HASH_H_
+#define QCONT_BASE_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace qcont {
+
+/// Combines a hash value into a seed (boost::hash_combine recipe).
+inline void HashCombine(std::size_t* seed, std::size_t value) {
+  *seed ^= value + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+/// Hash for vectors of hashable elements, usable as an unordered_map hasher.
+template <typename T>
+struct VectorHash {
+  std::size_t operator()(const std::vector<T>& v) const {
+    std::size_t seed = v.size();
+    std::hash<T> h;
+    for (const T& x : v) HashCombine(&seed, h(x));
+    return seed;
+  }
+};
+
+/// Hash for pairs of hashable elements.
+template <typename A, typename B>
+struct PairHash {
+  std::size_t operator()(const std::pair<A, B>& p) const {
+    std::size_t seed = std::hash<A>()(p.first);
+    HashCombine(&seed, std::hash<B>()(p.second));
+    return seed;
+  }
+};
+
+}  // namespace qcont
+
+#endif  // QCONT_BASE_HASH_H_

@@ -1,0 +1,20 @@
+#include "base/interner.h"
+
+namespace qcont {
+
+SymbolId Interner::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+SymbolId Interner::Find(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) return kMissing;
+  return it->second;
+}
+
+}  // namespace qcont

@@ -1,0 +1,41 @@
+#ifndef QCONT_BASE_INTERNER_H_
+#define QCONT_BASE_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace qcont {
+
+/// Dense integer id handed out by an Interner. Ids are consecutive from 0 so
+/// they can index vectors directly.
+using SymbolId = std::uint32_t;
+
+/// Maps strings to dense ids and back. Used for relation names, variable
+/// names and alphabet symbols so the rest of the library works on integers.
+class Interner {
+ public:
+  Interner() = default;
+
+  /// Returns the id of `name`, creating one if it is new.
+  SymbolId Intern(std::string_view name);
+
+  /// Returns the id of `name`, or `kMissing` if never interned.
+  static constexpr SymbolId kMissing = static_cast<SymbolId>(-1);
+  SymbolId Find(std::string_view name) const;
+
+  /// Name for an id handed out by this interner.
+  const std::string& NameOf(SymbolId id) const { return names_[id]; }
+
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, SymbolId> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace qcont
+
+#endif  // QCONT_BASE_INTERNER_H_

@@ -1,0 +1,101 @@
+#ifndef QCONT_BASE_STATUS_H_
+#define QCONT_BASE_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace qcont {
+
+/// Error codes used across the library. Library code never throws; fallible
+/// operations return Status or Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed query/program/expression
+  kNotFound,          // lookup misses (relation, variable, file)
+  kFailedPrecondition,// operation not applicable (e.g. join tree of a cyclic CQ)
+  kResourceExhausted, // configured limit hit (state budget, depth bound)
+  kInternal,          // invariant violation that is a bug in qcont itself
+  kUnimplemented,
+};
+
+/// Returns a stable human-readable name such as "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+/// Success-or-error value. Cheap to copy on the success path.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status InternalError(std::string message);
+Status UnimplementedError(std::string message);
+
+/// A value of type T or an error Status. Minimal StatusOr-style wrapper.
+template <typename T>
+class Result {
+ public:
+  /// Implicit on purpose: allows `return value;` and `return status;` from
+  /// functions declared to return Result<T>.
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok(). Checked in debug builds only.
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace qcont
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define QCONT_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::qcont::Status qcont_status_ = (expr);          \
+    if (!qcont_status_.ok()) return qcont_status_;   \
+  } while (false)
+
+/// Evaluates a Result<T> expression; on error returns its Status, otherwise
+/// move-assigns the value into `lhs`.
+#define QCONT_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto QCONT_CONCAT_(result_, __LINE__) = (expr);            \
+  if (!QCONT_CONCAT_(result_, __LINE__).ok())                \
+    return QCONT_CONCAT_(result_, __LINE__).status();        \
+  lhs = std::move(QCONT_CONCAT_(result_, __LINE__)).value()
+
+#define QCONT_CONCAT_INNER_(a, b) a##b
+#define QCONT_CONCAT_(a, b) QCONT_CONCAT_INNER_(a, b)
+
+#endif  // QCONT_BASE_STATUS_H_

@@ -1,0 +1,57 @@
+#ifndef QCONT_CORE_ACRK_CONTAINMENT_H_
+#define QCONT_CORE_ACRK_CONTAINMENT_H_
+
+#include <cstdint>
+
+#include "base/status.h"
+#include "core/datalog_ucq.h"
+#include "datalog/program.h"
+#include "graphdb/c2rpq.h"
+
+namespace qcont {
+
+/// Cost counters of the ACRk engine (experiments E7/E8).
+struct AcrkEngineStats {
+  std::uint64_t kinds = 0;
+  std::uint64_t summaries = 0;
+  std::uint64_t combos = 0;
+  std::uint64_t game_states = 0;
+  std::uint64_t antichain_sets = 0;
+  int acrk_level = 0;  // max #atoms connecting a pair of distinct variables
+};
+
+struct AcrkEngineLimits {
+  std::uint64_t max_summaries = 500'000;
+  std::uint64_t max_combos = 5'000'000;
+};
+
+/// Decides CONT(Datalog, ACRk): is Π ⊆ Γ for an *acyclic* UC2RPQ Γ over a
+/// graph schema (all extensional predicates of Π binary)?
+///
+/// This implements Theorem 9 of the paper. The variable graph Gγ of each
+/// disjunct is a forest (acyclicity); the 2ATA B^γ_Π walks it top-down over
+/// the proof trees of Π:
+///   - *seek states* find the image of each component root anywhere in the
+///     proof tree;
+///   - *multiedge states* γ_{x,y}(s1..sm; u1..um) process all m atoms
+///     connecting x to y simultaneously (m ≤ k for Γ ∈ ACRk): each walk
+///     advances its NFA over extensional edge atoms (inverse symbols walk
+///     edges backwards, Lemma 4), and all walks must converge on connected
+///     occurrences of one variable, the image of y. Backward atoms L(y,x)
+///     are normalized with ReversedInverse. Loop atoms L(x,x) are walks
+///     whose convergence target is the already-fixed image of x.
+///   - *variable-check states* verify distinguished variables against the
+///     root head, as in the ACk engine.
+/// Containment is decided by the same summary/antichain complementation
+/// fixpoint as the ACk engine — singly exponential (EXPTIME) overall.
+///
+/// Returns kFailedPrecondition when Γ is not acyclic, and kInvalidArgument
+/// when Π's extensional schema is not binary.
+Result<ContainmentAnswer> DatalogContainedInAcyclicUC2rpq(
+    const DatalogProgram& program, const UC2rpq& gamma,
+    AcrkEngineStats* stats = nullptr,
+    const AcrkEngineLimits& limits = AcrkEngineLimits());
+
+}  // namespace qcont
+
+#endif  // QCONT_CORE_ACRK_CONTAINMENT_H_

@@ -1,0 +1,41 @@
+#include "core/datalog_uc2rpq.h"
+
+#include "datalog/expansion.h"
+
+namespace qcont {
+
+Result<Uc2rpqAnswer> DatalogContainedInUC2rpq(
+    const DatalogProgram& program, const UC2rpq& gamma,
+    const Uc2rpqSearchOptions& options) {
+  QCONT_RETURN_IF_ERROR(program.Validate());
+  QCONT_RETURN_IF_ERROR(gamma.Validate());
+  Uc2rpqAnswer out;
+  QCONT_ASSIGN_OR_RETURN(bool acyclic, IsAcyclicUC2rpq(gamma));
+  if (acyclic) {
+    QCONT_ASSIGN_OR_RETURN(ContainmentAnswer answer,
+                           DatalogContainedInAcyclicUC2rpq(program, gamma));
+    out.used_exact_engine = true;
+    out.verdict = answer.contained ? Uc2rpqVerdict::kContained
+                                   : Uc2rpqVerdict::kNotContained;
+    out.witness = answer.witness;
+    return out;
+  }
+  // Cyclic Γ: sound refutation search over bounded-depth expansions.
+  QCONT_ASSIGN_OR_RETURN(
+      std::vector<ConjunctiveQuery> expansions,
+      EnumerateExpansions(program, options.max_depth, options.max_expansions));
+  for (const ConjunctiveQuery& expansion : expansions) {
+    UnionQuery single({expansion});
+    QCONT_ASSIGN_OR_RETURN(bool contained,
+                           UcqContainedInUC2rpq(single, gamma));
+    if (!contained) {
+      out.verdict = Uc2rpqVerdict::kNotContained;
+      out.witness = expansion;
+      return out;
+    }
+  }
+  out.verdict = Uc2rpqVerdict::kUnknown;
+  return out;
+}
+
+}  // namespace qcont

@@ -1,0 +1,48 @@
+#ifndef QCONT_CORE_DATALOG_UC2RPQ_H_
+#define QCONT_CORE_DATALOG_UC2RPQ_H_
+
+#include <optional>
+
+#include "base/status.h"
+#include "core/acrk_containment.h"
+#include "cq/query.h"
+#include "datalog/program.h"
+#include "graphdb/c2rpq.h"
+
+namespace qcont {
+
+/// Verdict of the general CONT(Datalog, UC2RPQ) front-end.
+enum class Uc2rpqVerdict {
+  kContained,
+  kNotContained,
+  kUnknown,  // cyclic Γ and the bounded refutation search was exhausted
+};
+
+struct Uc2rpqAnswer {
+  Uc2rpqVerdict verdict = Uc2rpqVerdict::kUnknown;
+  std::optional<ConjunctiveQuery> witness;  // for kNotContained
+  bool used_exact_engine = false;           // Γ was acyclic
+};
+
+/// Options of the bounded refutation search used for cyclic Γ.
+struct Uc2rpqSearchOptions {
+  int max_depth = 5;
+  std::size_t max_expansions = 5000;
+};
+
+/// CONT(Datalog, UC2RPQ), Theorem 7's problem. Exact when Γ is acyclic
+/// (routes to the ACRk engine — the paper's Theorem 9 algorithm, which is
+/// correct for all of ACR and singly exponential when the multiedge bound k
+/// is fixed). For cyclic Γ the full Calvanese-De Giacomo-Vardi 2EXPTIME
+/// automaton is out of scope (see DESIGN.md §5); instead a sound bounded
+/// refutation search runs: expansions of Π up to a depth bound are
+/// evaluated against Γ (complete C2RPQ evaluation on the expansion's
+/// canonical graph), so kNotContained answers carry a verified witness and
+/// exhaustion reports kUnknown rather than guessing.
+Result<Uc2rpqAnswer> DatalogContainedInUC2rpq(
+    const DatalogProgram& program, const UC2rpq& gamma,
+    const Uc2rpqSearchOptions& options = Uc2rpqSearchOptions());
+
+}  // namespace qcont
+
+#endif  // QCONT_CORE_DATALOG_UC2RPQ_H_

@@ -1,0 +1,420 @@
+#include "core/datalog_ucq.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "base/check.h"
+#include "core/instantiate.h"
+
+namespace qcont {
+
+namespace {
+
+using internal::InstIdbAtom;
+using internal::InstRule;
+using internal::KindSpace;
+
+// ---------------------------------------------------------------------------
+// UCQ preprocessing: integer-encoded view of each disjunct.
+// ---------------------------------------------------------------------------
+
+struct DisjunctInfo {
+  std::vector<std::string> preds;           // per atom
+  std::vector<std::vector<int>> atom_vars;  // per atom: variable ids per term
+  std::vector<std::uint64_t> var_atoms;     // per var: atoms using it
+  std::vector<bool> is_free;                // per var
+  std::vector<int> head;                    // var id per head position
+  int num_vars = 0;
+  int num_atoms = 0;
+  std::uint64_t full_mask = 0;
+};
+
+Result<DisjunctInfo> BuildDisjunctInfo(const ConjunctiveQuery& cq) {
+  DisjunctInfo info;
+  std::unordered_map<std::string, int> var_index;
+  auto var_id = [&](const std::string& name) {
+    auto [it, inserted] = var_index.emplace(name, info.num_vars);
+    if (inserted) ++info.num_vars;
+    return it->second;
+  };
+  info.num_atoms = static_cast<int>(cq.atoms().size());
+  if (info.num_atoms > 64) {
+    return InvalidArgumentError("UCQ disjuncts are limited to 64 atoms");
+  }
+  for (int a = 0; a < info.num_atoms; ++a) {
+    const Atom& atom = cq.atoms()[a];
+    info.preds.push_back(atom.predicate());
+    std::vector<int> vars;
+    for (const Term& t : atom.terms()) {
+      if (!t.is_variable()) {
+        return InvalidArgumentError(
+            "the containment engines require constant-free queries");
+      }
+      vars.push_back(var_id(t.name()));
+    }
+    info.atom_vars.push_back(std::move(vars));
+  }
+  if (info.num_vars > 120) {
+    return InvalidArgumentError("UCQ disjuncts are limited to 120 variables");
+  }
+  info.var_atoms.assign(info.num_vars, 0);
+  for (int a = 0; a < info.num_atoms; ++a) {
+    for (int v : info.atom_vars[a]) info.var_atoms[v] |= 1ULL << a;
+  }
+  info.is_free.assign(info.num_vars, false);
+  for (const Term& t : cq.head()) {
+    int v = var_id(t.name());
+    info.head.push_back(v);
+    info.is_free[v] = true;
+  }
+  info.full_mask =
+      info.num_atoms == 64 ? ~0ULL : ((1ULL << info.num_atoms) - 1);
+  return info;
+}
+
+// ---------------------------------------------------------------------------
+// Partial-match elements and subtree types.
+// ---------------------------------------------------------------------------
+
+// An element (A, f): A = bitmask of matched atoms, f = per-variable interface
+// position (index into the subtree root's head tuple) or -1.
+struct Element {
+  std::uint64_t atoms = 0;
+  std::vector<std::int8_t> f;
+
+  friend bool operator<(const Element& a, const Element& b) {
+    if (a.atoms != b.atoms) return a.atoms < b.atoms;
+    return a.f < b.f;
+  }
+};
+
+using ElementSet = std::set<Element>;
+
+// The exact set of realizable elements of a subtree, per disjunct.
+struct SubtreeType {
+  std::vector<ElementSet> per_disjunct;
+
+  std::string Canonical() const {
+    std::string out;
+    for (std::size_t d = 0; d < per_disjunct.size(); ++d) {
+      out += "#" + std::to_string(d) + ";";
+      for (const Element& e : per_disjunct[d]) {
+        out += std::to_string(e.atoms);
+        out += ':';
+        for (std::int8_t x : e.f) out += static_cast<char>('A' + (x + 1));
+        out += ',';
+      }
+    }
+    return out;
+  }
+
+  std::uint64_t NumElements() const {
+    std::uint64_t n = 0;
+    for (const ElementSet& s : per_disjunct) n += s.size();
+    return n;
+  }
+};
+
+struct Provenance {
+  int rule_pos = -1;
+  std::vector<int> child_types;  // type index per idb atom
+};
+
+// Per-kind engine state (parallel to KindSpace ids).
+struct KindState {
+  std::vector<SubtreeType> types;
+  std::vector<Provenance> provenance;
+  std::set<std::string> canon;
+};
+
+// ---------------------------------------------------------------------------
+// The engine.
+// ---------------------------------------------------------------------------
+
+class TypeEngine {
+ public:
+  TypeEngine(const DatalogProgram& program, const UnionQuery& ucq,
+             TypeEngineStats* stats, const TypeEngineLimits& limits)
+      : program_(program),
+        ucq_(ucq),
+        stats_(stats),
+        limits_(limits),
+        kinds_(program) {}
+
+  Result<ContainmentAnswer> Run() {
+    for (const ConjunctiveQuery& cq : ucq_.disjuncts()) {
+      QCONT_ASSIGN_OR_RETURN(DisjunctInfo info, BuildDisjunctInfo(cq));
+      disjuncts_.push_back(std::move(info));
+    }
+    std::vector<int> root_kinds = kinds_.RootKinds();
+    state_.resize(kinds_.NumKinds());
+    QCONT_RETURN_IF_ERROR(Fixpoint());
+    if (stats_ != nullptr) {
+      stats_->kinds = kinds_.NumKinds();
+      for (const KindState& k : state_) {
+        stats_->types += k.types.size();
+        for (const SubtreeType& t : k.types) stats_->elements += t.NumElements();
+      }
+    }
+    // Decision: every reachable root type must contain a complete element.
+    for (int kind_id : root_kinds) {
+      const KindState& kind = state_[kind_id];
+      for (std::size_t t = 0; t < kind.types.size(); ++t) {
+        if (!HasCompleteElement(kind.types[t],
+                                kinds_.KeyOf(kind_id).pattern)) {
+          ContainmentAnswer answer;
+          answer.contained = false;
+          answer.witness = internal::BuildWitnessCq(
+              kinds_, kind_id, static_cast<long>(t),
+              [this](int k, long token) {
+                const Provenance& prov = state_[k].provenance[token];
+                internal::WitnessNode node;
+                node.rule = &kinds_.RulesOf(k)[prov.rule_pos];
+                node.child_tokens.assign(prov.child_types.begin(),
+                                         prov.child_types.end());
+                return node;
+              });
+          return answer;
+        }
+      }
+    }
+    ContainmentAnswer answer;
+    answer.contained = true;
+    return answer;
+  }
+
+ private:
+  // Least fixpoint over reachable types.
+  Status Fixpoint() {
+    std::uint64_t total_types = 0;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t k = 0; k < kinds_.NumKinds(); ++k) {
+        const std::vector<InstRule>& rules = kinds_.RulesOf(static_cast<int>(k));
+        for (std::size_t rp = 0; rp < rules.size(); ++rp) {
+          const InstRule& rule = rules[rp];
+          const std::size_t num_children = rule.idb_atoms.size();
+          bool viable = true;
+          for (const InstIdbAtom& child : rule.idb_atoms) {
+            if (state_[child.kind_id].types.empty()) {
+              viable = false;
+              break;
+            }
+          }
+          if (!viable) continue;
+          std::vector<int> combo(num_children, 0);
+          while (true) {
+            std::string combo_key =
+                std::to_string(k) + "/" + std::to_string(rp);
+            for (int c : combo) combo_key += "," + std::to_string(c);
+            if (processed_.insert(combo_key).second) {
+              if (stats_ != nullptr) ++stats_->combos;
+              if (processed_.size() > limits_.max_combos) {
+                return ResourceExhaustedError(
+                    "type-engine combination budget exceeded");
+              }
+              SubtreeType type = ComputeType(rule, combo);
+              std::string canon = type.Canonical();
+              if (state_[k].canon.insert(canon).second) {
+                state_[k].types.push_back(std::move(type));
+                Provenance prov;
+                prov.rule_pos = static_cast<int>(rp);
+                prov.child_types = combo;
+                state_[k].provenance.push_back(std::move(prov));
+                ++total_types;
+                if (total_types > limits_.max_types) {
+                  return ResourceExhaustedError(
+                      "type-engine type budget exceeded");
+                }
+                changed = true;
+              }
+            }
+            std::size_t pos = 0;
+            while (pos < num_children) {
+              int limit = static_cast<int>(
+                  state_[rule.idb_atoms[pos].kind_id].types.size());
+              if (++combo[pos] < limit) break;
+              combo[pos] = 0;
+              ++pos;
+            }
+            if (pos == num_children) break;
+          }
+        }
+      }
+    }
+    return Status::Ok();
+  }
+
+  SubtreeType ComputeType(const InstRule& rule, const std::vector<int>& combo) {
+    SubtreeType out;
+    out.per_disjunct.resize(disjuncts_.size());
+    for (std::size_t d = 0; d < disjuncts_.size(); ++d) {
+      ComputeElements(rule, combo, static_cast<int>(d), &out.per_disjunct[d]);
+    }
+    return out;
+  }
+
+  void ComputeElements(const InstRule& rule, const std::vector<int>& combo,
+                       int d, ElementSet* out) {
+    const DisjunctInfo& info = disjuncts_[d];
+    std::vector<int> sigma(info.num_vars, -1);
+    std::uint64_t base_atoms = 0;
+
+    // Choose one element per child (sets always contain the empty element),
+    // then extend with matches against this node's extensional atoms.
+    std::function<void(std::size_t)> choose_child = [&](std::size_t j) {
+      if (stats_ != nullptr) ++stats_->enumeration_steps;
+      if (j == rule.idb_atoms.size()) {
+        MatchLevel(rule, info, &sigma, base_atoms, 0, out);
+        return;
+      }
+      const InstIdbAtom& child = rule.idb_atoms[j];
+      const ElementSet& options =
+          state_[child.kind_id].types[combo[j]].per_disjunct[d];
+      for (const Element& e : options) {
+        std::vector<int> touched;
+        bool ok = true;
+        for (int v = 0; v < info.num_vars && ok; ++v) {
+          if (e.f[v] < 0) continue;
+          int w = child.terms[e.f[v]];
+          if (sigma[v] == -1) {
+            sigma[v] = w;
+            touched.push_back(v);
+          } else if (sigma[v] != w) {
+            ok = false;
+          }
+        }
+        if (ok) {
+          std::uint64_t saved = base_atoms;
+          base_atoms |= e.atoms;
+          choose_child(j + 1);
+          base_atoms = saved;
+        }
+        for (int v : touched) sigma[v] = -1;
+      }
+    };
+    choose_child(0);
+  }
+
+  // DFS over the disjunct's atoms not yet covered: leave uncovered, or match
+  // against one of this rule instance's extensional atoms.
+  void MatchLevel(const InstRule& rule, const DisjunctInfo& info,
+                  std::vector<int>* sigma, std::uint64_t atoms, int t,
+                  ElementSet* out) {
+    if (stats_ != nullptr) ++stats_->enumeration_steps;
+    if (t == info.num_atoms) {
+      EmitElement(rule, info, *sigma, atoms, out);
+      return;
+    }
+    MatchLevel(rule, info, sigma, atoms, t + 1, out);
+    if (atoms & (1ULL << t)) return;
+    for (const auto& [pred, terms] : rule.edb_atoms) {
+      if (pred != info.preds[t] || terms.size() != info.atom_vars[t].size()) {
+        continue;
+      }
+      std::vector<int> touched;
+      bool ok = true;
+      for (std::size_t i = 0; i < terms.size() && ok; ++i) {
+        int v = info.atom_vars[t][i];
+        if ((*sigma)[v] == -1) {
+          (*sigma)[v] = terms[i];
+          touched.push_back(v);
+        } else if ((*sigma)[v] != terms[i]) {
+          ok = false;
+        }
+      }
+      if (ok) {
+        MatchLevel(rule, info, sigma, atoms | (1ULL << t), t + 1, out);
+      }
+      for (int v : touched) (*sigma)[v] = -1;
+    }
+  }
+
+  void EmitElement(const InstRule& rule, const DisjunctInfo& info,
+                   const std::vector<int>& sigma, std::uint64_t atoms,
+                   ElementSet* out) {
+    Element e;
+    e.atoms = atoms;
+    e.f.assign(info.num_vars, -1);
+    for (int v = 0; v < info.num_vars; ++v) {
+      std::uint64_t in_a = info.var_atoms[v] & atoms;
+      if (!in_a) continue;
+      bool live = info.is_free[v] || (info.var_atoms[v] & ~atoms) != 0;
+      if (!live) continue;
+      QCONT_CHECK_MSG(sigma[v] != -1, "live variable without binding");
+      std::int8_t pos = -1;
+      for (std::size_t p = 0; p < rule.head.size(); ++p) {
+        if (rule.head[p] == sigma[v]) {
+          pos = static_cast<std::int8_t>(p);
+          break;
+        }
+      }
+      if (pos < 0) return;  // live variable buried below the interface
+      e.f[v] = pos;
+    }
+    out->insert(std::move(e));
+  }
+
+  // A complete element: all atoms matched, free variables mapped to the
+  // correct distinguished positions (up to the root head's equalities).
+  bool HasCompleteElement(const SubtreeType& type,
+                          const std::vector<int>& pattern) const {
+    for (std::size_t d = 0; d < disjuncts_.size(); ++d) {
+      const DisjunctInfo& info = disjuncts_[d];
+      if (info.head.size() != pattern.size()) continue;
+      for (const Element& e : type.per_disjunct[d]) {
+        if (e.atoms != info.full_mask) continue;
+        bool ok = true;
+        for (std::size_t i = 0; i < info.head.size() && ok; ++i) {
+          int v = info.head[i];
+          std::int8_t p = e.f[v];
+          if (p < 0 || pattern[p] != pattern[i]) ok = false;
+        }
+        if (ok) return true;
+      }
+    }
+    return false;
+  }
+
+  const DatalogProgram& program_;
+  const UnionQuery& ucq_;
+  TypeEngineStats* stats_;
+  TypeEngineLimits limits_;
+
+  std::vector<DisjunctInfo> disjuncts_;
+  KindSpace kinds_;
+  std::vector<KindState> state_;
+  std::set<std::string> processed_;
+};
+
+}  // namespace
+
+Result<ContainmentAnswer> DatalogContainedInUcq(
+    const DatalogProgram& program, const UnionQuery& ucq,
+    TypeEngineStats* stats, const TypeEngineLimits& limits) {
+  QCONT_RETURN_IF_ERROR(program.Validate());
+  QCONT_RETURN_IF_ERROR(ucq.Validate());
+  if (static_cast<int>(ucq.arity()) != program.GoalArity()) {
+    return InvalidArgumentError(
+        "UCQ arity " + std::to_string(ucq.arity()) +
+        " differs from goal arity " + std::to_string(program.GoalArity()));
+  }
+  for (const ConjunctiveQuery& cq : ucq.disjuncts()) {
+    for (const Atom& a : cq.atoms()) {
+      if (program.IsIntensional(a.predicate())) {
+        return InvalidArgumentError(
+            "the UCQ mentions intensional predicate '" + a.predicate() +
+            "'; both queries must be over the extensional schema");
+      }
+    }
+  }
+  TypeEngine engine(program, ucq, stats, limits);
+  return engine.Run();
+}
+
+}  // namespace qcont

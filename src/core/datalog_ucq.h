@@ -1,0 +1,59 @@
+#ifndef QCONT_CORE_DATALOG_UCQ_H_
+#define QCONT_CORE_DATALOG_UCQ_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "base/status.h"
+#include "cq/query.h"
+#include "datalog/program.h"
+
+namespace qcont {
+
+/// Outcome of a Datalog-in-UCQ containment check. When the answer is "not
+/// contained", `witness` is an expansion θ_τ of Π with θ_τ ⊄ Θ; its
+/// canonical database D is a concrete counterexample: the frozen head of
+/// θ_τ is in Π(D) but not in Θ(D).
+struct ContainmentAnswer {
+  bool contained = false;
+  std::optional<ConjunctiveQuery> witness;
+};
+
+/// Cost counters of the type-automaton fixpoint; the machine-independent
+/// complexity signal reported by experiments E3/E4.
+struct TypeEngineStats {
+  std::uint64_t kinds = 0;           // (predicate, equality-pattern) pairs
+  std::uint64_t types = 0;           // distinct reachable subtree types
+  std::uint64_t elements = 0;        // partial-match elements over all types
+  std::uint64_t combos = 0;          // (rule, child-type...) combinations run
+  std::uint64_t enumeration_steps = 0;  // DFS steps in element enumeration
+};
+
+/// Resource limits; the fixpoint aborts with kResourceExhausted when hit.
+struct TypeEngineLimits {
+  std::uint64_t max_types = 2'000'000;
+  std::uint64_t max_combos = 50'000'000;
+};
+
+/// Decides CONT(Datalog, UCQ): is Π ⊆ Θ? This is the general
+/// Chaudhuri-Vardi procedure [12] in its explicit deterministic form: the
+/// reachable *types* of expansion subtrees are computed by a least
+/// fixpoint, where the type of a subtree is the exact set of partial
+/// containment-mapping elements (A ⊆ atoms(θ), interface map f) realizable
+/// in it. Π ⊆ Θ iff every reachable root type contains a complete element.
+///
+/// Worst case doubly exponential in ‖Θ‖ + ‖Π‖ (Theorem 2 of the paper);
+/// the specialized ACk engine (ack_containment.h) should be preferred when
+/// Θ is acyclic with bounded variable sharing.
+///
+/// Requirements: Π and Θ are constant-free, Θ's arity equals the goal
+/// arity, disjuncts have at most 64 atoms and 120 variables.
+Result<ContainmentAnswer> DatalogContainedInUcq(
+    const DatalogProgram& program, const UnionQuery& ucq,
+    TypeEngineStats* stats = nullptr,
+    const TypeEngineLimits& limits = TypeEngineLimits());
+
+}  // namespace qcont
+
+#endif  // QCONT_CORE_DATALOG_UCQ_H_

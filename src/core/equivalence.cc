@@ -1,0 +1,32 @@
+#include "core/equivalence.h"
+
+#include "cq/database.h"
+#include "datalog/eval.h"
+
+namespace qcont {
+
+Result<EquivalenceAnswer> DatalogEquivalentToUcq(const DatalogProgram& program,
+                                                 const UnionQuery& ucq) {
+  EquivalenceAnswer out;
+  QCONT_ASSIGN_OR_RETURN(RoutedAnswer routed, DecideContainment(program, ucq));
+  out.route = routed.route;
+  out.program_in_ucq = routed.answer.contained;
+  if (!out.program_in_ucq) {
+    out.witness = routed.answer.witness;
+    // Still report the other direction; it is cheap by comparison.
+  }
+  out.ucq_in_program = true;
+  for (const ConjunctiveQuery& disjunct : ucq.disjuncts()) {
+    Database canonical = CanonicalDatabase(disjunct);
+    QCONT_ASSIGN_OR_RETURN(Database derived, EvaluateProgram(program, canonical));
+    if (!derived.HasFact(program.goal_predicate(), CanonicalHead(disjunct))) {
+      out.ucq_in_program = false;
+      if (!out.witness.has_value()) out.witness = disjunct;
+      break;
+    }
+  }
+  out.equivalent = out.program_in_ucq && out.ucq_in_program;
+  return out;
+}
+
+}  // namespace qcont

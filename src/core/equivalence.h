@@ -1,0 +1,36 @@
+#ifndef QCONT_CORE_EQUIVALENCE_H_
+#define QCONT_CORE_EQUIVALENCE_H_
+
+#include <optional>
+
+#include "base/status.h"
+#include "core/router.h"
+#include "cq/query.h"
+#include "datalog/program.h"
+
+namespace qcont {
+
+/// Result of an equivalence check between a recursive program and a UCQ.
+struct EquivalenceAnswer {
+  bool program_in_ucq = false;  // Π ⊆ Θ
+  bool ucq_in_program = false;  // Θ ⊆ Π
+  bool equivalent = false;
+  /// Witness for the failing direction, when any: an expansion of Π not
+  /// contained in Θ, or a disjunct of Θ whose canonical database defeats Π.
+  std::optional<ConjunctiveQuery> witness;
+  ContainmentRoute route = ContainmentRoute::kGeneralEngine;
+};
+
+/// Decides whether the Datalog program Π is equivalent to the UCQ Θ
+/// (Corollary 2 of the paper): Π ⊆ Θ via the routed containment engines,
+/// Θ ⊆ Π via Datalog evaluation on canonical databases
+/// (Cosmadakis-Kanellakis [16]). EXPTIME when Θ ∈ ACk.
+///
+/// A positive answer means the recursive program is *bounded*: it can be
+/// replaced by the non-recursive query Θ.
+Result<EquivalenceAnswer> DatalogEquivalentToUcq(const DatalogProgram& program,
+                                                 const UnionQuery& ucq);
+
+}  // namespace qcont
+
+#endif  // QCONT_CORE_EQUIVALENCE_H_

@@ -1,0 +1,64 @@
+#include "core/hack.h"
+
+#include <vector>
+
+#include "core/ack_containment.h"
+#include "cq/containment.h"
+#include "cq/core.h"
+#include "structure/classify.h"
+
+namespace qcont {
+
+Result<HAckNormalization> NormalizeIntoAck(const UnionQuery& ucq) {
+  QCONT_RETURN_IF_ERROR(ucq.Validate());
+  // Θ_min: drop disjuncts contained in another kept disjunct.
+  std::vector<ConjunctiveQuery> kept;
+  std::vector<bool> dropped(ucq.disjuncts().size(), false);
+  for (std::size_t i = 0; i < ucq.disjuncts().size(); ++i) {
+    bool subsumed = false;
+    for (std::size_t j = 0; j < ucq.disjuncts().size() && !subsumed; ++j) {
+      if (i == j || dropped[j]) continue;
+      QCONT_ASSIGN_OR_RETURN(
+          bool contained,
+          CqContained(ucq.disjuncts()[i], ucq.disjuncts()[j]));
+      if (contained) {
+        // Break mutual-containment ties by keeping the earlier disjunct.
+        QCONT_ASSIGN_OR_RETURN(
+            bool back, CqContained(ucq.disjuncts()[j], ucq.disjuncts()[i]));
+        if (!back || j < i) subsumed = true;
+      }
+    }
+    dropped[i] = subsumed;
+    if (!subsumed) kept.push_back(ucq.disjuncts()[i]);
+  }
+  // Replace every kept disjunct by its core.
+  std::vector<ConjunctiveQuery> cores;
+  cores.reserve(kept.size());
+  for (const ConjunctiveQuery& cq : kept) {
+    QCONT_ASSIGN_OR_RETURN(ConjunctiveQuery core, CoreOf(cq));
+    cores.push_back(std::move(core));
+  }
+  UnionQuery normalized(std::move(cores));
+  HAckNormalization out;
+  Result<int> level = AckLevel(normalized);
+  if (level.ok()) {
+    out.in_hack = true;
+    out.level = *level;
+    out.normalized = std::move(normalized);
+  } else if (level.status().code() != StatusCode::kFailedPrecondition) {
+    return level.status();
+  }
+  return out;
+}
+
+Result<ContainmentAnswer> DatalogContainedInHAck(const DatalogProgram& program,
+                                                 const UnionQuery& ucq) {
+  QCONT_ASSIGN_OR_RETURN(HAckNormalization norm, NormalizeIntoAck(ucq));
+  if (!norm.in_hack) {
+    return FailedPreconditionError(
+        "the UCQ is not equivalent to an acyclic UCQ (not in H(ACk))");
+  }
+  return DatalogContainedInAcyclicUcq(program, *norm.normalized);
+}
+
+}  // namespace qcont

@@ -1,0 +1,321 @@
+#include "core/hardness.h"
+
+#include <string>
+#include <vector>
+
+namespace qcont {
+
+namespace {
+
+Term V(const std::string& name) { return Term::Variable(name); }
+
+}  // namespace
+
+Status AtmSpec::Validate() const {
+  if (num_tape_symbols < 1) return InvalidArgumentError("need a blank symbol");
+  if (num_states < 1) return InvalidArgumentError("need at least one state");
+  if (initial_state < 0 || initial_state >= num_states) {
+    return InvalidArgumentError("initial state out of range");
+  }
+  if (static_cast<int>(existential.size()) != num_states ||
+      static_cast<int>(accepting.size()) != num_states) {
+    return InvalidArgumentError("state attribute vectors sized wrong");
+  }
+  if (!existential[initial_state]) {
+    return InvalidArgumentError(
+        "the reduction assumes an existential initial state");
+  }
+  auto check_delta = [&](const std::vector<std::vector<Step>>& delta,
+                         const char* name) -> Status {
+    if (static_cast<int>(delta.size()) != num_states) {
+      return InvalidArgumentError(std::string(name) + " not total in states");
+    }
+    for (const auto& row : delta) {
+      if (static_cast<int>(row.size()) != num_tape_symbols) {
+        return InvalidArgumentError(std::string(name) + " not total in symbols");
+      }
+      for (const Step& s : row) {
+        if (s.write < 0 || s.write >= num_tape_symbols || s.move < -1 ||
+            s.move > 1 || s.next_state < 0 || s.next_state >= num_states) {
+          return InvalidArgumentError(std::string(name) + " step out of range");
+        }
+      }
+    }
+    return Status::Ok();
+  };
+  QCONT_RETURN_IF_ERROR(check_delta(delta_left, "delta_left"));
+  return check_delta(delta_right, "delta_right");
+}
+
+AtmSpec AtmSpec::Tiny() {
+  AtmSpec m;
+  m.num_tape_symbols = 2;  // blank, mark
+  m.num_states = 2;        // 0: existential initial, 1: universal accepting
+  m.initial_state = 0;
+  m.existential = {true, false};
+  m.accepting = {false, true};
+  // Both branches write the mark and hand over to the other state in place.
+  AtmSpec::Step to1{1, 0, 1}, to0{1, 0, 0};
+  m.delta_left = {{to1, to1}, {to0, to0}};
+  m.delta_right = {{to1, to1}, {to0, to0}};
+  return m;
+}
+
+namespace {
+
+// The reduction's composite alphabet: plain tape symbols plus (state,
+// symbol) pairs. Index layout: plain e -> e; composite (q, e) ->
+// T + q*T + e.
+struct SymbolTable {
+  int tape;    // T
+  int states;  // Q
+
+  int NumSymbols() const { return tape + states * tape; }
+  bool IsComposite(int s) const { return s >= tape; }
+  int StateOf(int s) const { return (s - tape) / tape; }
+  int TapeOf(int s) const { return IsComposite(s) ? (s - tape) % tape : s; }
+  int Composite(int q, int e) const { return tape + q * tape + e; }
+
+  std::string Name(int s) const {
+    if (!IsComposite(s)) return "sym" + std::to_string(s);
+    return "head" + std::to_string(StateOf(s)) + "_sym" +
+           std::to_string(TapeOf(s));
+  }
+};
+
+// The successor of the middle cell of a window (prev, cur, next) under a
+// deterministic transition function, or -1 if the window is not locally
+// consistent with any source configuration (e.g. two heads). Windows from
+// valid configurations have exactly the successors this computes; garbage
+// windows land in the complement, which only adds error detectors.
+int WindowSuccessor(const SymbolTable& sym, const AtmSpec& m,
+                    const std::vector<std::vector<AtmSpec::Step>>& delta,
+                    int prev, int cur, int next) {
+  int composites = (prev >= 0 && sym.IsComposite(prev)) +
+                   sym.IsComposite(cur) +
+                   (next >= 0 && sym.IsComposite(next));
+  if (composites > 1) return -1;
+  if (sym.IsComposite(cur)) {
+    const AtmSpec::Step& step = delta[sym.StateOf(cur)][sym.TapeOf(cur)];
+    if (step.move == 0) return sym.Composite(step.next_state, step.write);
+    return step.write;
+  }
+  if (prev >= 0 && sym.IsComposite(prev)) {
+    const AtmSpec::Step& step = delta[sym.StateOf(prev)][sym.TapeOf(prev)];
+    if (step.move == +1) return sym.Composite(step.next_state, cur);
+  }
+  if (next >= 0 && sym.IsComposite(next)) {
+    const AtmSpec::Step& step = delta[sym.StateOf(next)][sym.TapeOf(next)];
+    if (step.move == -1) return sym.Composite(step.next_state, cur);
+  }
+  (void)m;
+  return cur;
+}
+
+// Builds the n fresh address variables "prefix0..prefix{n-1}".
+std::vector<Term> AddressVars(const std::string& prefix, int n) {
+  std::vector<Term> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) out.push_back(V(prefix + std::to_string(i)));
+  return out;
+}
+
+// A(x, y, z, z', a1..an, u, v, w, t).
+Atom AtomA(const Term& x, const Term& y, const Term& z, const Term& zp,
+           const std::vector<Term>& addr, const Term& u, const Term& v,
+           const Term& w, const Term& t) {
+  std::vector<Term> args = {x, y, z, zp};
+  args.insert(args.end(), addr.begin(), addr.end());
+  args.push_back(u);
+  args.push_back(v);
+  args.push_back(w);
+  args.push_back(t);
+  return Atom("cell", std::move(args));
+}
+
+// B(x, y, z, a1..an, u, v, w, t) — the intensional propagator.
+Atom AtomB(const Term& x, const Term& y, const Term& z,
+           const std::vector<Term>& addr, const Term& u, const Term& v,
+           const Term& w, const Term& t) {
+  std::vector<Term> args = {x, y, z};
+  args.insert(args.end(), addr.begin(), addr.end());
+  args.push_back(u);
+  args.push_back(v);
+  args.push_back(w);
+  args.push_back(t);
+  return Atom("prop", std::move(args));
+}
+
+}  // namespace
+
+Result<HardnessInstance> BuildTheorem5Instance(const AtmSpec& machine, int n) {
+  QCONT_RETURN_IF_ERROR(machine.Validate());
+  if (n < 1) return InvalidArgumentError("need at least one address bit");
+  SymbolTable sym{machine.num_tape_symbols, machine.num_states};
+
+  const Term x = V("x"), y = V("y"), z = V("z"), zp = V("zp");
+  const Term u = V("u"), v = V("v"), w = V("w"), t = V("t");
+  const Term u2 = V("u2"), v2 = V("v2"), w2 = V("w2");
+  std::vector<Term> addr = AddressVars("a", n);
+
+  std::vector<Rule> rules;
+
+  // Address-bit modification rules: unfolding rewrites bit i to 0 (x) or 1
+  // (y). The head bit does not occur in the body in the paper's phrasing;
+  // the unary guard bitv(.) restores safety without affecting expansions.
+  for (int i = 0; i < n; ++i) {
+    for (const Term& bit : {x, y}) {
+      std::vector<Term> body_addr = addr;
+      body_addr[i] = bit;
+      rules.push_back(Rule{AtomB(x, y, z, addr, u, v, w, t),
+                           {Atom("bitv", {addr[i]}),
+                            AtomB(x, y, z, body_addr, u, v, w, t)}});
+    }
+  }
+
+  // Symbol rules: emit the cell atom and continue along the z-chain.
+  for (int s = 0; s < sym.NumSymbols(); ++s) {
+    rules.push_back(Rule{AtomB(x, y, z, addr, u, v, w, t),
+                         {AtomA(x, y, z, zp, addr, u, v, w, t),
+                          Atom("q_" + sym.Name(s), {z}),
+                          AtomB(x, y, zp, addr, u, v, w, t)}});
+  }
+
+  // Transition rules. Existential configurations (flag x) choose a left
+  // (u moves one slot) or right (u moves two slots) successor; universal
+  // configurations (flag y) spawn both.
+  for (int s = 0; s < sym.NumSymbols(); ++s) {
+    const Atom q_s = Atom("q_" + sym.Name(s), {z});
+    rules.push_back(Rule{AtomB(x, y, z, addr, u, v, w, x),
+                         {AtomA(x, y, z, zp, addr, u, v, w, x), q_s,
+                          AtomB(x, y, zp, addr, u2, u, w2, y)}});
+    rules.push_back(Rule{AtomB(x, y, z, addr, u, v, w, x),
+                         {AtomA(x, y, z, zp, addr, u, v, w, x), q_s,
+                          AtomB(x, y, zp, addr, u2, v2, u, y)}});
+    rules.push_back(Rule{AtomB(x, y, z, addr, u, v, w, y),
+                         {AtomA(x, y, z, zp, addr, u, v, w, y), q_s,
+                          AtomB(x, y, zp, addr, u2, u, w2, x),
+                          AtomB(x, y, zp, addr, u2, v2, u, x)}});
+  }
+
+  // Accepting leaves: composite symbols with an accepting state close the
+  // propagation.
+  for (int q = 0; q < machine.num_states; ++q) {
+    if (!machine.accepting[q]) continue;
+    for (int e = 0; e < machine.num_tape_symbols; ++e) {
+      const int s = sym.Composite(q, e);
+      rules.push_back(Rule{AtomB(x, y, z, addr, u, v, w, t),
+                           {Atom("q_" + sym.Name(s), {z}),
+                            AtomA(x, y, z, zp, addr, u, v, w, t)}});
+    }
+  }
+
+  // Start rule: the computation begins at address 0..0 in an existential
+  // configuration.
+  {
+    std::vector<Term> zeros(n, x);
+    rules.push_back(Rule{Atom("accept_all", {}),
+                         {Atom("start", {z}),
+                          AtomB(x, y, z, zeros, u, v, w, x)}});
+  }
+
+  DatalogProgram program(std::move(rules), "accept_all");
+
+  // ---------------------------------------------------------------------
+  // Θ: one acyclic Boolean disjunct per detectable error.
+  // ---------------------------------------------------------------------
+  std::vector<ConjunctiveQuery> disjuncts;
+  const Term bx = V("bx"), by = V("by");
+
+  // (a) First-address errors: some bit after `start` is 1.
+  for (int i = 0; i < n; ++i) {
+    std::vector<Term> a1 = AddressVars("fa", n);
+    a1[i] = by;
+    disjuncts.push_back(ConjunctiveQuery(
+        {}, {Atom("start", {V("z1")}),
+             AtomA(bx, by, V("z1"), V("z2"), a1, V("cu"), V("cv"), V("cw"),
+                   V("ct"))}));
+  }
+
+  // (b) Address-counter errors between consecutive cells (bit n-1 is the
+  // least significant). Two families:
+  //  - a carry-suffix of ones below bit i, but bit i did not flip;
+  //  - some lower bit j is zero (no carry into i), but bit i flipped.
+  auto two_cells = [&](const std::vector<Term>& a1, const std::vector<Term>& b1) {
+    return std::vector<Atom>{
+        AtomA(bx, by, V("z1"), V("z2"), a1, V("cu"), V("cv"), V("cw"), V("t1")),
+        AtomA(bx, by, V("z2"), V("z3"), b1, V("cu"), V("cv"), V("cw"), V("t2"))};
+  };
+  for (int i = 0; i < n; ++i) {
+    {
+      // All bits below i are 1, yet bit i repeats (no flip).
+      std::vector<Term> a1 = AddressVars("ca", n);
+      std::vector<Term> b1 = AddressVars("cb", n);
+      for (int j = i + 1; j < n; ++j) a1[j] = by;
+      b1[i] = a1[i];  // shared variable: "unchanged"
+      disjuncts.push_back(ConjunctiveQuery({}, two_cells(a1, b1)));
+    }
+    for (int j = i + 1; j < n; ++j) {
+      // Bit j below i is 0 (no carry reaches i), yet bit i flipped 0->1 or
+      // 1->0.
+      for (auto [from, to] : {std::pair{bx, by}, std::pair{by, bx}}) {
+        std::vector<Term> a1 = AddressVars("da", n);
+        std::vector<Term> b1 = AddressVars("db", n);
+        a1[j] = bx;
+        a1[i] = from;
+        b1[i] = to;
+        disjuncts.push_back(ConjunctiveQuery({}, two_cells(a1, b1)));
+      }
+    }
+  }
+
+  // Transition-error gadgets Φ(a,b,c,d) for windows whose successor is not
+  // d — the paper's acyclic core idea: three consecutive cells of one
+  // configuration plus the same-address cell of the successor
+  // configuration; the shared address tuple ā2 is what pushes the query up
+  // the ACk hierarchy.
+  auto emit_phi = [&](int sa, int sb, int sc, int sd, bool left) {
+    std::vector<Term> a1 = AddressVars("p1_", n);
+    std::vector<Term> a2 = AddressVars("p2_", n);
+    std::vector<Term> a3 = AddressVars("p3_", n);
+    const Term su = left ? V("cu") : V("sv");
+    std::vector<Atom> atoms = {
+        AtomA(bx, by, V("z1"), V("z2"), a1, V("cu"), V("cv"), V("cw"), V("t1")),
+        Atom("q_" + sym.Name(sa), {V("z1")}),
+        AtomA(bx, by, V("z2"), V("z3"), a2, V("cu"), V("cv"), V("cw"), V("t2")),
+        Atom("q_" + sym.Name(sb), {V("z2")}),
+        AtomA(bx, by, V("z3"), V("z4"), a3, V("cu"), V("cv"), V("cw"), V("t3")),
+        Atom("q_" + sym.Name(sc), {V("z3")}),
+        // Successor configuration: "u', u, w'" (left) or "u', v', u" (right).
+        left ? AtomA(bx, by, V("z5"), V("z6"), a2, V("su"), V("cu"), V("sw"),
+                     V("t4"))
+             : AtomA(bx, by, V("z5"), V("z6"), a2, V("su"), su, V("cu"),
+                     V("t4")),
+        Atom("q_" + sym.Name(sd), {V("z5")})};
+    disjuncts.push_back(ConjunctiveQuery({}, std::move(atoms)));
+  };
+  const int kNumSymbols = sym.NumSymbols();
+  for (int sa = 0; sa < kNumSymbols; ++sa) {
+    for (int sb = 0; sb < kNumSymbols; ++sb) {
+      for (int sc = 0; sc < kNumSymbols; ++sc) {
+        int succ_l =
+            WindowSuccessor(sym, machine, machine.delta_left, sa, sb, sc);
+        int succ_r =
+            WindowSuccessor(sym, machine, machine.delta_right, sa, sb, sc);
+        for (int sd = 0; sd < kNumSymbols; ++sd) {
+          if (sd != succ_l) emit_phi(sa, sb, sc, sd, /*left=*/true);
+          if (sd != succ_r) emit_phi(sa, sb, sc, sd, /*left=*/false);
+        }
+      }
+    }
+  }
+
+  HardnessInstance out{std::move(program), UnionQuery(std::move(disjuncts)),
+                       n, {}};
+  for (int s = 0; s < kNumSymbols; ++s) {
+    out.tape_symbol_names.push_back(sym.Name(s));
+  }
+  return out;
+}
+
+}  // namespace qcont

@@ -1,0 +1,69 @@
+#ifndef QCONT_CORE_HARDNESS_H_
+#define QCONT_CORE_HARDNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "cq/query.h"
+#include "datalog/program.h"
+
+namespace qcont {
+
+/// An alternating Turing machine in the normal form assumed by the
+/// Theorem 5 reduction: the initial state is existential, the machine
+/// strictly alternates between existential and universal states, and every
+/// configuration has exactly two successors given by the deterministic
+/// transition functions δℓ (left) and δr (right).
+struct AtmSpec {
+  /// Tape symbols are 0..num_tape_symbols-1; symbol 0 is the blank.
+  int num_tape_symbols = 1;
+  int num_states = 1;
+  int initial_state = 0;
+  std::vector<bool> existential;  // per state
+  std::vector<bool> accepting;    // per state
+
+  struct Step {
+    int write;  // tape symbol written
+    int move;   // -1 left, 0 stay, +1 right
+    int next_state;
+  };
+  /// delta_left[state][read] and delta_right[state][read]; both total.
+  std::vector<std::vector<Step>> delta_left;
+  std::vector<std::vector<Step>> delta_right;
+
+  Status Validate() const;
+
+  /// A tiny two-state machine (existential initial, universal accepting
+  /// partner) used by tests and benchmarks.
+  static AtmSpec Tiny();
+};
+
+/// The CONT(Datalog, AC) 2EXPTIME-hardness instance of Theorem 5(1): a
+/// Datalog program Π and an *acyclic* UCQ Θ, constructible in polynomial
+/// time from (M, n), such that Π ⊆ Θ iff M does not accept the empty tape
+/// in space 2^n. Expansion trees of Π encode configuration trees with
+/// n-bit cell addresses; each disjunct of Θ detects one way an expansion
+/// fails to be an accepting computation.
+///
+/// Faithfulness notes (see DESIGN.md): the paper's address-modification
+/// rules are unsafe as written (the replaced address bit does not occur in
+/// the body); we guard such variables with a unary extensional predicate
+/// `bitv`, the standard domestication that preserves the reduction. The
+/// error disjuncts implemented are the ones the proof sketch spells out:
+/// address-counter errors, initial-configuration errors, and the
+/// transition-error gadgets Φ(a,b,c,d) for tuples outside Bℓ/Br together
+/// with their Iℓ/Ir and Fℓ/Fr variants; each is acyclic by the join-tree
+/// argument in the text.
+struct HardnessInstance {
+  DatalogProgram program;
+  UnionQuery ucq;
+  int address_bits = 0;
+  std::vector<std::string> tape_symbol_names;  // includes composite (q,e)
+};
+
+Result<HardnessInstance> BuildTheorem5Instance(const AtmSpec& machine, int n);
+
+}  // namespace qcont
+
+#endif  // QCONT_CORE_HARDNESS_H_

@@ -1,0 +1,34 @@
+#include "core/router.h"
+
+#include "structure/classify.h"
+
+namespace qcont {
+
+const char* RouteName(ContainmentRoute route) {
+  switch (route) {
+    case ContainmentRoute::kAckEngine:
+      return "ACk engine (EXPTIME)";
+    case ContainmentRoute::kGeneralEngine:
+      return "general type engine (2EXPTIME)";
+  }
+  return "unknown";
+}
+
+Result<RoutedAnswer> DecideContainment(const DatalogProgram& program,
+                                       const UnionQuery& ucq) {
+  QCONT_ASSIGN_OR_RETURN(bool acyclic, IsAcyclicUcq(ucq));
+  RoutedAnswer out;
+  if (acyclic) {
+    AckEngineStats stats;
+    QCONT_ASSIGN_OR_RETURN(out.answer,
+                           DatalogContainedInAcyclicUcq(program, ucq, &stats));
+    out.route = ContainmentRoute::kAckEngine;
+    out.ack_level = stats.ack_level;
+  } else {
+    QCONT_ASSIGN_OR_RETURN(out.answer, DatalogContainedInUcq(program, ucq));
+    out.route = ContainmentRoute::kGeneralEngine;
+  }
+  return out;
+}
+
+}  // namespace qcont

@@ -1,0 +1,37 @@
+#ifndef QCONT_CORE_ROUTER_H_
+#define QCONT_CORE_ROUTER_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "core/ack_containment.h"
+#include "core/datalog_ucq.h"
+#include "datalog/program.h"
+
+namespace qcont {
+
+/// Which engine decided a routed containment call.
+enum class ContainmentRoute {
+  kAckEngine,      // acyclic UCQ: EXPTIME engine (Theorem 6 / Corollary 1)
+  kGeneralEngine,  // arbitrary UCQ: 2EXPTIME type engine (Theorem 2)
+};
+
+struct RoutedAnswer {
+  ContainmentAnswer answer;
+  ContainmentRoute route = ContainmentRoute::kGeneralEngine;
+  int ack_level = 0;  // k such that Θ ∈ ACk, when routed to the ACk engine
+};
+
+const char* RouteName(ContainmentRoute route);
+
+/// Decides Π ⊆ Θ picking the best engine per the paper's classification
+/// (Corollary 1): if Θ is acyclic — which covers every acyclic UCQ over an
+/// arity-c schema (then Θ ∈ ACc) and every TW(1) UCQ (then Θ ∈ AC2) — use
+/// the single-exponential ACk engine; otherwise fall back to the general
+/// doubly-exponential engine.
+Result<RoutedAnswer> DecideContainment(const DatalogProgram& program,
+                                       const UnionQuery& ucq);
+
+}  // namespace qcont
+
+#endif  // QCONT_CORE_ROUTER_H_

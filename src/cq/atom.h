@@ -1,0 +1,73 @@
+#ifndef QCONT_CQ_ATOM_H_
+#define QCONT_CQ_ATOM_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/hash.h"
+#include "cq/term.h"
+
+namespace qcont {
+
+/// A relational atom R(t1, ..., tn).
+class Atom {
+ public:
+  Atom(std::string predicate, std::vector<Term> terms)
+      : predicate_(std::move(predicate)), terms_(std::move(terms)) {}
+
+  const std::string& predicate() const { return predicate_; }
+  const std::vector<Term>& terms() const { return terms_; }
+  std::size_t arity() const { return terms_.size(); }
+
+  /// Distinct variables occurring in this atom, in first-occurrence order.
+  std::vector<Term> Variables() const {
+    std::vector<Term> out;
+    for (const Term& t : terms_) {
+      if (!t.is_variable()) continue;
+      bool seen = false;
+      for (const Term& u : out) {
+        if (u == t) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) out.push_back(t);
+    }
+    return out;
+  }
+
+  /// "R(x,y,'c')".
+  std::string ToString() const {
+    std::string out = predicate_ + "(";
+    for (std::size_t i = 0; i < terms_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += terms_[i].ToString();
+    }
+    out += ")";
+    return out;
+  }
+
+  friend bool operator==(const Atom& a, const Atom& b) {
+    return a.predicate_ == b.predicate_ && a.terms_ == b.terms_;
+  }
+  friend bool operator!=(const Atom& a, const Atom& b) { return !(a == b); }
+
+ private:
+  std::string predicate_;
+  std::vector<Term> terms_;
+};
+
+struct AtomHash {
+  std::size_t operator()(const Atom& a) const {
+    std::size_t seed = std::hash<std::string>()(a.predicate());
+    TermHash th;
+    for (const Term& t : a.terms()) HashCombine(&seed, th(t));
+    return seed;
+  }
+};
+
+}  // namespace qcont
+
+#endif  // QCONT_CQ_ATOM_H_

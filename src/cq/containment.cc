@@ -1,0 +1,63 @@
+#include "cq/containment.h"
+
+#include "cq/database.h"
+
+namespace qcont {
+
+Result<bool> CqContained(const ConjunctiveQuery& theta,
+                         const ConjunctiveQuery& theta_prime,
+                         HomSearchStats* stats) {
+  QCONT_RETURN_IF_ERROR(theta.Validate());
+  QCONT_RETURN_IF_ERROR(theta_prime.Validate());
+  if (theta.arity() != theta_prime.arity()) {
+    return InvalidArgumentError("containment between queries of arities " +
+                                std::to_string(theta.arity()) + " and " +
+                                std::to_string(theta_prime.arity()));
+  }
+  Database canonical = CanonicalDatabase(theta);
+  Tuple frozen_head = CanonicalHead(theta);
+  Assignment fixed;
+  for (std::size_t i = 0; i < theta_prime.head().size(); ++i) {
+    const std::string& var = theta_prime.head()[i].name();
+    auto it = fixed.find(var);
+    if (it != fixed.end()) {
+      // Repeated head variable in theta': the corresponding positions of
+      // theta's head must be frozen to the same value.
+      if (it->second != frozen_head[i]) return false;
+    } else {
+      fixed.emplace(var, frozen_head[i]);
+    }
+  }
+  return FindHomomorphism(theta_prime, canonical, fixed, stats).has_value();
+}
+
+Result<bool> CqContainedInUcq(const ConjunctiveQuery& theta,
+                              const UnionQuery& theta_prime,
+                              HomSearchStats* stats) {
+  for (const ConjunctiveQuery& disjunct : theta_prime.disjuncts()) {
+    QCONT_ASSIGN_OR_RETURN(bool contained, CqContained(theta, disjunct, stats));
+    if (contained) return true;
+  }
+  return false;
+}
+
+Result<bool> UcqContained(const UnionQuery& theta, const UnionQuery& theta_prime,
+                          HomSearchStats* stats) {
+  QCONT_RETURN_IF_ERROR(theta.Validate());
+  QCONT_RETURN_IF_ERROR(theta_prime.Validate());
+  for (const ConjunctiveQuery& disjunct : theta.disjuncts()) {
+    QCONT_ASSIGN_OR_RETURN(bool contained,
+                           CqContainedInUcq(disjunct, theta_prime, stats));
+    if (!contained) return false;
+  }
+  return true;
+}
+
+Result<bool> UcqEquivalent(const UnionQuery& a, const UnionQuery& b,
+                           HomSearchStats* stats) {
+  QCONT_ASSIGN_OR_RETURN(bool ab, UcqContained(a, b, stats));
+  if (!ab) return false;
+  return UcqContained(b, a, stats);
+}
+
+}  // namespace qcont

@@ -1,0 +1,34 @@
+#ifndef QCONT_CQ_CONTAINMENT_H_
+#define QCONT_CQ_CONTAINMENT_H_
+
+#include "base/status.h"
+#include "cq/homomorphism.h"
+#include "cq/query.h"
+
+namespace qcont {
+
+/// Decides theta ⊆ theta' (containment of CQs of the same arity) by the
+/// Chandra-Merlin test: theta ⊆ theta' iff the frozen head of theta is in
+/// theta'(D_theta). NP in general; `stats` reports search effort.
+Result<bool> CqContained(const ConjunctiveQuery& theta,
+                         const ConjunctiveQuery& theta_prime,
+                         HomSearchStats* stats = nullptr);
+
+/// Decides Theta ⊆ Theta' for UCQs by the Sagiv-Yannakakis criterion:
+/// every disjunct of Theta is contained in some disjunct of Theta'.
+Result<bool> UcqContained(const UnionQuery& theta, const UnionQuery& theta_prime,
+                          HomSearchStats* stats = nullptr);
+
+/// Decides whether theta is contained in the UCQ Theta'. Note that for a
+/// single CQ on the left this is equivalent to the per-disjunct test.
+Result<bool> CqContainedInUcq(const ConjunctiveQuery& theta,
+                              const UnionQuery& theta_prime,
+                              HomSearchStats* stats = nullptr);
+
+/// Equivalence of UCQs: containment both ways.
+Result<bool> UcqEquivalent(const UnionQuery& a, const UnionQuery& b,
+                           HomSearchStats* stats = nullptr);
+
+}  // namespace qcont
+
+#endif  // QCONT_CQ_CONTAINMENT_H_

@@ -1,0 +1,24 @@
+#ifndef QCONT_CQ_CORE_H_
+#define QCONT_CQ_CORE_H_
+
+#include "base/status.h"
+#include "cq/query.h"
+
+namespace qcont {
+
+/// Computes the core of a CQ: a minimal equivalent subquery, unique up to
+/// isomorphism [Hell-Nešetřil]. The core is obtained by repeatedly folding
+/// away an existential variable via a retraction (an endomorphism of the
+/// canonical database that is the identity on the free variables and whose
+/// image avoids the variable).
+///
+/// Worst-case exponential (the problem is NP-hard), which matches the
+/// NP-completeness of H(ACk) membership (Proposition 4 of the paper).
+Result<ConjunctiveQuery> CoreOf(const ConjunctiveQuery& cq);
+
+/// True iff `cq` equals its own core (up to the atom set; head unchanged).
+Result<bool> IsCore(const ConjunctiveQuery& cq);
+
+}  // namespace qcont
+
+#endif  // QCONT_CQ_CORE_H_

@@ -1,0 +1,96 @@
+#include "cq/database.h"
+
+#include <algorithm>
+
+#include "base/hash.h"
+
+namespace qcont {
+
+std::size_t Database::TupleHash::operator()(const Tuple& t) const {
+  std::size_t seed = t.size();
+  for (const Value& v : t) HashCombine(&seed, std::hash<Value>()(v));
+  return seed;
+}
+
+bool Database::AddFact(const std::string& relation, Tuple tuple) {
+  RelationData& data = relations_[relation];
+  if (!data.set.insert(tuple).second) return false;
+  data.tuples.push_back(std::move(tuple));
+  ++num_facts_;
+  return true;
+}
+
+bool Database::HasFact(const std::string& relation, const Tuple& tuple) const {
+  auto it = relations_.find(relation);
+  return it != relations_.end() && it->second.set.count(tuple) > 0;
+}
+
+const std::vector<Tuple>& Database::Facts(const std::string& relation) const {
+  static const std::vector<Tuple>* const kEmpty = new std::vector<Tuple>();
+  auto it = relations_.find(relation);
+  return it == relations_.end() ? *kEmpty : it->second.tuples;
+}
+
+std::vector<std::string> Database::Relations() const {
+  std::vector<std::string> out;
+  out.reserve(relations_.size());
+  for (const auto& [name, data] : relations_) {
+    if (!data.tuples.empty()) out.push_back(name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Value> Database::ActiveDomain() const {
+  std::unordered_set<Value> seen;
+  std::vector<Value> out;
+  for (const auto& [name, data] : relations_) {
+    for (const Tuple& t : data.tuples) {
+      for (const Value& v : t) {
+        if (seen.insert(v).second) out.push_back(v);
+      }
+    }
+  }
+  return out;
+}
+
+void Database::UnionWith(const Database& other) {
+  for (const auto& [name, data] : other.relations_) {
+    for (const Tuple& t : data.tuples) AddFact(name, t);
+  }
+}
+
+std::string Database::ToString() const {
+  std::string out;
+  for (const std::string& rel : Relations()) {
+    for (const Tuple& t : Facts(rel)) {
+      out += rel + "(";
+      for (std::size_t i = 0; i < t.size(); ++i) {
+        if (i > 0) out += ",";
+        out += t[i];
+      }
+      out += ")\n";
+    }
+  }
+  return out;
+}
+
+Database CanonicalDatabase(const ConjunctiveQuery& cq) {
+  Database db;
+  for (const Atom& a : cq.atoms()) {
+    Tuple t;
+    t.reserve(a.arity());
+    for (const Term& term : a.terms()) t.push_back(term.name());
+    db.AddFact(a.predicate(), std::move(t));
+  }
+  return db;
+}
+
+Tuple CanonicalHead(const ConjunctiveQuery& cq) {
+  Tuple t;
+  t.reserve(cq.head().size());
+  for (const Term& term : cq.head()) t.push_back(term.name());
+  return t;
+}
+
+}  // namespace qcont

@@ -1,0 +1,67 @@
+#ifndef QCONT_CQ_DATABASE_H_
+#define QCONT_CQ_DATABASE_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cq/query.h"
+
+namespace qcont {
+
+/// A database value. Canonical databases use variable names as values
+/// ("frozen" variables), so values are plain strings.
+using Value = std::string;
+using Tuple = std::vector<Value>;
+
+/// A finite relational database: a set of facts R(v1,...,vn).
+class Database {
+ public:
+  Database() = default;
+
+  /// Adds a fact; duplicate facts are ignored. Returns true if new.
+  bool AddFact(const std::string& relation, Tuple tuple);
+
+  bool HasFact(const std::string& relation, const Tuple& tuple) const;
+
+  /// Tuples of `relation` (empty if the relation has no facts).
+  const std::vector<Tuple>& Facts(const std::string& relation) const;
+
+  /// Relation names that have at least one fact.
+  std::vector<std::string> Relations() const;
+
+  /// All values occurring in any fact (the active domain).
+  std::vector<Value> ActiveDomain() const;
+
+  std::size_t NumFacts() const { return num_facts_; }
+
+  /// Merges all facts of `other` into this database.
+  void UnionWith(const Database& other);
+
+  std::string ToString() const;
+
+ private:
+  struct TupleHash {
+    std::size_t operator()(const Tuple& t) const;
+  };
+  struct RelationData {
+    std::vector<Tuple> tuples;
+    std::unordered_set<Tuple, TupleHash> set;
+  };
+  std::unordered_map<std::string, RelationData> relations_;
+  std::size_t num_facts_ = 0;
+};
+
+/// The canonical database D_theta of a CQ: one fact per atom, with each
+/// variable frozen to a value named after it. Constants keep their name.
+Database CanonicalDatabase(const ConjunctiveQuery& cq);
+
+/// The tuple of frozen head variables of `cq` (the tuple to look for in the
+/// Chandra-Merlin containment test).
+Tuple CanonicalHead(const ConjunctiveQuery& cq);
+
+}  // namespace qcont
+
+#endif  // QCONT_CQ_DATABASE_H_

@@ -1,0 +1,155 @@
+#include "cq/homomorphism.h"
+
+#include <algorithm>
+#include <set>
+
+namespace qcont {
+
+namespace {
+
+// Search state shared across the recursion.
+struct Searcher {
+  const Database& db;
+  std::vector<Atom> atoms;  // ordered at construction
+  Assignment binding;
+  HomSearchStats* stats;
+  const std::function<bool(const Assignment&)>* visit;
+  bool stopped = false;
+
+  Searcher(const ConjunctiveQuery& cq, const Database& db_in,
+           const Assignment& fixed, HomSearchStats* stats_in)
+      : db(db_in), binding(fixed), stats(stats_in) {
+    atoms = cq.atoms();
+    OrderAtoms();
+  }
+
+  // Greedy static order: repeatedly pick the atom with the most variables
+  // already covered by earlier atoms (or `fixed`), tie-broken by smaller
+  // relation. Keeps the search close to a join order a planner would pick.
+  void OrderAtoms() {
+    std::vector<Atom> ordered;
+    std::set<std::string> bound;
+    for (const auto& [var, value] : binding) bound.insert(var);
+    std::vector<bool> used(atoms.size(), false);
+    for (std::size_t round = 0; round < atoms.size(); ++round) {
+      int best = -1;
+      long best_score = -1;
+      for (std::size_t i = 0; i < atoms.size(); ++i) {
+        if (used[i]) continue;
+        long covered = 0;
+        for (const Term& t : atoms[i].terms()) {
+          if (t.is_constant() || bound.count(t.name())) ++covered;
+        }
+        // Prefer high coverage, then small relations.
+        long score = covered * 1000000 -
+                     static_cast<long>(db.Facts(atoms[i].predicate()).size());
+        if (best < 0 || score > best_score) {
+          best = static_cast<int>(i);
+          best_score = score;
+        }
+      }
+      used[best] = true;
+      for (const Term& t : atoms[best].terms()) {
+        if (t.is_variable()) bound.insert(t.name());
+      }
+      ordered.push_back(atoms[best]);
+    }
+    atoms = std::move(ordered);
+  }
+
+  void Recurse(std::size_t index) {
+    if (stopped) return;
+    if (index == atoms.size()) {
+      if (!(*visit)(binding)) stopped = true;
+      return;
+    }
+    const Atom& atom = atoms[index];
+    for (const Tuple& fact : db.Facts(atom.predicate())) {
+      if (fact.size() != atom.arity()) continue;
+      if (stats != nullptr) ++stats->atom_attempts;
+      // Try to unify atom terms with the fact.
+      std::vector<std::string> newly_bound;
+      bool ok = true;
+      for (std::size_t i = 0; i < fact.size(); ++i) {
+        const Term& t = atom.terms()[i];
+        if (t.is_constant()) {
+          if (t.name() != fact[i]) {
+            ok = false;
+            break;
+          }
+          continue;
+        }
+        auto it = binding.find(t.name());
+        if (it != binding.end()) {
+          if (it->second != fact[i]) {
+            ok = false;
+            break;
+          }
+        } else {
+          binding.emplace(t.name(), fact[i]);
+          newly_bound.push_back(t.name());
+        }
+      }
+      if (ok) {
+        Recurse(index + 1);
+      } else if (stats != nullptr) {
+        ++stats->backtracks;
+      }
+      for (const std::string& var : newly_bound) binding.erase(var);
+      if (stopped) return;
+    }
+  }
+};
+
+}  // namespace
+
+void EnumerateHomomorphisms(const ConjunctiveQuery& cq, const Database& db,
+                            const Assignment& fixed,
+                            const std::function<bool(const Assignment&)>& visit,
+                            HomSearchStats* stats) {
+  Searcher searcher(cq, db, fixed, stats);
+  searcher.visit = &visit;
+  searcher.Recurse(0);
+}
+
+std::optional<Assignment> FindHomomorphism(const ConjunctiveQuery& cq,
+                                           const Database& db,
+                                           const Assignment& fixed,
+                                           HomSearchStats* stats) {
+  std::optional<Assignment> found;
+  EnumerateHomomorphisms(
+      cq, db, fixed,
+      [&found](const Assignment& h) {
+        found = h;
+        return false;  // stop at the first homomorphism
+      },
+      stats);
+  return found;
+}
+
+std::vector<Tuple> EvaluateCq(const ConjunctiveQuery& cq, const Database& db,
+                              HomSearchStats* stats) {
+  std::set<Tuple> results;
+  EnumerateHomomorphisms(
+      cq, db, /*fixed=*/{},
+      [&results, &cq](const Assignment& h) {
+        Tuple out;
+        out.reserve(cq.head().size());
+        for (const Term& t : cq.head()) out.push_back(h.at(t.name()));
+        results.insert(std::move(out));
+        return true;
+      },
+      stats);
+  return std::vector<Tuple>(results.begin(), results.end());
+}
+
+std::vector<Tuple> EvaluateUcq(const UnionQuery& ucq, const Database& db,
+                               HomSearchStats* stats) {
+  std::set<Tuple> results;
+  for (const ConjunctiveQuery& cq : ucq.disjuncts()) {
+    for (Tuple& t : EvaluateCq(cq, db, stats)) results.insert(std::move(t));
+  }
+  return std::vector<Tuple>(results.begin(), results.end());
+}
+
+}  // namespace qcont

@@ -1,0 +1,54 @@
+#ifndef QCONT_CQ_HOMOMORPHISM_H_
+#define QCONT_CQ_HOMOMORPHISM_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cq/database.h"
+#include "cq/query.h"
+
+namespace qcont {
+
+/// A (partial) mapping from query variables to database values.
+using Assignment = std::unordered_map<std::string, Value>;
+
+/// Counters reported by the backtracking search; used by benchmarks as a
+/// machine-independent cost signal.
+struct HomSearchStats {
+  std::uint64_t atom_attempts = 0;  // candidate tuples tried
+  std::uint64_t backtracks = 0;
+};
+
+/// Searches for a homomorphism from the body of `cq` into `db` that extends
+/// the partial assignment `fixed`. This is the generic (NP) evaluation
+/// procedure: backtracking over atoms with a most-constrained-first order.
+///
+/// Returns the full assignment if one exists.
+std::optional<Assignment> FindHomomorphism(const ConjunctiveQuery& cq,
+                                           const Database& db,
+                                           const Assignment& fixed = {},
+                                           HomSearchStats* stats = nullptr);
+
+/// Enumerates homomorphisms, invoking `visit` for each; enumeration stops
+/// early when `visit` returns false.
+void EnumerateHomomorphisms(const ConjunctiveQuery& cq, const Database& db,
+                            const Assignment& fixed,
+                            const std::function<bool(const Assignment&)>& visit,
+                            HomSearchStats* stats = nullptr);
+
+/// Evaluates cq(db): the set of distinct head tuples h(x̄) over all
+/// homomorphisms h. For a Boolean query the result is {()} or {}.
+std::vector<Tuple> EvaluateCq(const ConjunctiveQuery& cq, const Database& db,
+                              HomSearchStats* stats = nullptr);
+
+/// Union of the disjunct evaluations, deduplicated and sorted.
+std::vector<Tuple> EvaluateUcq(const UnionQuery& ucq, const Database& db,
+                               HomSearchStats* stats = nullptr);
+
+}  // namespace qcont
+
+#endif  // QCONT_CQ_HOMOMORPHISM_H_

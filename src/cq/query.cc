@@ -1,0 +1,108 @@
+#include "cq/query.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace qcont {
+
+namespace {
+
+void AddDistinct(const Term& t, std::vector<Term>* out,
+                 std::unordered_set<std::string>* seen) {
+  if (!t.is_variable()) return;
+  if (seen->insert(t.name()).second) out->push_back(t);
+}
+
+}  // namespace
+
+std::vector<Term> ConjunctiveQuery::Variables() const {
+  std::vector<Term> out;
+  std::unordered_set<std::string> seen;
+  for (const Atom& a : atoms_) {
+    for (const Term& t : a.terms()) AddDistinct(t, &out, &seen);
+  }
+  return out;
+}
+
+std::vector<Term> ConjunctiveQuery::ExistentialVariables() const {
+  std::unordered_set<std::string> free;
+  for (const Term& t : head_) free.insert(t.name());
+  std::vector<Term> out;
+  std::unordered_set<std::string> seen = free;  // skip free variables
+  for (const Atom& a : atoms_) {
+    for (const Term& t : a.terms()) AddDistinct(t, &out, &seen);
+  }
+  return out;
+}
+
+Status ConjunctiveQuery::Validate() const {
+  std::unordered_set<std::string> body_vars;
+  std::unordered_map<std::string, std::size_t> arities;
+  for (const Atom& a : atoms_) {
+    auto [it, inserted] = arities.emplace(a.predicate(), a.arity());
+    if (!inserted && it->second != a.arity()) {
+      return InvalidArgumentError("predicate '" + a.predicate() +
+                                  "' used with inconsistent arities");
+    }
+    for (const Term& t : a.terms()) {
+      if (t.is_variable()) body_vars.insert(t.name());
+    }
+  }
+  for (const Term& t : head_) {
+    if (!t.is_variable()) {
+      return InvalidArgumentError("head term " + t.ToString() +
+                                  " is not a variable");
+    }
+    if (!body_vars.count(t.name())) {
+      return InvalidArgumentError("free variable " + t.name() +
+                                  " does not occur in the body");
+    }
+  }
+  return Status::Ok();
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < head_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += head_[i].ToString();
+  }
+  out += ") <- ";
+  for (std::size_t i = 0; i < atoms_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += atoms_[i].ToString();
+  }
+  return out;
+}
+
+Status UnionQuery::Validate() const {
+  if (disjuncts_.empty()) {
+    return InvalidArgumentError("a UCQ must have at least one disjunct");
+  }
+  std::unordered_map<std::string, std::size_t> arities;
+  for (const ConjunctiveQuery& cq : disjuncts_) {
+    QCONT_RETURN_IF_ERROR(cq.Validate());
+    if (cq.arity() != disjuncts_.front().arity()) {
+      return InvalidArgumentError("UCQ disjuncts have different arities");
+    }
+    for (const Atom& a : cq.atoms()) {
+      auto [it, inserted] = arities.emplace(a.predicate(), a.arity());
+      if (!inserted && it->second != a.arity()) {
+        return InvalidArgumentError("predicate '" + a.predicate() +
+                                    "' used with inconsistent arities");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::string UnionQuery::ToString() const {
+  std::string out;
+  for (std::size_t i = 0; i < disjuncts_.size(); ++i) {
+    if (i > 0) out += "  UNION  ";
+    out += disjuncts_[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace qcont

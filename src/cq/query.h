@@ -1,0 +1,71 @@
+#ifndef QCONT_CQ_QUERY_H_
+#define QCONT_CQ_QUERY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "cq/atom.h"
+#include "cq/term.h"
+
+namespace qcont {
+
+/// A conjunctive query theta(x̄) = ∃ȳ (R1(x̄1) ∧ ... ∧ Rm(x̄m)).
+///
+/// `head` lists the free variables x̄ (possibly with repetitions, possibly
+/// empty for a Boolean query); every other variable in the body is
+/// implicitly existentially quantified.
+class ConjunctiveQuery {
+ public:
+  ConjunctiveQuery(std::vector<Term> head, std::vector<Atom> atoms)
+      : head_(std::move(head)), atoms_(std::move(atoms)) {}
+
+  const std::vector<Term>& head() const { return head_; }
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  std::size_t arity() const { return head_.size(); }
+  bool IsBoolean() const { return head_.empty(); }
+
+  /// All distinct variables of the body, in first-occurrence order.
+  std::vector<Term> Variables() const;
+
+  /// Distinct existential (non-free) variables.
+  std::vector<Term> ExistentialVariables() const;
+
+  /// Checks well-formedness: head terms are variables and each occurs in
+  /// some body atom (safety), and predicate arities are used consistently
+  /// within the query.
+  Status Validate() const;
+
+  /// "(x,y) <- R(x,z), S(z,y)".
+  std::string ToString() const;
+
+ private:
+  std::vector<Term> head_;
+  std::vector<Atom> atoms_;
+};
+
+/// A union of conjunctive queries: CQs over the same schema with heads of
+/// equal arity.
+class UnionQuery {
+ public:
+  explicit UnionQuery(std::vector<ConjunctiveQuery> disjuncts)
+      : disjuncts_(std::move(disjuncts)) {}
+
+  const std::vector<ConjunctiveQuery>& disjuncts() const { return disjuncts_; }
+  std::size_t arity() const {
+    return disjuncts_.empty() ? 0 : disjuncts_.front().arity();
+  }
+
+  /// Validates each disjunct and that all arities agree.
+  Status Validate() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ConjunctiveQuery> disjuncts_;
+};
+
+}  // namespace qcont
+
+#endif  // QCONT_CQ_QUERY_H_

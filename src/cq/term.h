@@ -1,0 +1,63 @@
+#ifndef QCONT_CQ_TERM_H_
+#define QCONT_CQ_TERM_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "base/hash.h"
+
+namespace qcont {
+
+/// A term of a query atom: either a variable or a constant. The paper's
+/// queries are constant-free, but constants are supported so that canonical
+/// databases and user databases share one representation.
+class Term {
+ public:
+  enum class Kind { kVariable, kConstant };
+
+  static Term Variable(std::string name) {
+    return Term(Kind::kVariable, std::move(name));
+  }
+  static Term Constant(std::string name) {
+    return Term(Kind::kConstant, std::move(name));
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_variable() const { return kind_ == Kind::kVariable; }
+  bool is_constant() const { return kind_ == Kind::kConstant; }
+  const std::string& name() const { return name_; }
+
+  /// "x" for variables, "'c'" for constants.
+  std::string ToString() const {
+    return is_constant() ? "'" + name_ + "'" : name_;
+  }
+
+  friend bool operator==(const Term& a, const Term& b) {
+    return a.kind_ == b.kind_ && a.name_ == b.name_;
+  }
+  friend bool operator!=(const Term& a, const Term& b) { return !(a == b); }
+  friend bool operator<(const Term& a, const Term& b) {
+    if (a.kind_ != b.kind_) return a.kind_ < b.kind_;
+    return a.name_ < b.name_;
+  }
+
+ private:
+  Term(Kind kind, std::string name) : kind_(kind), name_(std::move(name)) {}
+
+  Kind kind_;
+  std::string name_;
+};
+
+struct TermHash {
+  std::size_t operator()(const Term& t) const {
+    std::size_t seed = static_cast<std::size_t>(t.kind());
+    HashCombine(&seed, std::hash<std::string>()(t.name()));
+    return seed;
+  }
+};
+
+}  // namespace qcont
+
+#endif  // QCONT_CQ_TERM_H_

@@ -1,0 +1,145 @@
+#include "datalog/eval.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "cq/homomorphism.h"
+#include "cq/query.h"
+
+namespace qcont {
+
+namespace {
+
+// Derives the head tuples produced by `rule` over `db`. If `delta_position`
+// is >= 0, the body atom at that index is matched against `delta` instead
+// of `db` (the semi-naive restriction "at least one new fact"). The
+// restriction is realized by renaming that atom's predicate and unioning
+// delta under the renamed name.
+std::vector<Tuple> FireRule(const Rule& rule, const Database& db,
+                            const Database* delta, int delta_position,
+                            DatalogEvalStats* stats) {
+  static const std::string kDeltaPrefix = "\x7f_delta_";
+  std::vector<Atom> body = rule.body;
+  const Database* search_db = &db;
+  Database combined;
+  if (delta_position >= 0) {
+    const Atom original = body[delta_position];  // copy: the slot is replaced
+    body[delta_position] = Atom(kDeltaPrefix + original.predicate(),
+                                original.terms());
+    combined = db;
+    for (const Tuple& t : delta->Facts(original.predicate())) {
+      combined.AddFact(kDeltaPrefix + original.predicate(), t);
+    }
+    search_db = &combined;
+  }
+  ConjunctiveQuery body_query(rule.head.terms(), std::move(body));
+  std::vector<Tuple> out;
+  EnumerateHomomorphisms(body_query, *search_db, /*fixed=*/{},
+                         [&](const Assignment& h) {
+                           Tuple t;
+                           t.reserve(rule.head.arity());
+                           for (const Term& v : rule.head.terms()) {
+                             t.push_back(h.at(v.name()));
+                           }
+                           out.push_back(std::move(t));
+                           if (stats != nullptr) ++stats->rule_firings;
+                           return true;
+                         });
+  return out;
+}
+
+}  // namespace
+
+Result<Database> EvaluateProgram(const DatalogProgram& program,
+                                 const Database& edb, EvalStrategy strategy,
+                                 DatalogEvalStats* stats) {
+  QCONT_RETURN_IF_ERROR(program.Validate());
+  Database all = edb;
+
+  if (strategy == EvalStrategy::kNaive) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      if (stats != nullptr) ++stats->iterations;
+      for (const Rule& rule : program.rules()) {
+        for (Tuple& t : FireRule(rule, all, nullptr, -1, stats)) {
+          if (all.AddFact(rule.head.predicate(), std::move(t))) {
+            changed = true;
+            if (stats != nullptr) ++stats->derived_facts;
+          }
+        }
+      }
+    }
+    return all;
+  }
+
+  // Semi-naive: round 0 fires all rules on the EDB; later rounds require at
+  // least one body atom to match the previous round's delta.
+  Database delta;
+  if (stats != nullptr) ++stats->iterations;
+  for (const Rule& rule : program.rules()) {
+    for (Tuple& t : FireRule(rule, all, nullptr, -1, stats)) {
+      if (all.AddFact(rule.head.predicate(), t)) {
+        delta.AddFact(rule.head.predicate(), std::move(t));
+        if (stats != nullptr) ++stats->derived_facts;
+      }
+    }
+  }
+  while (delta.NumFacts() > 0) {
+    if (stats != nullptr) ++stats->iterations;
+    Database next_delta;
+    for (const Rule& rule : program.rules()) {
+      for (std::size_t i = 0; i < rule.body.size(); ++i) {
+        if (!program.IsIntensional(rule.body[i].predicate())) continue;
+        if (delta.Facts(rule.body[i].predicate()).empty()) continue;
+        for (Tuple& t :
+             FireRule(rule, all, &delta, static_cast<int>(i), stats)) {
+          if (!all.HasFact(rule.head.predicate(), t)) {
+            next_delta.AddFact(rule.head.predicate(), t);
+          }
+        }
+      }
+    }
+    for (const std::string& rel : next_delta.Relations()) {
+      for (const Tuple& t : next_delta.Facts(rel)) {
+        if (all.AddFact(rel, t) && stats != nullptr) ++stats->derived_facts;
+      }
+    }
+    delta = std::move(next_delta);
+  }
+  return all;
+}
+
+Result<std::vector<Tuple>> EvaluateGoal(const DatalogProgram& program,
+                                        const Database& edb,
+                                        EvalStrategy strategy,
+                                        DatalogEvalStats* stats) {
+  QCONT_ASSIGN_OR_RETURN(Database all,
+                         EvaluateProgram(program, edb, strategy, stats));
+  std::vector<Tuple> out = all.Facts(program.goal_predicate());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<bool> UcqContainedInDatalog(const UnionQuery& theta,
+                                   const DatalogProgram& program,
+                                   DatalogEvalStats* stats) {
+  QCONT_RETURN_IF_ERROR(theta.Validate());
+  QCONT_RETURN_IF_ERROR(program.Validate());
+  if (static_cast<int>(theta.arity()) != program.GoalArity()) {
+    return InvalidArgumentError("UCQ arity differs from goal arity");
+  }
+  for (const ConjunctiveQuery& disjunct : theta.disjuncts()) {
+    Database canonical = CanonicalDatabase(disjunct);
+    QCONT_ASSIGN_OR_RETURN(
+        Database derived,
+        EvaluateProgram(program, canonical, EvalStrategy::kSemiNaive, stats));
+    if (!derived.HasFact(program.goal_predicate(), CanonicalHead(disjunct))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace qcont

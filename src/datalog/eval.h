@@ -1,0 +1,48 @@
+#ifndef QCONT_DATALOG_EVAL_H_
+#define QCONT_DATALOG_EVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/status.h"
+#include "cq/database.h"
+#include "datalog/program.h"
+
+namespace qcont {
+
+/// Evaluation counters (benchmark signal for experiment E9).
+struct DatalogEvalStats {
+  std::uint64_t iterations = 0;
+  std::uint64_t rule_firings = 0;      // rule body matches found
+  std::uint64_t derived_facts = 0;     // new facts added over the run
+};
+
+enum class EvalStrategy {
+  kNaive,      // re-derive everything each round
+  kSemiNaive,  // delta-driven derivation
+};
+
+/// Computes F^∞(D): the database `edb` extended with all derived
+/// intensional facts, by bottom-up fixpoint.
+Result<Database> EvaluateProgram(const DatalogProgram& program,
+                                 const Database& edb,
+                                 EvalStrategy strategy = EvalStrategy::kSemiNaive,
+                                 DatalogEvalStats* stats = nullptr);
+
+/// Π(D): the goal-predicate tuples derived over `edb`, sorted.
+Result<std::vector<Tuple>> EvaluateGoal(
+    const DatalogProgram& program, const Database& edb,
+    EvalStrategy strategy = EvalStrategy::kSemiNaive,
+    DatalogEvalStats* stats = nullptr);
+
+/// Containment of a UCQ in a Datalog program (Cosmadakis-Kanellakis [16],
+/// used by the paper for Corollary 2): Θ ⊆ Π iff for every disjunct θ the
+/// frozen head of θ belongs to Π(D_θ). Single-exponential worst case in
+/// the program arity; polynomial data complexity.
+Result<bool> UcqContainedInDatalog(const UnionQuery& theta,
+                                   const DatalogProgram& program,
+                                   DatalogEvalStats* stats = nullptr);
+
+}  // namespace qcont
+
+#endif  // QCONT_DATALOG_EVAL_H_

@@ -1,0 +1,186 @@
+#include "datalog/expansion.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "base/check.h"
+
+namespace qcont {
+
+namespace {
+
+// State of a partial expansion (SLD-style): a list of pending intensional
+// atom instances to unfold, the extensional atoms collected so far, and a
+// union-find over instantiated variable names (head unification can merge
+// variables when a rule head repeats a variable).
+struct ExpansionState {
+  struct Pending {
+    std::string predicate;
+    std::vector<std::string> args;  // instantiated variable names
+    int depth;
+  };
+  std::vector<Pending> pending;
+  std::vector<std::pair<std::string, std::vector<std::string>>> atoms;
+  std::unordered_map<std::string, std::string> parent;  // union-find
+  int fresh_counter = 0;
+
+  std::string Find(const std::string& x) {
+    auto it = parent.find(x);
+    if (it == parent.end()) return x;
+    std::string root = Find(it->second);
+    parent[x] = root;
+    return root;
+  }
+
+  void Union(const std::string& a, const std::string& b) {
+    std::string ra = Find(a), rb = Find(b);
+    if (ra != rb) parent[ra] = rb;
+  }
+
+  std::string Fresh() { return "_v" + std::to_string(fresh_counter++); }
+};
+
+class Expander {
+ public:
+  Expander(const DatalogProgram& program, int max_depth, std::size_t max_count)
+      : program_(program), max_depth_(max_depth), max_count_(max_count) {}
+
+  std::vector<ConjunctiveQuery> Enumerate() {
+    results_.clear();
+    Recurse(InitialState());
+    return std::move(results_);
+  }
+
+  std::optional<ConjunctiveQuery> Sample(std::mt19937* rng) {
+    ExpansionState state = InitialState();
+    while (!state.pending.empty()) {
+      ExpansionState::Pending goal = state.pending.back();
+      state.pending.pop_back();
+      const std::vector<int>& candidates = program_.RulesFor(goal.predicate);
+      // Near the depth bound, only rules without intensional atoms keep the
+      // tree closable; filter accordingly.
+      std::vector<int> usable;
+      for (int r : candidates) {
+        if (goal.depth < max_depth_ || !HasIntensionalAtom(r)) usable.push_back(r);
+      }
+      if (usable.empty()) return std::nullopt;
+      int pick = usable[(*rng)() % usable.size()];
+      ApplyRule(program_.rules()[pick], goal, &state);
+    }
+    return Emit(state);
+  }
+
+ private:
+  ExpansionState InitialState() {
+    head_vars_.clear();
+    int arity = program_.GoalArity();
+    for (int i = 0; i < arity; ++i) {
+      head_vars_.push_back("_x" + std::to_string(i));
+    }
+    ExpansionState state;
+    state.pending.push_back({program_.goal_predicate(), head_vars_, 0});
+    return state;
+  }
+
+  bool HasIntensionalAtom(int rule_index) const {
+    for (const Atom& a : program_.rules()[rule_index].body) {
+      if (program_.IsIntensional(a.predicate())) return true;
+    }
+    return false;
+  }
+
+  void Recurse(ExpansionState state) {
+    if (results_.size() >= max_count_) return;
+    if (state.pending.empty()) {
+      results_.push_back(Emit(state));
+      return;
+    }
+    ExpansionState::Pending goal = state.pending.back();
+    state.pending.pop_back();
+    if (goal.depth > max_depth_) return;
+    for (int rule_index : program_.RulesFor(goal.predicate)) {
+      ExpansionState next = state;
+      ApplyRule(program_.rules()[rule_index], goal, &next);
+      Recurse(std::move(next));
+      if (results_.size() >= max_count_) return;
+    }
+  }
+
+  // Unfolds `goal` with `rule`: unifies the rule head with the goal's
+  // arguments (merging goal variables when the head repeats one),
+  // instantiates body-only variables freshly, records extensional atoms and
+  // queues intensional ones at depth+1.
+  void ApplyRule(const Rule& rule, const ExpansionState::Pending& goal,
+                 ExpansionState* state) const {
+    std::unordered_map<std::string, std::string> rename;
+    QCONT_CHECK(rule.head.arity() == goal.args.size());
+    for (std::size_t i = 0; i < goal.args.size(); ++i) {
+      const std::string& head_var = rule.head.terms()[i].name();
+      auto [it, inserted] = rename.emplace(head_var, goal.args[i]);
+      if (!inserted) state->Union(it->second, goal.args[i]);
+    }
+    auto name_of = [&](const Term& t) -> std::string {
+      auto [it, inserted] = rename.emplace(t.name(), "");
+      if (inserted) it->second = state->Fresh();
+      return it->second;
+    };
+    for (const Atom& a : rule.body) {
+      std::vector<std::string> args;
+      args.reserve(a.arity());
+      for (const Term& t : a.terms()) args.push_back(name_of(t));
+      if (program_.IsIntensional(a.predicate())) {
+        state->pending.push_back(
+            {a.predicate(), std::move(args), goal.depth + 1});
+      } else {
+        state->atoms.emplace_back(a.predicate(), std::move(args));
+      }
+    }
+  }
+
+  ConjunctiveQuery Emit(ExpansionState& state) const {
+    std::vector<Term> head;
+    head.reserve(head_vars_.size());
+    for (const std::string& v : head_vars_) {
+      head.push_back(Term::Variable(state.Find(v)));
+    }
+    std::vector<Atom> atoms;
+    std::set<std::string> dedup;
+    for (const auto& [pred, args] : state.atoms) {
+      std::vector<Term> terms;
+      terms.reserve(args.size());
+      for (const std::string& a : args) {
+        terms.push_back(Term::Variable(state.Find(a)));
+      }
+      Atom atom(pred, std::move(terms));
+      if (dedup.insert(atom.ToString()).second) atoms.push_back(std::move(atom));
+    }
+    return ConjunctiveQuery(std::move(head), std::move(atoms));
+  }
+
+  const DatalogProgram& program_;
+  int max_depth_;
+  std::size_t max_count_;
+  std::vector<std::string> head_vars_;
+  std::vector<ConjunctiveQuery> results_;
+};
+
+}  // namespace
+
+Result<std::vector<ConjunctiveQuery>> EnumerateExpansions(
+    const DatalogProgram& program, int max_depth, std::size_t max_count) {
+  QCONT_RETURN_IF_ERROR(program.Validate());
+  Expander expander(program, max_depth, max_count);
+  return expander.Enumerate();
+}
+
+std::optional<ConjunctiveQuery> SampleExpansion(const DatalogProgram& program,
+                                                std::mt19937* rng,
+                                                int max_depth) {
+  if (!program.Validate().ok()) return std::nullopt;
+  Expander expander(program, max_depth, /*max_count=*/1);
+  return expander.Sample(rng);
+}
+
+}  // namespace qcont

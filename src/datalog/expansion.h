@@ -1,0 +1,35 @@
+#ifndef QCONT_DATALOG_EXPANSION_H_
+#define QCONT_DATALOG_EXPANSION_H_
+
+#include <cstddef>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "base/status.h"
+#include "cq/query.h"
+#include "datalog/program.h"
+
+namespace qcont {
+
+/// Enumerates expansions of `program` (Section 4: the CQs θ_τ obtained from
+/// expansion trees τ by conjoining all extensional atoms), breadth-bounded:
+/// only expansion trees of depth at most `max_depth` are produced, and at
+/// most `max_count` expansions are returned.
+///
+/// The enumeration is exhaustive within the depth bound, so it yields a
+/// *sound refutation procedure* for Π ⊆ Θ: if some returned expansion is
+/// not contained in Θ then Π ⊄ Θ; the converse needs unbounded depth.
+Result<std::vector<ConjunctiveQuery>> EnumerateExpansions(
+    const DatalogProgram& program, int max_depth, std::size_t max_count);
+
+/// Samples one random expansion with tree depth at most `max_depth`, or
+/// nullopt if no expansion tree closes within the bound along the sampled
+/// choices. Used by the property-based tests.
+std::optional<ConjunctiveQuery> SampleExpansion(const DatalogProgram& program,
+                                                std::mt19937* rng,
+                                                int max_depth);
+
+}  // namespace qcont
+
+#endif  // QCONT_DATALOG_EXPANSION_H_

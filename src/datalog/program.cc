@@ -1,0 +1,188 @@
+#include "datalog/program.h"
+
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace qcont {
+
+std::string Rule::ToString() const {
+  std::string out = head.ToString() + " <- ";
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += body[i].ToString();
+  }
+  return out;
+}
+
+std::vector<std::string> Rule::Variables() const {
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  auto add = [&](const Atom& a) {
+    for (const Term& t : a.terms()) {
+      if (t.is_variable() && seen.insert(t.name()).second) {
+        out.push_back(t.name());
+      }
+    }
+  };
+  add(head);
+  for (const Atom& a : body) add(a);
+  return out;
+}
+
+void DatalogProgram::BuildIndexes() {
+  std::map<std::string, std::vector<int>> by_head;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    idb_.insert(rules_[i].head.predicate());
+    by_head[rules_[i].head.predicate()].push_back(static_cast<int>(i));
+  }
+  for (const Rule& r : rules_) {
+    for (const Atom& a : r.body) {
+      if (!idb_.count(a.predicate())) edb_.insert(a.predicate());
+    }
+  }
+  rules_for_.assign(by_head.begin(), by_head.end());
+}
+
+const std::vector<int>& DatalogProgram::RulesFor(
+    const std::string& predicate) const {
+  static const std::vector<int>* const kEmpty = new std::vector<int>();
+  for (const auto& [name, indices] : rules_for_) {
+    if (name == predicate) return indices;
+  }
+  return *kEmpty;
+}
+
+int DatalogProgram::ArityOf(const std::string& predicate) const {
+  for (const Rule& r : rules_) {
+    if (r.head.predicate() == predicate) {
+      return static_cast<int>(r.head.arity());
+    }
+    for (const Atom& a : r.body) {
+      if (a.predicate() == predicate) return static_cast<int>(a.arity());
+    }
+  }
+  return kMissingArity;
+}
+
+Status DatalogProgram::Validate() const {
+  if (rules_.empty()) return InvalidArgumentError("program has no rules");
+  if (!idb_.count(goal_)) {
+    return InvalidArgumentError("goal predicate '" + goal_ +
+                                "' is not intensional");
+  }
+  std::unordered_map<std::string, std::size_t> arities;
+  for (const Rule& r : rules_) {
+    std::unordered_set<std::string> body_vars;
+    for (const Atom& a : r.body) {
+      for (const Term& t : a.terms()) {
+        if (!t.is_variable()) {
+          return InvalidArgumentError("constants are not supported in rules: " +
+                                      r.ToString());
+        }
+        body_vars.insert(t.name());
+      }
+    }
+    for (const Term& t : r.head.terms()) {
+      if (!t.is_variable()) {
+        return InvalidArgumentError("constants are not supported in rules: " +
+                                    r.ToString());
+      }
+      if (!body_vars.count(t.name())) {
+        return InvalidArgumentError("unsafe rule (head variable '" + t.name() +
+                                    "' not in body): " + r.ToString());
+      }
+    }
+    auto check_arity = [&](const Atom& a) -> Status {
+      auto [it, inserted] = arities.emplace(a.predicate(), a.arity());
+      if (!inserted && it->second != a.arity()) {
+        return InvalidArgumentError("predicate '" + a.predicate() +
+                                    "' used with inconsistent arities");
+      }
+      return Status::Ok();
+    };
+    QCONT_RETURN_IF_ERROR(check_arity(r.head));
+    for (const Atom& a : r.body) QCONT_RETURN_IF_ERROR(check_arity(a));
+  }
+  return Status::Ok();
+}
+
+bool DatalogProgram::IsRecursive() const {
+  // DFS over the predicate dependency graph looking for a cycle among
+  // intensional predicates.
+  std::map<std::string, std::vector<std::string>> deps;
+  for (const Rule& r : rules_) {
+    for (const Atom& a : r.body) {
+      if (idb_.count(a.predicate())) {
+        deps[r.head.predicate()].push_back(a.predicate());
+      }
+    }
+  }
+  std::unordered_map<std::string, int> state;  // 0 new, 1 active, 2 done
+  std::function<bool(const std::string&)> has_cycle =
+      [&](const std::string& p) -> bool {
+    int& s = state[p];
+    if (s == 1) return true;
+    if (s == 2) return false;
+    s = 1;
+    for (const std::string& q : deps[p]) {
+      if (has_cycle(q)) return true;
+    }
+    s = 2;
+    return false;
+  };
+  for (const std::string& p : idb_) {
+    if (has_cycle(p)) return true;
+  }
+  return false;
+}
+
+bool DatalogProgram::IsLinear() const {
+  for (const Rule& r : rules_) {
+    int intensional = 0;
+    for (const Atom& a : r.body) {
+      if (idb_.count(a.predicate())) ++intensional;
+    }
+    if (intensional > 1) return false;
+  }
+  return true;
+}
+
+bool DatalogProgram::IsMonadic() const {
+  for (const std::string& p : idb_) {
+    if (ArityOf(p) > 1) return false;
+  }
+  return true;
+}
+
+int DatalogProgram::MaxRuleVariables() const {
+  int best = 0;
+  for (const Rule& r : rules_) {
+    best = std::max(best, static_cast<int>(r.Variables().size()));
+  }
+  return best;
+}
+
+int DatalogProgram::MaxIntensionalAtoms() const {
+  int best = 0;
+  for (const Rule& r : rules_) {
+    int count = 0;
+    for (const Atom& a : r.body) {
+      if (idb_.count(a.predicate())) ++count;
+    }
+    best = std::max(best, count);
+  }
+  return best;
+}
+
+std::string DatalogProgram::ToString() const {
+  std::string out;
+  for (const Rule& r : rules_) {
+    out += r.ToString() + ".\n";
+  }
+  out += "goal: " + goal_ + "\n";
+  return out;
+}
+
+}  // namespace qcont

@@ -1,0 +1,98 @@
+#ifndef QCONT_DATALOG_PROGRAM_H_
+#define QCONT_DATALOG_PROGRAM_H_
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "cq/atom.h"
+#include "cq/term.h"
+
+namespace qcont {
+
+/// A Datalog rule S(x̄) <- R1(x̄1), ..., Rm(x̄m).
+struct Rule {
+  Atom head;
+  std::vector<Atom> body;
+
+  std::string ToString() const;
+
+  /// Distinct variables of the rule, head first then body, in
+  /// first-occurrence order.
+  std::vector<std::string> Variables() const;
+};
+
+/// A (positive, un-stratified) Datalog program over a schema σ with a
+/// distinguished goal predicate, as in Section 2 of the paper. The schema
+/// consists of the extensional symbols σ = Rels(Π) \ IRels(Π); intensional
+/// symbols are those appearing in rule heads.
+class DatalogProgram {
+ public:
+  DatalogProgram(std::vector<Rule> rules, std::string goal_predicate)
+      : rules_(std::move(rules)), goal_(std::move(goal_predicate)) {
+    BuildIndexes();
+  }
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  const std::string& goal_predicate() const { return goal_; }
+
+  /// Intensional predicates (rule heads).
+  const std::set<std::string>& IntensionalPredicates() const { return idb_; }
+  /// Extensional predicates (the schema σ).
+  const std::set<std::string>& ExtensionalPredicates() const { return edb_; }
+
+  bool IsIntensional(const std::string& predicate) const {
+    return idb_.count(predicate) > 0;
+  }
+
+  /// Indices of the rules whose head predicate is `predicate`.
+  const std::vector<int>& RulesFor(const std::string& predicate) const;
+
+  /// Arity of `predicate` as used in the program (kMissingArity if absent).
+  static constexpr int kMissingArity = -1;
+  int ArityOf(const std::string& predicate) const;
+
+  /// Arity of the goal predicate.
+  int GoalArity() const { return ArityOf(goal_); }
+
+  /// Validation: rules are safe (head variables occur in bodies), arities
+  /// are consistent, the goal predicate is intensional, and (as required by
+  /// the containment algorithms) all rule terms are variables.
+  Status Validate() const;
+
+  /// True iff some intensional predicate depends on itself (cycle in the
+  /// predicate dependency graph).
+  bool IsRecursive() const;
+
+  /// True iff each rule body contains at most one intensional atom.
+  bool IsLinear() const;
+
+  /// True iff all intensional predicates except possibly the goal are
+  /// monadic (arity <= 1).
+  bool IsMonadic() const;
+
+  /// Largest number of distinct variables in any rule (nv(Π)/2 in the
+  /// paper's notation: vars(Π) has twice this size).
+  int MaxRuleVariables() const;
+
+  /// Largest number of intensional atoms in any rule body (the maximal
+  /// branching degree of expansion trees).
+  int MaxIntensionalAtoms() const;
+
+  std::string ToString() const;
+
+ private:
+  void BuildIndexes();
+
+  std::vector<Rule> rules_;
+  std::string goal_;
+  std::set<std::string> idb_;
+  std::set<std::string> edb_;
+  std::vector<std::pair<std::string, std::vector<int>>> rules_for_;
+};
+
+}  // namespace qcont
+
+#endif  // QCONT_DATALOG_PROGRAM_H_

@@ -1,0 +1,108 @@
+#ifndef QCONT_GRAPHDB_C2RPQ_H_
+#define QCONT_GRAPHDB_C2RPQ_H_
+
+#include <string>
+#include <vector>
+
+#include "automata/nfa.h"
+#include "base/status.h"
+#include "cq/database.h"
+#include "cq/query.h"
+#include "graphdb/graph_db.h"
+#include "graphdb/rpq.h"
+
+namespace qcont {
+
+/// One atom L(x, y) of a C2RPQ: a 2RPQ (regular expression over Σ ∪ Σ⁻,
+/// compiled to an NFA) between two variables.
+struct RpqAtom {
+  std::string pattern;  // the source regular expression, for printing
+  Nfa nfa;
+  Term x;
+  Term y;
+};
+
+/// Builds an atom by parsing `pattern` (see ParseRegex for the syntax).
+Result<RpqAtom> MakeRpqAtom(const std::string& pattern, const Term& x,
+                            const Term& y);
+
+/// A conjunctive two-way regular path query over Σ [Calvanese et al.]:
+/// ∃z̄ (L1(x1,y1) ∧ ... ∧ Lm(xm,ym)) with free variables `head`.
+class C2rpq {
+ public:
+  C2rpq(std::vector<Term> head, std::vector<RpqAtom> atoms)
+      : head_(std::move(head)), atoms_(std::move(atoms)) {}
+
+  const std::vector<Term>& head() const { return head_; }
+  const std::vector<RpqAtom>& atoms() const { return atoms_; }
+  std::size_t arity() const { return head_.size(); }
+
+  Status Validate() const;
+
+  /// The underlying CQ (Section 5.2): each atom Li(xi, yi) becomes
+  /// Ti(xi, yi) for a fresh binary predicate Ti. Structural notions
+  /// (acyclicity, ACRk) are defined on this query.
+  ConjunctiveQuery UnderlyingCq() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Term> head_;
+  std::vector<RpqAtom> atoms_;
+};
+
+/// A union of C2RPQs with equal arities.
+class UC2rpq {
+ public:
+  explicit UC2rpq(std::vector<C2rpq> disjuncts)
+      : disjuncts_(std::move(disjuncts)) {}
+
+  const std::vector<C2rpq>& disjuncts() const { return disjuncts_; }
+  std::size_t arity() const {
+    return disjuncts_.empty() ? 0 : disjuncts_.front().arity();
+  }
+  Status Validate() const;
+  std::string ToString() const;
+
+ private:
+  std::vector<C2rpq> disjuncts_;
+};
+
+/// Evaluates a C2RPQ over a graph database: each atom's 2RPQ relation is
+/// materialized by product BFS, then the conjunction is evaluated as a CQ
+/// over those relations. NP-complete in combined complexity in general.
+Result<std::vector<Tuple>> EvaluateC2rpq(const C2rpq& query,
+                                         const GraphDatabase& g,
+                                         RpqEvalStats* stats = nullptr);
+
+/// Same, via Yannakakis on the materialized atom relations; requires the
+/// query to be acyclic (class ACR) and then runs in polynomial time [3].
+Result<std::vector<Tuple>> EvaluateAcyclicC2rpq(const C2rpq& query,
+                                                const GraphDatabase& g,
+                                                RpqEvalStats* stats = nullptr);
+
+/// Evaluates a UC2RPQ (union of the disjunct evaluations, deduplicated).
+Result<std::vector<Tuple>> EvaluateUC2rpq(const UC2rpq& query,
+                                          const GraphDatabase& g,
+                                          RpqEvalStats* stats = nullptr);
+
+/// Classification (Section 5.2 / 5.3).
+bool IsAcyclicC2rpq(const C2rpq& query);
+Result<bool> IsAcyclicUC2rpq(const UC2rpq& query);
+
+/// The least k with Γ ∈ ACRk: the maximum number of atoms connecting a
+/// pair of *distinct* variables (loop atoms L(x,x) are not counted).
+/// Requires Γ acyclic (kFailedPrecondition otherwise). ACR1 queries are
+/// the strongly acyclic UC2RPQs.
+Result<int> AcrkLevel(const UC2rpq& query);
+
+/// Containment of a UCQ over binary relations in a UC2RPQ: Θ ⊆ Γ iff the
+/// frozen head of each disjunct θ is in Γ(D_θ) viewed as a graph database
+/// (UC2RPQs are preserved under homomorphisms, so the canonical-database
+/// test is sound and complete).
+Result<bool> UcqContainedInUC2rpq(const UnionQuery& theta, const UC2rpq& gamma,
+                                  RpqEvalStats* stats = nullptr);
+
+}  // namespace qcont
+
+#endif  // QCONT_GRAPHDB_C2RPQ_H_

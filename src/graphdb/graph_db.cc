@@ -1,0 +1,65 @@
+#include "graphdb/graph_db.h"
+
+#include "base/check.h"
+
+namespace qcont {
+
+void GraphDatabase::AddNode(const std::string& node) { nodes_.insert(node); }
+
+void GraphDatabase::AddEdge(const std::string& from, const std::string& label,
+                            const std::string& to) {
+  QCONT_CHECK_MSG(label.empty() || label.back() != '-',
+                  "edge labels must not end in '-' (reserved for inverses)");
+  nodes_.insert(from);
+  nodes_.insert(to);
+  labels_.insert(label);
+  adjacency_[from][label].push_back(to);
+  adjacency_[to][label + "-"].push_back(from);
+  ++num_edges_;
+}
+
+std::set<std::string> GraphDatabase::Alphabet() const { return labels_; }
+
+std::vector<std::string> GraphDatabase::Successors(
+    const std::string& node, const std::string& symbol) const {
+  auto node_it = adjacency_.find(node);
+  if (node_it == adjacency_.end()) return {};
+  auto sym_it = node_it->second.find(symbol);
+  if (sym_it == node_it->second.end()) return {};
+  return sym_it->second;
+}
+
+bool GraphDatabase::HasEdge(const std::string& from, const std::string& label,
+                            const std::string& to) const {
+  for (const std::string& succ : Successors(from, label)) {
+    if (succ == to) return true;
+  }
+  return false;
+}
+
+Database GraphDatabase::ToDatabase() const {
+  Database db;
+  for (const auto& [from, by_symbol] : adjacency_) {
+    for (const auto& [symbol, succs] : by_symbol) {
+      if (!symbol.empty() && symbol.back() == '-') continue;  // skip inverses
+      for (const std::string& to : succs) {
+        db.AddFact(symbol, {from, to});
+      }
+    }
+  }
+  return db;
+}
+
+GraphDatabase GraphDatabase::FromDatabase(const Database& db) {
+  GraphDatabase g;
+  for (const std::string& rel : db.Relations()) {
+    for (const Tuple& t : db.Facts(rel)) {
+      QCONT_CHECK_MSG(t.size() == 2,
+                      "graph databases require binary relations only");
+      g.AddEdge(t[0], rel, t[1]);
+    }
+  }
+  return g;
+}
+
+}  // namespace qcont

@@ -1,0 +1,64 @@
+#ifndef QCONT_GRAPHDB_GRAPH_DB_H_
+#define QCONT_GRAPHDB_GRAPH_DB_H_
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cq/database.h"
+
+namespace qcont {
+
+/// A graph database over a finite alphabet Σ: a set of nodes and a set of
+/// labeled edges (v, a, v') [Section 5.1]. Inverse symbols "a-" are not
+/// stored; the completion G± is realized by the navigation primitives,
+/// which traverse "a-" edges backwards.
+class GraphDatabase {
+ public:
+  GraphDatabase() = default;
+
+  /// Adds a node (idempotent).
+  void AddNode(const std::string& node);
+
+  /// Adds an edge and its endpoints. `label` must not use the reserved
+  /// inverse suffix "-".
+  void AddEdge(const std::string& from, const std::string& label,
+               const std::string& to);
+
+  const std::set<std::string>& Nodes() const { return nodes_; }
+  std::size_t NumEdges() const { return num_edges_; }
+
+  /// Alphabet Σ of edge labels present in the graph.
+  std::set<std::string> Alphabet() const;
+
+  /// Successors of `node` under `symbol` in the completion G±: forward
+  /// edges for "a", backward edges for "a-".
+  std::vector<std::string> Successors(const std::string& node,
+                                      const std::string& symbol) const;
+
+  bool HasEdge(const std::string& from, const std::string& label,
+               const std::string& to) const;
+
+  /// The relational view used when a Datalog program runs over the graph:
+  /// one binary relation per label, named after the label.
+  Database ToDatabase() const;
+
+  /// Builds a graph database from the binary relations of `db`; relations
+  /// of other arities are rejected upstream by callers (checked here with
+  /// QCONT_CHECK).
+  static GraphDatabase FromDatabase(const Database& db);
+
+ private:
+  std::set<std::string> nodes_;
+  // adjacency[node][symbol or symbol + "-"] = successors.
+  std::map<std::string, std::map<std::string, std::vector<std::string>>>
+      adjacency_;
+  std::set<std::string> labels_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace qcont
+
+#endif  // QCONT_GRAPHDB_GRAPH_DB_H_

@@ -1,0 +1,46 @@
+#include "graphdb/rpq.h"
+
+#include <queue>
+
+namespace qcont {
+
+std::set<std::string> RpqReachableFrom(const Nfa& nfa, const GraphDatabase& g,
+                                       const std::string& source,
+                                       RpqEvalStats* stats) {
+  std::set<std::string> result;
+  if (nfa.num_states() == 0) return result;
+  std::set<std::pair<std::string, int>> visited;
+  std::queue<std::pair<std::string, int>> frontier;
+  for (int s : nfa.EpsilonClosure({nfa.initial()})) {
+    if (visited.insert({source, s}).second) frontier.emplace(source, s);
+  }
+  while (!frontier.empty()) {
+    auto [node, state] = frontier.front();
+    frontier.pop();
+    if (stats != nullptr) ++stats->product_states;
+    if (nfa.IsAccepting(state)) result.insert(node);
+    for (const auto& [symbol, next_state] : nfa.TransitionsFrom(state)) {
+      for (const std::string& next_node : g.Successors(node, symbol)) {
+        for (int closed : nfa.EpsilonClosure({next_state})) {
+          if (visited.insert({next_node, closed}).second) {
+            frontier.emplace(next_node, closed);
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<std::pair<std::string, std::string>> EvaluateRpq(
+    const Nfa& nfa, const GraphDatabase& g, RpqEvalStats* stats) {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const std::string& source : g.Nodes()) {
+    for (const std::string& target : RpqReachableFrom(nfa, g, source, stats)) {
+      out.emplace_back(source, target);
+    }
+  }
+  return out;
+}
+
+}  // namespace qcont

@@ -1,0 +1,34 @@
+#ifndef QCONT_GRAPHDB_RPQ_H_
+#define QCONT_GRAPHDB_RPQ_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "automata/nfa.h"
+#include "graphdb/graph_db.h"
+
+namespace qcont {
+
+/// Counters for the product-BFS evaluation.
+struct RpqEvalStats {
+  std::uint64_t product_states = 0;  // (node, nfa-state) pairs visited
+};
+
+/// Nodes reachable from `source` by a path of G± whose label is accepted by
+/// `nfa` (the single-source 2RPQ evaluation primitive): BFS over the
+/// product of the graph completion and the NFA.
+std::set<std::string> RpqReachableFrom(const Nfa& nfa, const GraphDatabase& g,
+                                       const std::string& source,
+                                       RpqEvalStats* stats = nullptr);
+
+/// Full 2RPQ evaluation L(G): all node pairs (v, v') connected by an
+/// accepted path. Quadratic-ish: one product BFS per source node.
+std::vector<std::pair<std::string, std::string>> EvaluateRpq(
+    const Nfa& nfa, const GraphDatabase& g, RpqEvalStats* stats = nullptr);
+
+}  // namespace qcont
+
+#endif  // QCONT_GRAPHDB_RPQ_H_

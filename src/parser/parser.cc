@@ -1,0 +1,346 @@
+#include "parser/parser.h"
+
+#include <cctype>
+#include <optional>
+#include <vector>
+
+namespace qcont {
+
+namespace {
+
+// Token kinds of the little language shared by all four entry points.
+enum class TokenKind {
+  kIdent,     // bare identifier
+  kConstant,  // 'quoted'
+  kRegex,     // [bracketed regular expression]
+  kLParen,
+  kRParen,
+  kComma,
+  kPeriod,
+  kImplies,  // :-
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  std::size_t offset;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (true) {
+      SkipSpaceAndComments();
+      if (pos_ >= input_.size()) break;
+      std::size_t start = pos_;
+      char c = input_[pos_];
+      if (c == '(') {
+        out.push_back({TokenKind::kLParen, "(", start});
+        ++pos_;
+      } else if (c == ')') {
+        out.push_back({TokenKind::kRParen, ")", start});
+        ++pos_;
+      } else if (c == ',') {
+        out.push_back({TokenKind::kComma, ",", start});
+        ++pos_;
+      } else if (c == '.') {
+        out.push_back({TokenKind::kPeriod, ".", start});
+        ++pos_;
+      } else if (c == ':' && pos_ + 1 < input_.size() &&
+                 input_[pos_ + 1] == '-') {
+        out.push_back({TokenKind::kImplies, ":-", start});
+        pos_ += 2;
+      } else if (c == '\'') {
+        ++pos_;
+        std::string text;
+        while (pos_ < input_.size() && input_[pos_] != '\'') {
+          text += input_[pos_++];
+        }
+        if (pos_ >= input_.size()) {
+          return InvalidArgumentError("unterminated constant at offset " +
+                                      std::to_string(start));
+        }
+        ++pos_;
+        out.push_back({TokenKind::kConstant, std::move(text), start});
+      } else if (c == '[') {
+        ++pos_;
+        std::string text;
+        int depth = 1;
+        while (pos_ < input_.size() && depth > 0) {
+          if (input_[pos_] == '[') ++depth;
+          if (input_[pos_] == ']') {
+            --depth;
+            if (depth == 0) break;
+          }
+          text += input_[pos_++];
+        }
+        if (pos_ >= input_.size()) {
+          return InvalidArgumentError("unterminated regex at offset " +
+                                      std::to_string(start));
+        }
+        ++pos_;  // consume ']'
+        out.push_back({TokenKind::kRegex, std::move(text), start});
+      } else if (c == '_' || std::isalpha(static_cast<unsigned char>(c))) {
+        std::string text;
+        while (pos_ < input_.size() &&
+               (input_[pos_] == '_' ||
+                std::isalnum(static_cast<unsigned char>(input_[pos_])))) {
+          text += input_[pos_++];
+        }
+        out.push_back({TokenKind::kIdent, std::move(text), start});
+      } else {
+        return InvalidArgumentError("unexpected character '" +
+                                    std::string(1, c) + "' at offset " +
+                                    std::to_string(start));
+      }
+    }
+    out.push_back({TokenKind::kEnd, "", pos_});
+    return out;
+  }
+
+ private:
+  void SkipSpaceAndComments() {
+    while (pos_ < input_.size()) {
+      char c = input_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#' || c == '%') {
+        while (pos_ < input_.size() && input_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  const std::string& input_;
+  std::size_t pos_ = 0;
+};
+
+// A parsed rule head/body in the surface syntax; bodies may mix relational
+// and regex atoms (the latter only for UC2RPQs).
+struct SurfaceAtom {
+  std::optional<std::string> regex;  // set for [..](x, y) atoms
+  std::string predicate;             // set for relational atoms
+  std::vector<Term> terms;
+};
+
+struct SurfaceRule {
+  SurfaceAtom head;
+  std::vector<SurfaceAtom> body;
+};
+
+class RuleParser {
+ public:
+  explicit RuleParser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  // Parses "goal <name>." directives and rules until end of input.
+  Result<bool> Parse() {
+    while (Peek().kind != TokenKind::kEnd) {
+      if (Peek().kind == TokenKind::kIdent && Peek().text == "goal" &&
+          PeekAt(1).kind == TokenKind::kIdent) {
+        ++pos_;
+        goal_ = Next().text;
+        QCONT_RETURN_IF_ERROR(Expect(TokenKind::kPeriod, "'.'"));
+        continue;
+      }
+      QCONT_RETURN_IF_ERROR(ParseRule());
+    }
+    return true;
+  }
+
+  const std::vector<SurfaceRule>& rules() const { return rules_; }
+  const std::optional<std::string>& goal() const { return goal_; }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& PeekAt(std::size_t delta) const {
+    return tokens_[std::min(pos_ + delta, tokens_.size() - 1)];
+  }
+  const Token& Next() { return tokens_[pos_++]; }
+
+  Status Expect(TokenKind kind, const std::string& what) {
+    if (Peek().kind != kind) {
+      return InvalidArgumentError("expected " + what + " at offset " +
+                                  std::to_string(Peek().offset));
+    }
+    ++pos_;
+    return Status::Ok();
+  }
+
+  Result<SurfaceAtom> ParseAtom() {
+    SurfaceAtom atom;
+    if (Peek().kind == TokenKind::kRegex) {
+      atom.regex = Next().text;
+    } else if (Peek().kind == TokenKind::kIdent) {
+      atom.predicate = Next().text;
+    } else {
+      return InvalidArgumentError("expected atom at offset " +
+                                  std::to_string(Peek().offset));
+    }
+    QCONT_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+    if (Peek().kind != TokenKind::kRParen) {
+      while (true) {
+        if (Peek().kind == TokenKind::kIdent) {
+          atom.terms.push_back(Term::Variable(Next().text));
+        } else if (Peek().kind == TokenKind::kConstant) {
+          atom.terms.push_back(Term::Constant(Next().text));
+        } else {
+          return InvalidArgumentError("expected term at offset " +
+                                      std::to_string(Peek().offset));
+        }
+        if (Peek().kind == TokenKind::kComma) {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+    }
+    QCONT_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    return atom;
+  }
+
+  Status ParseRule() {
+    SurfaceRule rule;
+    QCONT_ASSIGN_OR_RETURN(rule.head, ParseAtom());
+    if (rule.head.regex.has_value()) {
+      return InvalidArgumentError("a rule head cannot be a regex atom");
+    }
+    if (Peek().kind == TokenKind::kImplies) {
+      ++pos_;
+      while (true) {
+        QCONT_ASSIGN_OR_RETURN(SurfaceAtom atom, ParseAtom());
+        rule.body.push_back(std::move(atom));
+        if (Peek().kind == TokenKind::kComma) {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+    }
+    QCONT_RETURN_IF_ERROR(Expect(TokenKind::kPeriod, "'.'"));
+    rules_.push_back(std::move(rule));
+    return Status::Ok();
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::vector<SurfaceRule> rules_;
+  std::optional<std::string> goal_;
+};
+
+Result<RuleParser> ParseRules(const std::string& text) {
+  Lexer lexer(text);
+  QCONT_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  RuleParser parser(std::move(tokens));
+  QCONT_ASSIGN_OR_RETURN(bool ok, parser.Parse());
+  (void)ok;
+  return parser;
+}
+
+Result<Atom> ToRelationalAtom(const SurfaceAtom& atom) {
+  if (atom.regex.has_value()) {
+    return InvalidArgumentError("regex atoms are only allowed in UC2RPQs");
+  }
+  return Atom(atom.predicate, atom.terms);
+}
+
+}  // namespace
+
+Result<DatalogProgram> ParseProgram(const std::string& text) {
+  QCONT_ASSIGN_OR_RETURN(RuleParser parser, ParseRules(text));
+  if (parser.rules().empty()) {
+    return InvalidArgumentError("program has no rules");
+  }
+  std::vector<Rule> rules;
+  for (const SurfaceRule& sr : parser.rules()) {
+    QCONT_ASSIGN_OR_RETURN(Atom head, ToRelationalAtom(sr.head));
+    std::vector<Atom> body;
+    for (const SurfaceAtom& sa : sr.body) {
+      QCONT_ASSIGN_OR_RETURN(Atom atom, ToRelationalAtom(sa));
+      body.push_back(std::move(atom));
+    }
+    rules.push_back(Rule{std::move(head), std::move(body)});
+  }
+  std::string goal = parser.goal().has_value()
+                         ? *parser.goal()
+                         : rules.front().head.predicate();
+  DatalogProgram program(std::move(rules), std::move(goal));
+  QCONT_RETURN_IF_ERROR(program.Validate());
+  return program;
+}
+
+Result<UnionQuery> ParseUcq(const std::string& text) {
+  QCONT_ASSIGN_OR_RETURN(RuleParser parser, ParseRules(text));
+  if (parser.rules().empty()) {
+    return InvalidArgumentError("UCQ has no disjuncts");
+  }
+  std::vector<ConjunctiveQuery> disjuncts;
+  const std::string& head_pred = parser.rules().front().head.predicate;
+  for (const SurfaceRule& sr : parser.rules()) {
+    if (sr.head.predicate != head_pred) {
+      return InvalidArgumentError("all UCQ disjuncts must share one head "
+                                  "predicate; got '" +
+                                  sr.head.predicate + "' and '" + head_pred +
+                                  "'");
+    }
+    std::vector<Atom> atoms;
+    for (const SurfaceAtom& sa : sr.body) {
+      QCONT_ASSIGN_OR_RETURN(Atom atom, ToRelationalAtom(sa));
+      atoms.push_back(std::move(atom));
+    }
+    disjuncts.emplace_back(sr.head.terms, std::move(atoms));
+  }
+  UnionQuery ucq(std::move(disjuncts));
+  QCONT_RETURN_IF_ERROR(ucq.Validate());
+  return ucq;
+}
+
+Result<UC2rpq> ParseUC2rpq(const std::string& text) {
+  QCONT_ASSIGN_OR_RETURN(RuleParser parser, ParseRules(text));
+  if (parser.rules().empty()) {
+    return InvalidArgumentError("UC2RPQ has no disjuncts");
+  }
+  std::vector<C2rpq> disjuncts;
+  for (const SurfaceRule& sr : parser.rules()) {
+    std::vector<RpqAtom> atoms;
+    for (const SurfaceAtom& sa : sr.body) {
+      if (!sa.regex.has_value()) {
+        return InvalidArgumentError(
+            "UC2RPQ atoms must be regex atoms [expr](x, y)");
+      }
+      if (sa.terms.size() != 2) {
+        return InvalidArgumentError("regex atoms take exactly two variables");
+      }
+      QCONT_ASSIGN_OR_RETURN(RpqAtom atom,
+                             MakeRpqAtom(*sa.regex, sa.terms[0], sa.terms[1]));
+      atoms.push_back(std::move(atom));
+    }
+    disjuncts.emplace_back(sr.head.terms, std::move(atoms));
+  }
+  UC2rpq out(std::move(disjuncts));
+  QCONT_RETURN_IF_ERROR(out.Validate());
+  return out;
+}
+
+Result<Database> ParseDatabase(const std::string& text) {
+  QCONT_ASSIGN_OR_RETURN(RuleParser parser, ParseRules(text));
+  Database db;
+  for (const SurfaceRule& sr : parser.rules()) {
+    if (!sr.body.empty()) {
+      return InvalidArgumentError("database facts cannot have bodies");
+    }
+    QCONT_ASSIGN_OR_RETURN(Atom atom, ToRelationalAtom(sr.head));
+    Tuple t;
+    for (const Term& term : atom.terms()) {
+      t.push_back(term.name());
+    }
+    db.AddFact(atom.predicate(), std::move(t));
+  }
+  return db;
+}
+
+}  // namespace qcont

@@ -1,0 +1,48 @@
+#ifndef QCONT_PARSER_PARSER_H_
+#define QCONT_PARSER_PARSER_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "cq/database.h"
+#include "cq/query.h"
+#include "datalog/program.h"
+#include "graphdb/c2rpq.h"
+
+namespace qcont {
+
+/// Parses a Datalog program in the textual syntax
+///
+///     buys(x, y) :- likes(x, y).
+///     buys(x, y) :- trendy(x), buys(z, y).
+///     goal buys.
+///
+/// Rules end with '.', comments run from '#' or '%' to end of line. The
+/// `goal` directive names the distinguished predicate; if absent, the head
+/// predicate of the first rule is used.
+Result<DatalogProgram> ParseProgram(const std::string& text);
+
+/// Parses a UCQ as a set of rules sharing one head predicate:
+///
+///     Q(x, y) :- likes(x, y).
+///     Q(x, y) :- trendy(x), likes(z, y).
+///
+/// Every rule becomes a disjunct whose free variables are the head terms.
+/// Constants are written in single quotes: R(x, 'c').
+Result<UnionQuery> ParseUcq(const std::string& text);
+
+/// Parses a UC2RPQ; regular expressions appear in brackets:
+///
+///     Q(x, y) :- [a (b|c)*](x, y), [d-](y, z).
+///
+/// See ParseRegex for the expression syntax ("a-" is the inverse of "a").
+Result<UC2rpq> ParseUC2rpq(const std::string& text);
+
+/// Parses a database as a list of facts:
+///
+///     likes('ann', 'beer'). trendy('ann').
+Result<Database> ParseDatabase(const std::string& text);
+
+}  // namespace qcont
+
+#endif  // QCONT_PARSER_PARSER_H_

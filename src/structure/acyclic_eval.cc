@@ -1,0 +1,270 @@
+#include "structure/acyclic_eval.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/hash.h"
+#include "structure/join_tree.h"
+
+namespace qcont {
+
+namespace {
+
+// Candidate matches of one atom: variable list + rows of values aligned to
+// the variables.
+struct AtomRelation {
+  std::vector<std::string> vars;
+  std::vector<std::vector<Value>> rows;
+};
+
+// Builds the per-atom candidate relation: database tuples unifying with the
+// atom under `fixed` (constants and repeated variables checked here).
+AtomRelation BuildAtomRelation(const Atom& atom, const Database& db,
+                               const Assignment& fixed) {
+  AtomRelation rel;
+  for (const Term& t : atom.Variables()) rel.vars.push_back(t.name());
+  for (const Tuple& fact : db.Facts(atom.predicate())) {
+    if (fact.size() != atom.arity()) continue;
+    std::unordered_map<std::string, Value> local;
+    bool ok = true;
+    for (std::size_t i = 0; i < fact.size() && ok; ++i) {
+      const Term& t = atom.terms()[i];
+      if (t.is_constant()) {
+        ok = (t.name() == fact[i]);
+      } else {
+        auto fixed_it = fixed.find(t.name());
+        if (fixed_it != fixed.end() && fixed_it->second != fact[i]) {
+          ok = false;
+          break;
+        }
+        auto [it, inserted] = local.emplace(t.name(), fact[i]);
+        if (!inserted) ok = (it->second == fact[i]);
+      }
+    }
+    if (!ok) continue;
+    std::vector<Value> row;
+    row.reserve(rel.vars.size());
+    for (const std::string& v : rel.vars) row.push_back(local.at(v));
+    rel.rows.push_back(std::move(row));
+  }
+  return rel;
+}
+
+// Positions of the variables shared between two atom relations.
+void SharedPositions(const AtomRelation& a, const AtomRelation& b,
+                     std::vector<int>* pos_a, std::vector<int>* pos_b) {
+  for (std::size_t i = 0; i < a.vars.size(); ++i) {
+    for (std::size_t j = 0; j < b.vars.size(); ++j) {
+      if (a.vars[i] == b.vars[j]) {
+        pos_a->push_back(static_cast<int>(i));
+        pos_b->push_back(static_cast<int>(j));
+      }
+    }
+  }
+}
+
+// target := target ⋉ source (keep target rows whose shared-variable
+// projection appears in source).
+void Semijoin(AtomRelation* target, const AtomRelation& source,
+              YannakakisStats* stats) {
+  std::vector<int> pos_t, pos_s;
+  SharedPositions(*target, source, &pos_t, &pos_s);
+  if (stats != nullptr) {
+    ++stats->semijoins;
+    stats->tuples_scanned += target->rows.size() + source.rows.size();
+  }
+  if (pos_t.empty()) {
+    // No shared variables: the semijoin only empties target if source is
+    // empty (no supporting tuple at all).
+    if (source.rows.empty()) target->rows.clear();
+    return;
+  }
+  std::unordered_set<std::vector<Value>, VectorHash<Value>> keys;
+  for (const auto& row : source.rows) {
+    std::vector<Value> key;
+    key.reserve(pos_s.size());
+    for (int p : pos_s) key.push_back(row[p]);
+    keys.insert(std::move(key));
+  }
+  std::vector<std::vector<Value>> kept;
+  for (auto& row : target->rows) {
+    std::vector<Value> key;
+    key.reserve(pos_t.size());
+    for (int p : pos_t) key.push_back(row[p]);
+    if (keys.count(key)) kept.push_back(std::move(row));
+  }
+  target->rows = std::move(kept);
+}
+
+// Post-order over the join forest (children before parents).
+std::vector<int> PostOrder(const JoinTree& jt) {
+  std::vector<std::vector<int>> children = jt.Children();
+  std::vector<int> order;
+  std::vector<int> stack;
+  for (int r : jt.Roots()) stack.push_back(r);
+  // Iterative post-order: push, then reverse a pre-order.
+  std::vector<int> pre;
+  while (!stack.empty()) {
+    int v = stack.back();
+    stack.pop_back();
+    pre.push_back(v);
+    for (int c : children[v]) stack.push_back(c);
+  }
+  order.assign(pre.rbegin(), pre.rend());
+  return order;
+}
+
+struct ReducedQuery {
+  JoinTree jt;
+  std::vector<AtomRelation> relations;
+  bool empty_component = false;  // some root emptied out
+};
+
+Result<ReducedQuery> UpwardReduce(const ConjunctiveQuery& cq,
+                                  const Database& db, const Assignment& fixed,
+                                  YannakakisStats* stats) {
+  QCONT_RETURN_IF_ERROR(cq.Validate());
+  QCONT_ASSIGN_OR_RETURN(JoinTree jt, BuildJoinTree(cq));
+  ReducedQuery out;
+  out.jt = std::move(jt);
+  out.relations.reserve(cq.atoms().size());
+  for (const Atom& a : cq.atoms()) {
+    out.relations.push_back(BuildAtomRelation(a, db, fixed));
+  }
+  for (int v : PostOrder(out.jt)) {
+    int p = out.jt.parent[v];
+    if (p >= 0) {
+      Semijoin(&out.relations[p], out.relations[v], stats);
+    } else if (out.relations[v].rows.empty()) {
+      out.empty_component = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<bool> AcyclicSatisfiable(const ConjunctiveQuery& cq, const Database& db,
+                                const Assignment& fixed,
+                                YannakakisStats* stats) {
+  if (cq.atoms().empty()) return true;
+  QCONT_ASSIGN_OR_RETURN(ReducedQuery reduced,
+                         UpwardReduce(cq, db, fixed, stats));
+  return !reduced.empty_component;
+}
+
+Result<std::vector<Tuple>> EvaluateAcyclicCq(const ConjunctiveQuery& cq,
+                                             const Database& db,
+                                             YannakakisStats* stats) {
+  if (cq.atoms().empty()) {
+    return std::vector<Tuple>{Tuple{}};
+  }
+  if (cq.IsBoolean()) {
+    QCONT_ASSIGN_OR_RETURN(bool sat, AcyclicSatisfiable(cq, db, {}, stats));
+    return sat ? std::vector<Tuple>{Tuple{}} : std::vector<Tuple>{};
+  }
+  QCONT_RETURN_IF_ERROR(cq.Validate());
+  // Candidate values per head variable: the intersection, over the atoms
+  // containing it, of the values the atom's candidate tuples allow. The
+  // answer set is then computed with one Yannakakis satisfiability check
+  // per candidate head assignment — polynomial for fixed arity, and free of
+  // the duplicate blow-up of full match enumeration.
+  std::vector<std::string> head_vars;
+  for (const Term& t : cq.head()) {
+    if (std::find(head_vars.begin(), head_vars.end(), t.name()) ==
+        head_vars.end()) {
+      head_vars.push_back(t.name());
+    }
+  }
+  std::unordered_map<std::string, std::set<Value>> candidates;
+  for (const Atom& atom : cq.atoms()) {
+    AtomRelation rel = BuildAtomRelation(atom, db, /*fixed=*/{});
+    for (std::size_t i = 0; i < rel.vars.size(); ++i) {
+      if (std::find(head_vars.begin(), head_vars.end(), rel.vars[i]) ==
+          head_vars.end()) {
+        continue;
+      }
+      std::set<Value> values;
+      for (const auto& row : rel.rows) values.insert(row[i]);
+      auto [it, inserted] = candidates.emplace(rel.vars[i], values);
+      if (!inserted) {
+        std::set<Value> merged;
+        std::set_intersection(it->second.begin(), it->second.end(),
+                              values.begin(), values.end(),
+                              std::inserter(merged, merged.begin()));
+        it->second = std::move(merged);
+      }
+    }
+  }
+  std::set<Tuple> results;
+  Assignment fixed;
+  std::function<Status(std::size_t)> try_assign =
+      [&](std::size_t i) -> Status {
+    if (i == head_vars.size()) {
+      QCONT_ASSIGN_OR_RETURN(bool sat, AcyclicSatisfiable(cq, db, fixed, stats));
+      if (sat) {
+        Tuple head;
+        head.reserve(cq.head().size());
+        for (const Term& t : cq.head()) head.push_back(fixed.at(t.name()));
+        results.insert(std::move(head));
+      }
+      return Status::Ok();
+    }
+    for (const Value& v : candidates[head_vars[i]]) {
+      fixed[head_vars[i]] = v;
+      QCONT_RETURN_IF_ERROR(try_assign(i + 1));
+    }
+    fixed.erase(head_vars[i]);
+    return Status::Ok();
+  };
+  QCONT_RETURN_IF_ERROR(try_assign(0));
+  return std::vector<Tuple>(results.begin(), results.end());
+}
+
+Result<bool> CqContainedAcyclicRhs(const ConjunctiveQuery& theta,
+                                   const ConjunctiveQuery& theta_prime,
+                                   YannakakisStats* stats) {
+  QCONT_RETURN_IF_ERROR(theta.Validate());
+  QCONT_RETURN_IF_ERROR(theta_prime.Validate());
+  if (theta.arity() != theta_prime.arity()) {
+    return InvalidArgumentError("arity mismatch in containment test");
+  }
+  Database canonical = CanonicalDatabase(theta);
+  Tuple frozen = CanonicalHead(theta);
+  Assignment fixed;
+  for (std::size_t i = 0; i < theta_prime.head().size(); ++i) {
+    const std::string& var = theta_prime.head()[i].name();
+    auto it = fixed.find(var);
+    if (it != fixed.end()) {
+      if (it->second != frozen[i]) return false;
+    } else {
+      fixed.emplace(var, frozen[i]);
+    }
+  }
+  return AcyclicSatisfiable(theta_prime, canonical, fixed, stats);
+}
+
+Result<bool> UcqContainedAcyclicRhs(const UnionQuery& theta,
+                                    const UnionQuery& theta_prime,
+                                    YannakakisStats* stats) {
+  QCONT_RETURN_IF_ERROR(theta.Validate());
+  QCONT_RETURN_IF_ERROR(theta_prime.Validate());
+  for (const ConjunctiveQuery& disjunct : theta.disjuncts()) {
+    bool contained = false;
+    for (const ConjunctiveQuery& rhs : theta_prime.disjuncts()) {
+      QCONT_ASSIGN_OR_RETURN(bool c, CqContainedAcyclicRhs(disjunct, rhs, stats));
+      if (c) {
+        contained = true;
+        break;
+      }
+    }
+    if (!contained) return false;
+  }
+  return true;
+}
+
+}  // namespace qcont

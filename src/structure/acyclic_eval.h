@@ -1,0 +1,51 @@
+#ifndef QCONT_STRUCTURE_ACYCLIC_EVAL_H_
+#define QCONT_STRUCTURE_ACYCLIC_EVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/status.h"
+#include "cq/database.h"
+#include "cq/homomorphism.h"
+#include "cq/query.h"
+
+namespace qcont {
+
+/// Counters for the semijoin passes (benchmark signal).
+struct YannakakisStats {
+  std::uint64_t semijoins = 0;
+  std::uint64_t tuples_scanned = 0;
+};
+
+/// Decides whether the (acyclic) CQ has a homomorphism into `db` extending
+/// `fixed`, by Yannakakis' algorithm: per-atom candidate lists filtered by
+/// an upward semijoin pass over a join tree. Polynomial time.
+///
+/// Returns kFailedPrecondition if `cq` is cyclic.
+Result<bool> AcyclicSatisfiable(const ConjunctiveQuery& cq, const Database& db,
+                                const Assignment& fixed = {},
+                                YannakakisStats* stats = nullptr);
+
+/// Full evaluation of an acyclic CQ: full reduction (upward + downward
+/// semijoins) followed by join-tree enumeration. Returns the distinct head
+/// tuples. Returns kFailedPrecondition if `cq` is cyclic.
+Result<std::vector<Tuple>> EvaluateAcyclicCq(const ConjunctiveQuery& cq,
+                                             const Database& db,
+                                             YannakakisStats* stats = nullptr);
+
+/// CQ containment test theta ⊆ theta' where theta' is acyclic: the
+/// Chandra-Merlin test run with AcyclicSatisfiable — polynomial time, as in
+/// Theorem 4 / Proposition 1 of the paper for the class AC = HW(1).
+Result<bool> CqContainedAcyclicRhs(const ConjunctiveQuery& theta,
+                                   const ConjunctiveQuery& theta_prime,
+                                   YannakakisStats* stats = nullptr);
+
+/// UCQ containment with acyclic right-hand side (Sagiv-Yannakakis over
+/// CqContainedAcyclicRhs). Polynomial time.
+Result<bool> UcqContainedAcyclicRhs(const UnionQuery& theta,
+                                    const UnionQuery& theta_prime,
+                                    YannakakisStats* stats = nullptr);
+
+}  // namespace qcont
+
+#endif  // QCONT_STRUCTURE_ACYCLIC_EVAL_H_

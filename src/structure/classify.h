@@ -1,0 +1,47 @@
+#ifndef QCONT_STRUCTURE_CLASSIFY_H_
+#define QCONT_STRUCTURE_CLASSIFY_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "cq/query.h"
+
+namespace qcont {
+
+/// Structural facts about a CQ, used to route containment problems to the
+/// correct engine (see Section 4 of the paper).
+struct CqClassification {
+  bool acyclic = false;     // HW(1) = AC membership, via GYO
+  int treewidth = -1;       // treewidth of the Gaifman graph
+  bool treewidth_exact = false;
+  int max_shared_vars = 0;  // max #variables shared by two distinct atoms
+};
+
+/// Classifies a single CQ. Treewidth is exact for queries with at most 20
+/// variables and a min-fill upper bound beyond that.
+Result<CqClassification> ClassifyCq(const ConjunctiveQuery& cq);
+
+/// A UCQ is in TW(k) iff every disjunct is; the treewidth of a UCQ is the
+/// max over disjuncts.
+Result<CqClassification> ClassifyUcq(const UnionQuery& ucq);
+
+/// Θ ∈ TW(k)?
+Result<bool> InTreewidthClass(const UnionQuery& ucq, int k);
+
+/// Θ ∈ AC (= HW(1))?
+Result<bool> IsAcyclicUcq(const UnionQuery& ucq);
+
+/// Θ ∈ ACk: acyclic and no two distinct atoms of a disjunct share more
+/// than k variables. Returns the least such k, or kFailedPrecondition if
+/// the UCQ is not acyclic. (Definition from Section 4.2.)
+Result<int> AckLevel(const UnionQuery& ucq);
+
+/// Maximum number of variables shared by two distinct atoms of the CQ.
+int MaxSharedVariables(const ConjunctiveQuery& cq);
+
+/// Human-readable summary, e.g. "AC2, TW(1)".
+std::string DescribeClassification(const CqClassification& c);
+
+}  // namespace qcont
+
+#endif  // QCONT_STRUCTURE_CLASSIFY_H_

@@ -1,0 +1,220 @@
+#include "structure/decomp_eval.h"
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "base/hash.h"
+#include "structure/graph.h"
+
+namespace qcont {
+
+namespace {
+
+using ValueSet = std::unordered_set<std::vector<Value>, VectorHash<Value>>;
+
+struct RootedForest {
+  std::vector<std::vector<int>> children;
+  std::vector<int> parent;
+  std::vector<int> post_order;
+};
+
+RootedForest Root(std::size_t n, const std::vector<std::pair<int, int>>& edges) {
+  RootedForest f;
+  f.children.resize(n);
+  f.parent.assign(n, -1);
+  std::vector<std::vector<int>> adj(n);
+  for (auto [a, b] : edges) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  std::vector<bool> seen(n, false);
+  std::vector<int> pre;
+  for (std::size_t r = 0; r < n; ++r) {
+    if (seen[r]) continue;
+    seen[r] = true;
+    std::vector<int> stack = {static_cast<int>(r)};
+    while (!stack.empty()) {
+      int v = stack.back();
+      stack.pop_back();
+      pre.push_back(v);
+      for (int u : adj[v]) {
+        if (!seen[u]) {
+          seen[u] = true;
+          f.parent[u] = v;
+          f.children[v].push_back(u);
+          stack.push_back(u);
+        }
+      }
+    }
+  }
+  f.post_order.assign(pre.rbegin(), pre.rend());
+  return f;
+}
+
+}  // namespace
+
+Result<bool> BoundedWidthSatisfiable(const ConjunctiveQuery& cq,
+                                     const Database& db,
+                                     const Assignment& fixed,
+                                     DecompEvalStats* stats) {
+  QCONT_RETURN_IF_ERROR(cq.Validate());
+  if (cq.atoms().empty()) return true;
+
+  std::vector<Term> vars;
+  UndirectedGraph gaifman = GaifmanGraph(cq, &vars);
+  TreeDecomposition td = DecompositionFromOrder(gaifman, MinFillOrder(gaifman));
+  if (stats != nullptr) stats->width_used = td.Width();
+  RootedForest forest = Root(td.bags.size(), td.edges);
+
+  // Assign every atom to a bag containing all of its variables; the
+  // variables of an atom form a clique of the Gaifman graph, so such a bag
+  // exists in any valid decomposition.
+  std::unordered_map<std::string, int> var_index;
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    var_index.emplace(vars[i].name(), static_cast<int>(i));
+  }
+  std::vector<std::vector<int>> atoms_of_bag(td.bags.size());
+  for (std::size_t a = 0; a < cq.atoms().size(); ++a) {
+    std::vector<int> atom_vars;
+    for (const Term& t : cq.atoms()[a].Variables()) {
+      atom_vars.push_back(var_index.at(t.name()));
+    }
+    std::sort(atom_vars.begin(), atom_vars.end());
+    bool placed = false;
+    for (std::size_t b = 0; b < td.bags.size() && !placed; ++b) {
+      if (std::includes(td.bags[b].begin(), td.bags[b].end(), atom_vars.begin(),
+                        atom_vars.end())) {
+        atoms_of_bag[b].push_back(static_cast<int>(a));
+        placed = true;
+      }
+    }
+    if (!placed) {
+      return InternalError("atom clique not covered by any bag");
+    }
+  }
+
+  const std::vector<Value> domain = db.ActiveDomain();
+
+  // survivors[b] = projections of b's surviving assignments onto the
+  // variables shared with b's parent bag (whole bag for roots: we only need
+  // non-emptiness there, so project onto the empty tuple instead).
+  std::vector<ValueSet> survivors(td.bags.size());
+
+  for (int b : forest.post_order) {
+    const std::vector<int>& bag = td.bags[b];
+    // Shared positions with parent / children.
+    std::vector<int> parent_shared;  // indices into `bag`
+    if (forest.parent[b] >= 0) {
+      const std::vector<int>& pbag = td.bags[forest.parent[b]];
+      for (std::size_t i = 0; i < bag.size(); ++i) {
+        if (std::binary_search(pbag.begin(), pbag.end(), bag[i])) {
+          parent_shared.push_back(static_cast<int>(i));
+        }
+      }
+    }
+    struct ChildLink {
+      int child;
+      std::vector<int> positions;  // indices into `bag`, aligned with the
+                                   // child's parent_shared projection order
+    };
+    std::vector<ChildLink> links;
+    for (int c : forest.children[b]) {
+      ChildLink link;
+      link.child = c;
+      const std::vector<int>& cbag = td.bags[c];
+      for (std::size_t i = 0; i < cbag.size(); ++i) {
+        if (std::binary_search(bag.begin(), bag.end(), cbag[i])) {
+          // Position of cbag[i] inside `bag`.
+          auto it = std::lower_bound(bag.begin(), bag.end(), cbag[i]);
+          link.positions.push_back(static_cast<int>(it - bag.begin()));
+        }
+      }
+      links.push_back(std::move(link));
+    }
+
+    // Enumerate assignments to the bag variables.
+    std::vector<Value> assignment(bag.size());
+    bool any = false;
+    std::function<void(std::size_t)> enumerate = [&](std::size_t i) {
+      if (i == bag.size()) {
+        if (stats != nullptr) ++stats->bag_assignments;
+        // Check atoms assigned to this bag.
+        for (int a : atoms_of_bag[b]) {
+          const Atom& atom = cq.atoms()[a];
+          Tuple t;
+          t.reserve(atom.arity());
+          for (const Term& term : atom.terms()) {
+            if (term.is_constant()) {
+              t.push_back(term.name());
+            } else {
+              int v = var_index.at(term.name());
+              auto it = std::lower_bound(bag.begin(), bag.end(), v);
+              t.push_back(assignment[it - bag.begin()]);
+            }
+          }
+          if (!db.HasFact(atom.predicate(), t)) return;
+        }
+        // Check children support.
+        for (const ChildLink& link : links) {
+          std::vector<Value> key;
+          key.reserve(link.positions.size());
+          for (int p : link.positions) key.push_back(assignment[p]);
+          if (!survivors[link.child].count(key)) return;
+        }
+        any = true;
+        std::vector<Value> key;
+        key.reserve(parent_shared.size());
+        for (int p : parent_shared) key.push_back(assignment[p]);
+        survivors[b].insert(std::move(key));
+        return;
+      }
+      const std::string& var_name = gaifman.Label(td.bags[b][i]);
+      auto it = fixed.find(var_name);
+      if (it != fixed.end()) {
+        assignment[i] = it->second;
+        enumerate(i + 1);
+        return;
+      }
+      for (const Value& v : domain) {
+        assignment[i] = v;
+        enumerate(i + 1);
+      }
+    };
+    enumerate(0);
+    if (forest.parent[b] < 0 && !any) return false;
+    if (survivors[b].empty() && forest.parent[b] >= 0) {
+      // Early exit: this whole component is unsatisfiable.
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<bool> CqContainedBoundedTwRhs(const ConjunctiveQuery& theta,
+                                     const ConjunctiveQuery& theta_prime,
+                                     DecompEvalStats* stats) {
+  QCONT_RETURN_IF_ERROR(theta.Validate());
+  QCONT_RETURN_IF_ERROR(theta_prime.Validate());
+  if (theta.arity() != theta_prime.arity()) {
+    return InvalidArgumentError("arity mismatch in containment test");
+  }
+  Database canonical = CanonicalDatabase(theta);
+  Tuple frozen = CanonicalHead(theta);
+  Assignment fixed;
+  for (std::size_t i = 0; i < theta_prime.head().size(); ++i) {
+    const std::string& var = theta_prime.head()[i].name();
+    auto it = fixed.find(var);
+    if (it != fixed.end()) {
+      if (it->second != frozen[i]) return false;
+    } else {
+      fixed.emplace(var, frozen[i]);
+    }
+  }
+  return BoundedWidthSatisfiable(theta_prime, canonical, fixed, stats);
+}
+
+}  // namespace qcont

@@ -1,0 +1,41 @@
+#ifndef QCONT_STRUCTURE_DECOMP_EVAL_H_
+#define QCONT_STRUCTURE_DECOMP_EVAL_H_
+
+#include <cstdint>
+
+#include "base/status.h"
+#include "cq/database.h"
+#include "cq/homomorphism.h"
+#include "cq/query.h"
+#include "structure/tree_decomposition.h"
+
+namespace qcont {
+
+/// Counters for the bounded-treewidth dynamic program.
+struct DecompEvalStats {
+  std::uint64_t bag_assignments = 0;  // candidate bag tuples enumerated
+  int width_used = -1;
+};
+
+/// Decides whether `cq` has a homomorphism into `db` extending `fixed`,
+/// using dynamic programming over a tree decomposition of the Gaifman
+/// graph of `cq` [Chekuri-Rajaraman; Dalmau-Kolaitis-Vardi]. Runs in time
+/// |db|^{w+1} · poly where w is the width of the decomposition used, so it
+/// is polynomial for queries from a class TW(k).
+///
+/// A decomposition is computed internally (exact for small queries,
+/// min-fill otherwise).
+Result<bool> BoundedWidthSatisfiable(const ConjunctiveQuery& cq,
+                                     const Database& db,
+                                     const Assignment& fixed = {},
+                                     DecompEvalStats* stats = nullptr);
+
+/// CQ containment theta ⊆ theta' where theta' has bounded treewidth:
+/// Chandra-Merlin via BoundedWidthSatisfiable (Theorem 3 of the paper).
+Result<bool> CqContainedBoundedTwRhs(const ConjunctiveQuery& theta,
+                                     const ConjunctiveQuery& theta_prime,
+                                     DecompEvalStats* stats = nullptr);
+
+}  // namespace qcont
+
+#endif  // QCONT_STRUCTURE_DECOMP_EVAL_H_

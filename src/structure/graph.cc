@@ -1,0 +1,100 @@
+#include "structure/graph.h"
+
+#include <unordered_map>
+
+#include "base/check.h"
+
+namespace qcont {
+
+std::size_t UndirectedGraph::NumEdges() const {
+  std::size_t twice = 0;
+  for (const auto& nbrs : adjacency_) twice += nbrs.size();
+  return twice / 2;
+}
+
+void UndirectedGraph::AddEdge(int u, int v) {
+  QCONT_CHECK(u >= 0 && v >= 0);
+  QCONT_CHECK(static_cast<std::size_t>(u) < adjacency_.size() &&
+              static_cast<std::size_t>(v) < adjacency_.size());
+  if (u == v) return;
+  adjacency_[u].insert(v);
+  adjacency_[v].insert(u);
+}
+
+bool UndirectedGraph::HasEdge(int u, int v) const {
+  if (u < 0 || static_cast<std::size_t>(u) >= adjacency_.size()) return false;
+  return adjacency_[u].count(v) > 0;
+}
+
+bool UndirectedGraph::IsForest() const {
+  // A graph is a forest iff every component with k vertices has k-1 edges.
+  std::vector<int> component(NumVertices(), -1);
+  int comp = 0;
+  for (std::size_t start = 0; start < NumVertices(); ++start) {
+    if (component[start] != -1) continue;
+    std::vector<int> stack = {static_cast<int>(start)};
+    component[start] = comp;
+    std::size_t vertices = 0, edge_ends = 0;
+    while (!stack.empty()) {
+      int v = stack.back();
+      stack.pop_back();
+      ++vertices;
+      edge_ends += adjacency_[v].size();
+      for (int u : adjacency_[v]) {
+        if (component[u] == -1) {
+          component[u] = comp;
+          stack.push_back(u);
+        }
+      }
+    }
+    if (edge_ends / 2 + 1 != vertices) return false;
+    ++comp;
+  }
+  return true;
+}
+
+std::vector<std::vector<int>> UndirectedGraph::ConnectedComponents() const {
+  std::vector<std::vector<int>> out;
+  std::vector<bool> seen(NumVertices(), false);
+  for (std::size_t start = 0; start < NumVertices(); ++start) {
+    if (seen[start]) continue;
+    out.emplace_back();
+    std::vector<int> stack = {static_cast<int>(start)};
+    seen[start] = true;
+    while (!stack.empty()) {
+      int v = stack.back();
+      stack.pop_back();
+      out.back().push_back(v);
+      for (int u : adjacency_[v]) {
+        if (!seen[u]) {
+          seen[u] = true;
+          stack.push_back(u);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+UndirectedGraph GaifmanGraph(const ConjunctiveQuery& cq,
+                             std::vector<Term>* variables) {
+  std::vector<Term> vars = cq.Variables();
+  std::unordered_map<std::string, int> index;
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    index.emplace(vars[i].name(), static_cast<int>(i));
+  }
+  UndirectedGraph g(vars.size());
+  for (std::size_t i = 0; i < vars.size(); ++i) g.SetLabel(i, vars[i].name());
+  for (const Atom& a : cq.atoms()) {
+    std::vector<Term> atom_vars = a.Variables();
+    for (std::size_t i = 0; i < atom_vars.size(); ++i) {
+      for (std::size_t j = i + 1; j < atom_vars.size(); ++j) {
+        g.AddEdge(index.at(atom_vars[i].name()), index.at(atom_vars[j].name()));
+      }
+    }
+  }
+  if (variables != nullptr) *variables = std::move(vars);
+  return g;
+}
+
+}  // namespace qcont

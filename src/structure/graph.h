@@ -1,0 +1,51 @@
+#ifndef QCONT_STRUCTURE_GRAPH_H_
+#define QCONT_STRUCTURE_GRAPH_H_
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cq/query.h"
+
+namespace qcont {
+
+/// A simple undirected graph over vertices 0..n-1 with optional vertex
+/// labels. Used for Gaifman graphs and treewidth computations.
+class UndirectedGraph {
+ public:
+  explicit UndirectedGraph(std::size_t num_vertices)
+      : adjacency_(num_vertices), labels_(num_vertices) {}
+
+  std::size_t NumVertices() const { return adjacency_.size(); }
+  std::size_t NumEdges() const;
+
+  /// Adds an undirected edge (self loops are ignored; duplicates collapse).
+  void AddEdge(int u, int v);
+  bool HasEdge(int u, int v) const;
+
+  const std::set<int>& Neighbors(int v) const { return adjacency_[v]; }
+
+  void SetLabel(int v, std::string label) { labels_[v] = std::move(label); }
+  const std::string& Label(int v) const { return labels_[v]; }
+
+  /// True iff the graph has no cycle (checked per connected component).
+  bool IsForest() const;
+
+  /// Connected components as vertex lists.
+  std::vector<std::vector<int>> ConnectedComponents() const;
+
+ private:
+  std::vector<std::set<int>> adjacency_;
+  std::vector<std::string> labels_;
+};
+
+/// The Gaifman graph of a CQ: vertices are the distinct variables of the
+/// body (labels carry the names); two variables are adjacent iff they
+/// co-occur in some atom. `variables` receives the vertex order used.
+UndirectedGraph GaifmanGraph(const ConjunctiveQuery& cq,
+                             std::vector<Term>* variables = nullptr);
+
+}  // namespace qcont
+
+#endif  // QCONT_STRUCTURE_GRAPH_H_

@@ -1,0 +1,149 @@
+#include "structure/join_tree.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+namespace qcont {
+
+std::vector<std::vector<int>> JoinTree::Children() const {
+  std::vector<std::vector<int>> children(parent.size());
+  for (std::size_t i = 0; i < parent.size(); ++i) {
+    if (parent[i] >= 0) children[parent[i]].push_back(static_cast<int>(i));
+  }
+  return children;
+}
+
+std::vector<int> JoinTree::Roots() const {
+  std::vector<int> roots;
+  for (std::size_t i = 0; i < parent.size(); ++i) {
+    if (parent[i] < 0) roots.push_back(static_cast<int>(i));
+  }
+  return roots;
+}
+
+Status JoinTree::Validate(const ConjunctiveQuery& cq) const {
+  if (parent.size() != cq.atoms().size()) {
+    return InvalidArgumentError("join tree size does not match atom count");
+  }
+  // Acyclicity of the parent structure.
+  for (std::size_t i = 0; i < parent.size(); ++i) {
+    int hops = 0;
+    for (int j = static_cast<int>(i); j >= 0; j = parent[j]) {
+      if (++hops > static_cast<int>(parent.size())) {
+        return InvalidArgumentError("parent pointers contain a cycle");
+      }
+    }
+  }
+  // Connectedness: for every variable, the atoms mentioning it induce a
+  // connected subforest. Check: among atoms mentioning x, each non-unique
+  // one must reach another one via parent steps through atoms mentioning x.
+  std::unordered_map<std::string, std::vector<int>> atoms_of;
+  for (std::size_t i = 0; i < cq.atoms().size(); ++i) {
+    for (const Term& t : cq.atoms()[i].Variables()) {
+      atoms_of[t.name()].push_back(static_cast<int>(i));
+    }
+  }
+  for (const auto& [var, atoms] : atoms_of) {
+    if (atoms.size() <= 1) continue;
+    std::set<int> members(atoms.begin(), atoms.end());
+    // Union-find style: walk up from each member while staying in members.
+    // The subtree is connected iff exactly one member has a parent outside
+    // the member set (the subtree root) within each tree... we instead count
+    // connected pieces: a member whose parent is not a member starts a piece.
+    int pieces = 0;
+    for (int a : atoms) {
+      if (parent[a] < 0 || !members.count(parent[a])) ++pieces;
+    }
+    if (pieces != 1) {
+      return InvalidArgumentError("atoms containing variable '" + var +
+                                  "' are not connected in the join tree");
+    }
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+struct GyoState {
+  std::vector<std::set<std::string>> edge_vars;  // per atom
+  std::vector<bool> alive;
+  std::vector<int> parent;
+
+  explicit GyoState(const ConjunctiveQuery& cq)
+      : alive(cq.atoms().size(), true), parent(cq.atoms().size(), -1) {
+    edge_vars.reserve(cq.atoms().size());
+    for (const Atom& a : cq.atoms()) {
+      std::set<std::string> vars;
+      for (const Term& t : a.Variables()) vars.insert(t.name());
+      edge_vars.push_back(std::move(vars));
+    }
+  }
+
+  // Number of alive edges containing `var`.
+  int Occurrences(const std::string& var) const {
+    int count = 0;
+    for (std::size_t i = 0; i < edge_vars.size(); ++i) {
+      if (alive[i] && edge_vars[i].count(var)) ++count;
+    }
+    return count;
+  }
+
+  // Runs GYO to fixpoint; returns true iff every edge was removed (acyclic).
+  bool Reduce() {
+    std::size_t remaining = 0;
+    for (bool a : alive) remaining += a ? 1 : 0;
+    bool progress = true;
+    while (progress && remaining > 0) {
+      progress = false;
+      for (std::size_t e = 0; e < edge_vars.size() && !progress; ++e) {
+        if (!alive[e]) continue;
+        // Variables of e that occur in another alive edge.
+        std::set<std::string> shared;
+        for (const std::string& v : edge_vars[e]) {
+          if (Occurrences(v) > 1) shared.insert(v);
+        }
+        if (shared.empty()) {
+          // Isolated ear: remove as a root.
+          alive[e] = false;
+          --remaining;
+          progress = true;
+          break;
+        }
+        // e is an ear with witness f if shared ⊆ vars(f).
+        for (std::size_t f = 0; f < edge_vars.size(); ++f) {
+          if (f == e || !alive[f]) continue;
+          bool subset = std::includes(edge_vars[f].begin(), edge_vars[f].end(),
+                                      shared.begin(), shared.end());
+          if (subset) {
+            alive[e] = false;
+            parent[e] = static_cast<int>(f);
+            --remaining;
+            progress = true;
+            break;
+          }
+        }
+      }
+    }
+    return remaining == 0;
+  }
+};
+
+}  // namespace
+
+bool IsAcyclic(const ConjunctiveQuery& cq) {
+  GyoState state(cq);
+  return state.Reduce();
+}
+
+Result<JoinTree> BuildJoinTree(const ConjunctiveQuery& cq) {
+  GyoState state(cq);
+  if (!state.Reduce()) {
+    return FailedPreconditionError("query is cyclic: no join tree exists");
+  }
+  JoinTree jt;
+  jt.parent = std::move(state.parent);
+  return jt;
+}
+
+}  // namespace qcont

@@ -1,0 +1,260 @@
+#include "structure/tree_decomposition.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <set>
+
+#include "base/check.h"
+
+namespace qcont {
+
+int TreeDecomposition::Width() const {
+  int width = -1;
+  for (const auto& bag : bags) {
+    width = std::max(width, static_cast<int>(bag.size()) - 1);
+  }
+  return width;
+}
+
+Status TreeDecomposition::Validate(const UndirectedGraph& g) const {
+  const int n_bags = static_cast<int>(bags.size());
+  // T must be a forest (then per-vertex connectedness below is meaningful;
+  // a decomposition of a connected graph will come out connected anyway).
+  std::vector<std::set<int>> tree(n_bags);
+  for (auto [a, b] : edges) {
+    if (a < 0 || b < 0 || a >= n_bags || b >= n_bags) {
+      return InvalidArgumentError("tree edge out of range");
+    }
+    tree[a].insert(b);
+    tree[b].insert(a);
+  }
+  {
+    // Cycle check by union-find.
+    std::vector<int> parent(n_bags);
+    for (int i = 0; i < n_bags; ++i) parent[i] = i;
+    std::function<int(int)> find = [&](int x) {
+      while (parent[x] != x) x = parent[x] = parent[parent[x]];
+      return x;
+    };
+    for (auto [a, b] : edges) {
+      int ra = find(a), rb = find(b);
+      if (ra == rb) return InvalidArgumentError("decomposition tree has a cycle");
+      parent[ra] = rb;
+    }
+  }
+  // Every graph edge must be inside some bag, and every vertex in some bag.
+  std::vector<std::vector<int>> bags_of(g.NumVertices());
+  for (int t = 0; t < n_bags; ++t) {
+    for (int v : bags[t]) {
+      if (v < 0 || static_cast<std::size_t>(v) >= g.NumVertices()) {
+        return InvalidArgumentError("bag vertex out of range");
+      }
+      bags_of[v].push_back(t);
+    }
+  }
+  for (std::size_t v = 0; v < g.NumVertices(); ++v) {
+    if (bags_of[v].empty()) {
+      return InvalidArgumentError("vertex " + std::to_string(v) +
+                                  " appears in no bag");
+    }
+    for (int u : g.Neighbors(static_cast<int>(v))) {
+      if (u < static_cast<int>(v)) continue;
+      bool covered = false;
+      for (int t : bags_of[v]) {
+        if (std::find(bags[t].begin(), bags[t].end(), u) != bags[t].end()) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) {
+        return InvalidArgumentError("edge (" + std::to_string(v) + "," +
+                                    std::to_string(u) + ") in no bag");
+      }
+    }
+  }
+  // Connectedness of each vertex's bag set within T.
+  for (std::size_t v = 0; v < g.NumVertices(); ++v) {
+    const std::vector<int>& mine = bags_of[v];
+    std::set<int> mine_set(mine.begin(), mine.end());
+    std::set<int> reached;
+    std::vector<int> stack = {mine.front()};
+    reached.insert(mine.front());
+    while (!stack.empty()) {
+      int t = stack.back();
+      stack.pop_back();
+      for (int s : tree[t]) {
+        if (mine_set.count(s) && !reached.count(s)) {
+          reached.insert(s);
+          stack.push_back(s);
+        }
+      }
+    }
+    if (reached.size() != mine_set.size()) {
+      return InvalidArgumentError("bags of vertex " + std::to_string(v) +
+                                  " are not connected in T");
+    }
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+// Adjacency copy that supports elimination with fill-in.
+std::vector<std::set<int>> CopyAdjacency(const UndirectedGraph& g) {
+  std::vector<std::set<int>> adj(g.NumVertices());
+  for (std::size_t v = 0; v < g.NumVertices(); ++v) {
+    adj[v] = g.Neighbors(static_cast<int>(v));
+  }
+  return adj;
+}
+
+void Eliminate(std::vector<std::set<int>>* adj, int v) {
+  std::vector<int> nbrs((*adj)[v].begin(), (*adj)[v].end());
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+      (*adj)[nbrs[i]].insert(nbrs[j]);
+      (*adj)[nbrs[j]].insert(nbrs[i]);
+    }
+  }
+  for (int u : nbrs) (*adj)[u].erase(v);
+  (*adj)[v].clear();
+}
+
+}  // namespace
+
+TreeDecomposition DecompositionFromOrder(const UndirectedGraph& g,
+                                         const std::vector<int>& order) {
+  QCONT_CHECK(order.size() == g.NumVertices());
+  TreeDecomposition td;
+  if (g.NumVertices() == 0) {
+    td.bags.push_back({});
+    return td;
+  }
+  std::vector<std::set<int>> adj = CopyAdjacency(g);
+  std::vector<int> position(g.NumVertices());
+  for (std::size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  std::vector<int> bag_of(g.NumVertices());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    int v = order[i];
+    std::vector<int> bag = {v};
+    int next_neighbor = -1;  // earliest-later-eliminated current neighbor
+    for (int u : adj[v]) {
+      bag.push_back(u);
+      if (next_neighbor == -1 || position[u] < position[next_neighbor]) {
+        next_neighbor = u;
+      }
+    }
+    std::sort(bag.begin(), bag.end());
+    bag_of[v] = static_cast<int>(td.bags.size());
+    td.bags.push_back(std::move(bag));
+    if (next_neighbor != -1) {
+      // The neighbor's bag does not exist yet; record a pending edge by
+      // storing against the neighbor's eventual bag index: we connect after
+      // all bags exist, so remember (v, next_neighbor).
+      td.edges.emplace_back(bag_of[v], ~next_neighbor);  // patched below
+    }
+    Eliminate(&adj, v);
+  }
+  for (auto& [a, b] : td.edges) {
+    if (b < 0) b = bag_of[~b];
+  }
+  return td;
+}
+
+std::vector<int> MinFillOrder(const UndirectedGraph& g) {
+  std::vector<std::set<int>> adj = CopyAdjacency(g);
+  std::vector<bool> eliminated(g.NumVertices(), false);
+  std::vector<int> order;
+  order.reserve(g.NumVertices());
+  for (std::size_t round = 0; round < g.NumVertices(); ++round) {
+    int best = -1;
+    long best_fill = std::numeric_limits<long>::max();
+    for (std::size_t v = 0; v < g.NumVertices(); ++v) {
+      if (eliminated[v]) continue;
+      long fill = 0;
+      std::vector<int> nbrs(adj[v].begin(), adj[v].end());
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+          if (!adj[nbrs[i]].count(nbrs[j])) ++fill;
+        }
+      }
+      if (fill < best_fill) {
+        best_fill = fill;
+        best = static_cast<int>(v);
+      }
+    }
+    eliminated[best] = true;
+    order.push_back(best);
+    Eliminate(&adj, best);
+  }
+  return order;
+}
+
+namespace {
+
+// |R(v, T)|: vertices outside T ∪ {v} reachable from v via paths whose
+// internal vertices all lie in T. This is v's neighborhood once T has been
+// eliminated.
+int ReachCount(const UndirectedGraph& g, int v, std::uint32_t t_mask) {
+  std::uint32_t visited = 1u << v;
+  std::uint32_t reached = 0;
+  std::vector<int> stack = {v};
+  while (!stack.empty()) {
+    int x = stack.back();
+    stack.pop_back();
+    for (int u : g.Neighbors(x)) {
+      std::uint32_t bit = 1u << u;
+      if (visited & bit) continue;
+      visited |= bit;
+      if (t_mask & bit) {
+        stack.push_back(u);  // pass through eliminated vertex
+      } else {
+        reached |= bit;
+      }
+    }
+  }
+  return __builtin_popcount(reached);
+}
+
+}  // namespace
+
+Result<int> TreewidthExact(const UndirectedGraph& g, int max_vertices) {
+  const int n = static_cast<int>(g.NumVertices());
+  if (n > max_vertices || n > 30) {
+    return ResourceExhaustedError(
+        "exact treewidth limited to " + std::to_string(max_vertices) +
+        " vertices, got " + std::to_string(n));
+  }
+  if (n == 0) return 0;
+  const std::uint32_t full = (n == 32) ? ~0u : ((1u << n) - 1);
+  // f[S] = minimum over elimination orders of S (eliminated first) of the
+  // max neighborhood size encountered. Treewidth = f[full].
+  std::vector<std::int8_t> f(static_cast<std::size_t>(full) + 1, 0);
+  for (std::uint32_t s = 1; s <= full; ++s) {
+    int best = std::numeric_limits<int>::max();
+    for (int v = 0; v < n; ++v) {
+      std::uint32_t bit = 1u << v;
+      if (!(s & bit)) continue;
+      std::uint32_t rest = s ^ bit;
+      int cost = std::max(static_cast<int>(f[rest]), ReachCount(g, v, rest));
+      best = std::min(best, cost);
+    }
+    f[s] = static_cast<std::int8_t>(best);
+  }
+  return static_cast<int>(f[full]);
+}
+
+int TreewidthBound(const UndirectedGraph& g, bool* exact) {
+  Result<int> tw = TreewidthExact(g);
+  if (tw.ok()) {
+    if (exact != nullptr) *exact = true;
+    return *tw;
+  }
+  if (exact != nullptr) *exact = false;
+  return DecompositionFromOrder(g, MinFillOrder(g)).Width();
+}
+
+}  // namespace qcont

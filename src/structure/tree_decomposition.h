@@ -1,0 +1,49 @@
+#ifndef QCONT_STRUCTURE_TREE_DECOMPOSITION_H_
+#define QCONT_STRUCTURE_TREE_DECOMPOSITION_H_
+
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+#include "structure/graph.h"
+
+namespace qcont {
+
+/// A tree decomposition (T, λ) of an undirected graph: `bags[t]` is λ(t)
+/// (sorted vertex lists) and `edges` are the tree edges of T.
+struct TreeDecomposition {
+  std::vector<std::vector<int>> bags;
+  std::vector<std::pair<int, int>> edges;
+
+  /// max |bag| - 1, or -1 for an empty decomposition.
+  int Width() const;
+
+  /// Checks the three tree-decomposition conditions against `g`:
+  /// T is a tree (or forest covering all bags), every edge of g is inside
+  /// some bag, and each vertex's bags form a connected subtree.
+  Status Validate(const UndirectedGraph& g) const;
+};
+
+/// Builds the decomposition induced by an elimination order: bag(v) =
+/// {v} ∪ (neighbors of v at its elimination time in the fill-in graph).
+/// Its width is the width of the elimination order.
+TreeDecomposition DecompositionFromOrder(const UndirectedGraph& g,
+                                         const std::vector<int>& order);
+
+/// Min-fill heuristic elimination order; returns the order. An upper bound
+/// on treewidth is DecompositionFromOrder(g, order).Width().
+std::vector<int> MinFillOrder(const UndirectedGraph& g);
+
+/// Exact treewidth by dynamic programming over vertex subsets
+/// (O(2^n poly n)); refuses graphs with more than `max_vertices` vertices
+/// with kResourceExhausted. The empty graph has treewidth 0 by convention
+/// here (a single empty bag); a single vertex also has treewidth 0.
+Result<int> TreewidthExact(const UndirectedGraph& g, int max_vertices = 20);
+
+/// Exact treewidth for small graphs, min-fill upper bound otherwise.
+/// `exact` (optional) reports which one was returned.
+int TreewidthBound(const UndirectedGraph& g, bool* exact = nullptr);
+
+}  // namespace qcont
+
+#endif  // QCONT_STRUCTURE_TREE_DECOMPOSITION_H_

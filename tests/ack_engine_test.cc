@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/ack_containment.h"
+#include "core/datalog_ucq.h"
+#include "parser/parser.h"
+#include "structure/classify.h"
+#include "tests/engine_validation.h"
+#include "tests/generators.h"
+
+namespace qcont {
+namespace {
+
+struct Case {
+  const char* name;
+  const char* program;
+  const char* ucq;
+  bool contained;
+};
+
+class AckEngineCases : public ::testing::TestWithParam<Case> {};
+
+TEST_P(AckEngineCases, AgreesWithGeneralEngineAndValidates) {
+  const Case& c = GetParam();
+  auto program = ParseProgram(c.program);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  auto ucq = ParseUcq(c.ucq);
+  ASSERT_TRUE(ucq.ok()) << ucq.status().ToString();
+  AckEngineStats stats;
+  auto answer = DatalogContainedInAcyclicUcq(*program, *ucq, &stats);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(answer->contained, c.contained);
+  EXPECT_EQ(testval::ValidateAnswer(*program, *ucq, *answer), "");
+  auto general = DatalogContainedInUcq(*program, *ucq);
+  ASSERT_TRUE(general.ok());
+  EXPECT_EQ(answer->contained, general->contained);
+  EXPECT_GT(stats.summaries, 0u);
+  EXPECT_GE(stats.ack_level, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AcyclicCases, AckEngineCases,
+    ::testing::Values(
+        Case{"consumers_yes",
+             "buys(x,y) :- likes(x,y). buys(x,y) :- trendy(x), buys(z,y). "
+             "goal buys.",
+             "Q(x,y) :- likes(x,y). Q(x,y) :- trendy(x), likes(z,y).", true},
+        Case{"consumers_no",
+             "buys(x,y) :- likes(x,y). buys(x,y) :- trendy(x), buys(z,y). "
+             "goal buys.",
+             "Q(x,y) :- likes(x,y).", false},
+        Case{"tc_single_edge",
+             "t(x,y) :- e(x,y). t(x,y) :- e(x,z), t(z,y). goal t.",
+             "Q(x,y) :- e(x,y).", false},
+        Case{"sg_two_levels",
+             "sg(x,y) :- flat(x,y). "
+             "sg(x,y) :- up(x,u), sg(u,v), down(v,y). goal sg.",
+             "Q(x,y) :- flat(x,y). "
+             "Q(x,y) :- up(x,u), flat(u,v), down(v,y).", false},
+        Case{"fold_to_edge",
+             "p(x,y) :- e(x,y), e(y,x). goal p.",
+             "Q(x,y) :- e(x,y).", true},
+        Case{"repeated_head",
+             "s(x,x) :- n(x). goal s.",
+             "Q(x,y) :- n(x), n(y).", true},
+        Case{"wide_atom_ac2",
+             "p(x) :- t(x,y,z), e(y,z). p(x) :- t(x,y,z), e(y,w), p(w). "
+             "goal p.",
+             "Q(x) :- t(x,u,v).", true},
+        Case{"boolean_goal",
+             "g() :- p(x). p(x) :- a(x,y), p(y). p(x) :- b(x). goal g.",
+             "Q() :- b(u).", true},
+        Case{"nonlinear_fib",
+             "t(x,y) :- e(x,y). t(x,y) :- t(x,z), t(z,y). goal t.",
+             "Q(x,y) :- e(x,u), e(w,y). Q(x,y) :- e(x,y).", true}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return info.param.name;
+    });
+
+TEST(AckEngineTest, RejectsCyclicUcq) {
+  auto program = ParseProgram("t(x,y) :- e(x,y). goal t.");
+  auto cyclic = ParseUcq("Q(x,y) :- e(x,y), e(y,z), e(z,x).");
+  ASSERT_TRUE(program.ok() && cyclic.ok());
+  EXPECT_EQ(DatalogContainedInAcyclicUcq(*program, *cyclic).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(AckEngineTest, ReportsAckLevel) {
+  auto program = ParseProgram("p(x) :- t(x,y,z), e(y,z). goal p.");
+  auto ucq = ParseUcq("Q(x) :- t(x,u,v), e(u,v).");
+  ASSERT_TRUE(program.ok() && ucq.ok());
+  AckEngineStats stats;
+  auto answer = DatalogContainedInAcyclicUcq(*program, *ucq, &stats);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_TRUE(answer->contained);
+  EXPECT_EQ(stats.ack_level, 2);  // t and e share {u, v}
+}
+
+// The central property test of the repository: on random acyclic UCQs the
+// EXPTIME ACk engine and the 2EXPTIME general engine must agree, and both
+// answers must validate against expansion/witness certificates.
+TEST(AckEngineProperty, AgreesWithGeneralEngineRandomized) {
+  std::mt19937 rng(61803398);
+  testgen::SchemaSpec schema = testgen::SmallSchema();
+  int yes = 0, no = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    int arity = 1;
+    DatalogProgram program = testgen::RandomLinearProgram(&rng, schema, arity);
+    if (!program.Validate().ok()) continue;
+    UnionQuery ucq = testgen::RandomAcyclicUcq(&rng, schema, 1 + rng() % 2, 3,
+                                               arity);
+    if (!ucq.Validate().ok()) continue;
+    auto acyclic = IsAcyclicUcq(ucq);
+    ASSERT_TRUE(acyclic.ok() && *acyclic);
+    auto ack = DatalogContainedInAcyclicUcq(program, ucq);
+    ASSERT_TRUE(ack.ok()) << ack.status().ToString() << program.ToString();
+    auto general = DatalogContainedInUcq(program, ucq);
+    ASSERT_TRUE(general.ok());
+    EXPECT_EQ(ack->contained, general->contained)
+        << program.ToString() << "\n"
+        << ucq.ToString();
+    EXPECT_EQ(testval::ValidateAnswer(program, ucq, *ack), "")
+        << program.ToString() << "\n"
+        << ucq.ToString();
+    (ack->contained ? yes : no)++;
+  }
+  EXPECT_GT(no, 0);
+}
+
+}  // namespace
+}  // namespace qcont

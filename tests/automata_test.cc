@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "automata/ata.h"
+#include "automata/nfa.h"
+#include "automata/nta.h"
+#include "automata/tree.h"
+
+namespace qcont {
+namespace {
+
+bool Accepts(const std::string& pattern, const std::vector<std::string>& word) {
+  auto nfa = ParseRegex(pattern);
+  EXPECT_TRUE(nfa.ok()) << nfa.status().ToString();
+  return nfa->AcceptsWord(word);
+}
+
+TEST(RegexTest, BasicOperators) {
+  EXPECT_TRUE(Accepts("a", {"a"}));
+  EXPECT_FALSE(Accepts("a", {"b"}));
+  EXPECT_FALSE(Accepts("a", {}));
+  EXPECT_TRUE(Accepts("a b", {"a", "b"}));
+  EXPECT_TRUE(Accepts("a|b", {"b"}));
+  EXPECT_TRUE(Accepts("a*", {}));
+  EXPECT_TRUE(Accepts("a*", {"a", "a", "a"}));
+  EXPECT_FALSE(Accepts("a+", {}));
+  EXPECT_TRUE(Accepts("a+", {"a"}));
+  EXPECT_TRUE(Accepts("a?", {}));
+  EXPECT_TRUE(Accepts("a? b", {"b"}));
+  EXPECT_TRUE(Accepts("eps", {}));
+  EXPECT_TRUE(Accepts("(a|b)* c", {"a", "b", "b", "c"}));
+}
+
+TEST(RegexTest, InverseSymbols) {
+  EXPECT_TRUE(Accepts("a-", {"a-"}));
+  EXPECT_FALSE(Accepts("a-", {"a"}));
+  EXPECT_TRUE(Accepts("a b-", {"a", "b-"}));
+}
+
+TEST(RegexTest, ParseErrors) {
+  EXPECT_FALSE(ParseRegex("(a").ok());
+  EXPECT_FALSE(ParseRegex("a |").ok());
+  EXPECT_FALSE(ParseRegex("*").ok());
+  EXPECT_FALSE(ParseRegex("a )").ok());
+}
+
+TEST(RegexTest, MultiCharacterIdentifiers) {
+  EXPECT_TRUE(Accepts("knows worksAt-", {"knows", "worksAt-"}));
+}
+
+TEST(NfaTest, LanguageNonemptiness) {
+  EXPECT_TRUE(ParseRegex("a b c")->IsLanguageNonempty());
+  EXPECT_TRUE(ParseRegex("a*")->IsLanguageNonempty());
+}
+
+TEST(NfaTest, ReversedInverse) {
+  // ReversedInverse(L) accepts the inverted reversals: "a b" -> "b- a-".
+  Nfa r = ParseRegex("a b")->ReversedInverse();
+  EXPECT_TRUE(r.AcceptsWord({"b-", "a-"}));
+  EXPECT_FALSE(r.AcceptsWord({"a-", "b-"}));
+  Nfa r2 = ParseRegex("a- b")->ReversedInverse();
+  EXPECT_TRUE(r2.AcceptsWord({"b-", "a"}));
+  // Involution on a sample.
+  Nfa r3 = ParseRegex("a (b|c-)*")->ReversedInverse().ReversedInverse();
+  EXPECT_TRUE(r3.AcceptsWord({"a", "c-", "b"}));
+  EXPECT_FALSE(r3.AcceptsWord({"b", "a"}));
+}
+
+TEST(NfaTest, ClosedStepsAndEffectiveAccepting) {
+  auto nfa = ParseRegex("a*");
+  ASSERT_TRUE(nfa.ok());
+  EXPECT_TRUE(nfa->IsEffectivelyAccepting(nfa->initial()));
+  auto steps = nfa->ClosedSteps(nfa->initial());
+  ASSERT_FALSE(steps.empty());
+  bool some_accepting_target = false;
+  for (const auto& [symbol, target] : steps) {
+    EXPECT_EQ(symbol, "a");
+    some_accepting_target =
+        some_accepting_target || nfa->IsEffectivelyAccepting(target);
+  }
+  // Nondeterminism: at least one "a"-step lands on an accepting branch.
+  EXPECT_TRUE(some_accepting_target);
+}
+
+// --- Tree automata ---
+
+// An automaton over symbols {0: leaf a, 1: leaf b, 2: binary node f}
+// accepting trees whose leaves are all 'a'.
+TreeAutomaton AllLeavesA() {
+  TreeAutomaton ta;
+  int q = ta.AddState();
+  ta.AddInitial(q);
+  ta.AddTransition(q, 0, {});
+  ta.AddTransition(q, 2, {q, q});
+  return ta;
+}
+
+// Accepting trees with at least one 'b' leaf.
+TreeAutomaton SomeLeafB() {
+  TreeAutomaton ta;
+  int any = ta.AddState();
+  int found = ta.AddState();
+  ta.AddInitial(found);
+  ta.AddTransition(any, 0, {});
+  ta.AddTransition(any, 1, {});
+  ta.AddTransition(any, 2, {any, any});
+  ta.AddTransition(found, 1, {});
+  ta.AddTransition(found, 2, {found, any});
+  ta.AddTransition(found, 2, {any, found});
+  return ta;
+}
+
+TEST(TreeAutomatonTest, Membership) {
+  RankedTree t(2);
+  t.AddChild(0, 0);
+  int right = t.AddChild(0, 2);
+  t.AddChild(right, 0);
+  t.AddChild(right, 1);
+  EXPECT_FALSE(AllLeavesA().Accepts(t));  // has a 'b' leaf
+  EXPECT_TRUE(SomeLeafB().Accepts(t));
+  RankedTree pure(2);
+  pure.AddChild(0, 0);
+  pure.AddChild(0, 0);
+  EXPECT_TRUE(AllLeavesA().Accepts(pure));
+  EXPECT_FALSE(SomeLeafB().Accepts(pure));
+}
+
+TEST(TreeAutomatonTest, EmptinessAndWitness) {
+  TreeAutomaton ta = AllLeavesA();
+  std::optional<RankedTree> witness;
+  EXPECT_FALSE(ta.IsEmpty(&witness));
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(ta.Accepts(*witness));
+
+  // An automaton whose only rule requires itself as a child: empty.
+  TreeAutomaton empty;
+  int q = empty.AddState();
+  empty.AddInitial(q);
+  empty.AddTransition(q, 2, {q, q});
+  EXPECT_TRUE(empty.IsEmpty());
+}
+
+TEST(TreeAutomatonTest, IntersectionAndUnion) {
+  TreeAutomaton inter = TreeAutomaton::Intersection(AllLeavesA(), SomeLeafB());
+  EXPECT_TRUE(inter.IsEmpty());  // all-a and some-b are disjoint
+  TreeAutomaton uni = TreeAutomaton::Union(AllLeavesA(), SomeLeafB());
+  RankedTree pure(0);
+  EXPECT_TRUE(uni.Accepts(pure));
+  RankedTree b(1);
+  EXPECT_TRUE(uni.Accepts(b));
+}
+
+TEST(TreeAutomatonTest, ComplementFlipsAcceptance) {
+  const std::vector<std::pair<int, int>> alphabet = {{0, 0}, {1, 0}, {2, 2}};
+  TreeAutomaton not_all_a = TreeAutomaton::Complement(AllLeavesA(), alphabet);
+  RankedTree pure(2);
+  pure.AddChild(0, 0);
+  pure.AddChild(0, 0);
+  EXPECT_FALSE(not_all_a.Accepts(pure));
+  RankedTree mixed(2);
+  mixed.AddChild(0, 0);
+  mixed.AddChild(0, 1);
+  EXPECT_TRUE(not_all_a.Accepts(mixed));
+}
+
+TEST(TreeAutomatonTest, ComplementPropertyOnRandomTrees) {
+  const std::vector<std::pair<int, int>> alphabet = {{0, 0}, {1, 0}, {2, 2}};
+  TreeAutomaton original = SomeLeafB();
+  TreeAutomaton complement = TreeAutomaton::Complement(original, alphabet);
+  std::mt19937 rng(31337);
+  for (int trial = 0; trial < 40; ++trial) {
+    // Random binary tree over the alphabet.
+    RankedTree t(2);
+    std::vector<int> open = {0};
+    int budget = static_cast<int>(rng() % 6);
+    while (!open.empty()) {
+      int node = open.back();
+      open.pop_back();
+      for (int c = 0; c < 2; ++c) {
+        if (budget > 0 && rng() % 2 == 0) {
+          --budget;
+          open.push_back(t.AddChild(node, 2));
+        } else {
+          t.AddChild(node, rng() % 2);
+        }
+      }
+    }
+    EXPECT_NE(original.Accepts(t), complement.Accepts(t));
+  }
+}
+
+TEST(TreeAutomatonTest, ContainmentViaComplementation) {
+  const std::vector<std::pair<int, int>> alphabet = {{0, 0}, {1, 0}, {2, 2}};
+  // all-a-leaves trees are NOT all some-b trees and vice versa.
+  std::optional<RankedTree> witness;
+  EXPECT_FALSE(TreeAutomaton::Contains(AllLeavesA(), SomeLeafB(), alphabet,
+                                       &witness));
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(AllLeavesA().Accepts(*witness));
+  EXPECT_FALSE(SomeLeafB().Accepts(*witness));
+  // The intersection of a language with anything is contained in it.
+  TreeAutomaton inter =
+      TreeAutomaton::Intersection(AllLeavesA(), AllLeavesA());
+  EXPECT_TRUE(TreeAutomaton::Contains(inter, AllLeavesA(), alphabet));
+  // Everything is contained in the union with anything.
+  TreeAutomaton uni = TreeAutomaton::Union(AllLeavesA(), SomeLeafB());
+  EXPECT_TRUE(TreeAutomaton::Contains(AllLeavesA(), uni, alphabet));
+  EXPECT_TRUE(TreeAutomaton::Contains(SomeLeafB(), uni, alphabet));
+  EXPECT_FALSE(TreeAutomaton::Contains(uni, AllLeavesA(), alphabet));
+}
+
+// --- Two-way alternating tree automata ---
+
+// A 2ATA checking "some leaf is labeled 1, and afterwards the play returns
+// to the root (symbol 3) by upward moves" — exercises both directions.
+class UpDownAta : public AlternatingTreeAutomaton {
+ public:
+  // States: 0 = searching down, 1 = climbing up.
+  int InitialState() const override { return 0; }
+  AtaFormula Delta(int state, int symbol) const override {
+    AtaFormula formula;
+    if (state == 0) {
+      if (symbol == 1) {
+        formula.push_back({AtaMove{0, 1}});  // found: switch to climbing
+      }
+      formula.push_back({AtaMove{1, 0}});  // try first child
+      formula.push_back({AtaMove{2, 0}});  // try second child
+    } else {
+      if (symbol == 3) {
+        formula.push_back({});  // true: reached the root marker
+      } else {
+        formula.push_back({AtaMove{-1, 1}});
+      }
+    }
+    return formula;
+  }
+};
+
+TEST(AtaTest, TwoWayAcceptance) {
+  RankedTree t(3);  // root marker
+  int mid = t.AddChild(0, 2);
+  t.AddChild(mid, 0);
+  t.AddChild(mid, 1);
+  UpDownAta ata;
+  AtaRunStats stats;
+  EXPECT_TRUE(ata.Accepts(t, &stats));
+  EXPECT_GT(stats.positions, 0u);
+
+  RankedTree t2(3);
+  t2.AddChild(0, 0);
+  EXPECT_FALSE(ata.Accepts(t2));  // no 1-leaf anywhere
+}
+
+// Eve must not win by looping forever: an automaton with only a stay-move.
+class StallAta : public AlternatingTreeAutomaton {
+ public:
+  int InitialState() const override { return 0; }
+  AtaFormula Delta(int state, int symbol) const override {
+    (void)state;
+    (void)symbol;
+    return {{AtaMove{0, 0}}};  // stay forever
+  }
+};
+
+TEST(AtaTest, InfinitePlaysLose) {
+  RankedTree t(0);
+  StallAta ata;
+  EXPECT_FALSE(ata.Accepts(t));
+}
+
+}  // namespace
+}  // namespace qcont

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "base/hash.h"
+#include "base/interner.h"
+#include "base/status.h"
+
+namespace qcont {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorConstructorsCarryCodeAndMessage) {
+  EXPECT_EQ(InvalidArgumentError("bad").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+  Status s = InvalidArgumentError("expected ')'");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: expected ')'");
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return InvalidArgumentError("not positive");
+  return x;
+}
+
+Result<int> Doubled(int x) {
+  QCONT_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return 2 * v;
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  Result<int> ok = Doubled(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  Result<int> err = Doubled(-1);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(InternerTest, DenseIdsAndRoundTrip) {
+  Interner interner;
+  SymbolId a = interner.Intern("alpha");
+  SymbolId b = interner.Intern("beta");
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(interner.Intern("alpha"), a);
+  EXPECT_EQ(interner.NameOf(b), "beta");
+  EXPECT_EQ(interner.Find("beta"), b);
+  EXPECT_EQ(interner.Find("gamma"), Interner::kMissing);
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(HashTest, VectorAndPairHashersDiscriminate) {
+  VectorHash<int> vh;
+  EXPECT_NE(vh({1, 2, 3}), vh({3, 2, 1}));
+  EXPECT_EQ(vh({1, 2, 3}), vh({1, 2, 3}));
+  PairHash<int, std::string> ph;
+  EXPECT_NE(ph({1, "a"}), ph({2, "a"}));
+}
+
+}  // namespace
+}  // namespace qcont

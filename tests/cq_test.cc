@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "cq/database.h"
+#include "cq/homomorphism.h"
+#include "cq/query.h"
+
+namespace qcont {
+namespace {
+
+ConjunctiveQuery PathQuery(int n) {
+  // (x0,xn) <- E(x0,x1), ..., E(x{n-1},xn)
+  std::vector<Atom> atoms;
+  for (int i = 0; i < n; ++i) {
+    atoms.emplace_back("E", std::vector<Term>{
+                                Term::Variable("x" + std::to_string(i)),
+                                Term::Variable("x" + std::to_string(i + 1))});
+  }
+  return ConjunctiveQuery(
+      {Term::Variable("x0"), Term::Variable("x" + std::to_string(n))},
+      std::move(atoms));
+}
+
+TEST(TermTest, KindsAndEquality) {
+  Term x = Term::Variable("x");
+  Term c = Term::Constant("x");
+  EXPECT_TRUE(x.is_variable());
+  EXPECT_TRUE(c.is_constant());
+  EXPECT_NE(x, c);
+  EXPECT_EQ(x, Term::Variable("x"));
+  EXPECT_EQ(x.ToString(), "x");
+  EXPECT_EQ(c.ToString(), "'x'");
+}
+
+TEST(AtomTest, VariablesAreDeduplicated) {
+  Atom a("R", {Term::Variable("x"), Term::Variable("y"), Term::Variable("x"),
+               Term::Constant("c")});
+  std::vector<Term> vars = a.Variables();
+  ASSERT_EQ(vars.size(), 2u);
+  EXPECT_EQ(vars[0].name(), "x");
+  EXPECT_EQ(vars[1].name(), "y");
+  EXPECT_EQ(a.ToString(), "R(x,y,x,'c')");
+}
+
+TEST(QueryTest, ValidateAcceptsSafeQuery) {
+  ConjunctiveQuery cq = PathQuery(3);
+  EXPECT_TRUE(cq.Validate().ok());
+  EXPECT_EQ(cq.arity(), 2u);
+  EXPECT_EQ(cq.Variables().size(), 4u);
+  EXPECT_EQ(cq.ExistentialVariables().size(), 2u);
+}
+
+TEST(QueryTest, ValidateRejectsUnsafeHead) {
+  ConjunctiveQuery cq({Term::Variable("z")},
+                      {Atom("R", {Term::Variable("x")})});
+  Status status = cq.Validate();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryTest, ValidateRejectsConstantHead) {
+  ConjunctiveQuery cq({Term::Constant("c")},
+                      {Atom("R", {Term::Variable("x")})});
+  EXPECT_FALSE(cq.Validate().ok());
+}
+
+TEST(QueryTest, ValidateRejectsInconsistentArity) {
+  ConjunctiveQuery cq({}, {Atom("R", {Term::Variable("x")}),
+                           Atom("R", {Term::Variable("x"),
+                                      Term::Variable("y")})});
+  EXPECT_FALSE(cq.Validate().ok());
+}
+
+TEST(QueryTest, BooleanQuery) {
+  ConjunctiveQuery cq({}, {Atom("R", {Term::Variable("x")})});
+  EXPECT_TRUE(cq.Validate().ok());
+  EXPECT_TRUE(cq.IsBoolean());
+}
+
+TEST(UnionQueryTest, ValidateChecksArities) {
+  UnionQuery bad({PathQuery(2),
+                  ConjunctiveQuery({Term::Variable("x")},
+                                   {Atom("E", {Term::Variable("x"),
+                                               Term::Variable("y")})})});
+  EXPECT_FALSE(bad.Validate().ok());
+  UnionQuery good({PathQuery(1), PathQuery(2)});
+  EXPECT_TRUE(good.Validate().ok());
+}
+
+TEST(DatabaseTest, AddAndLookup) {
+  Database db;
+  EXPECT_TRUE(db.AddFact("R", {"a", "b"}));
+  EXPECT_FALSE(db.AddFact("R", {"a", "b"}));  // duplicate
+  EXPECT_TRUE(db.AddFact("R", {"b", "c"}));
+  EXPECT_TRUE(db.HasFact("R", {"a", "b"}));
+  EXPECT_FALSE(db.HasFact("R", {"b", "a"}));
+  EXPECT_EQ(db.NumFacts(), 2u);
+  EXPECT_EQ(db.Facts("R").size(), 2u);
+  EXPECT_TRUE(db.Facts("S").empty());
+  EXPECT_EQ(db.ActiveDomain().size(), 3u);
+}
+
+TEST(DatabaseTest, UnionWith) {
+  Database a, b;
+  a.AddFact("R", {"x"});
+  b.AddFact("R", {"x"});
+  b.AddFact("S", {"y"});
+  a.UnionWith(b);
+  EXPECT_EQ(a.NumFacts(), 2u);
+}
+
+TEST(CanonicalDatabaseTest, FreezesVariables) {
+  ConjunctiveQuery cq = PathQuery(2);
+  Database db = CanonicalDatabase(cq);
+  EXPECT_TRUE(db.HasFact("E", {"x0", "x1"}));
+  EXPECT_TRUE(db.HasFact("E", {"x1", "x2"}));
+  EXPECT_EQ(db.NumFacts(), 2u);
+  EXPECT_EQ(CanonicalHead(cq), (Tuple{"x0", "x2"}));
+}
+
+TEST(HomomorphismTest, FindsPathMatch) {
+  Database db;
+  db.AddFact("E", {"1", "2"});
+  db.AddFact("E", {"2", "3"});
+  ConjunctiveQuery cq = PathQuery(2);
+  auto h = FindHomomorphism(cq, db);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->at("x0"), "1");
+  EXPECT_EQ(h->at("x2"), "3");
+}
+
+TEST(HomomorphismTest, RespectsFixedAssignment) {
+  Database db;
+  db.AddFact("E", {"1", "2"});
+  db.AddFact("E", {"2", "3"});
+  ConjunctiveQuery cq = PathQuery(1);
+  Assignment fixed = {{"x0", "2"}};
+  auto h = FindHomomorphism(cq, db, fixed);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->at("x1"), "3");
+  fixed = {{"x0", "3"}};
+  EXPECT_FALSE(FindHomomorphism(cq, db, fixed).has_value());
+}
+
+TEST(HomomorphismTest, ConstantsMustMatch) {
+  Database db;
+  db.AddFact("R", {"c", "1"});
+  ConjunctiveQuery cq({}, {Atom("R", {Term::Constant("c"),
+                                      Term::Variable("x")})});
+  EXPECT_TRUE(FindHomomorphism(cq, db).has_value());
+  ConjunctiveQuery cq2({}, {Atom("R", {Term::Constant("d"),
+                                       Term::Variable("x")})});
+  EXPECT_FALSE(FindHomomorphism(cq2, db).has_value());
+}
+
+TEST(EvaluateCqTest, PathEndpoints) {
+  Database db;
+  db.AddFact("E", {"1", "2"});
+  db.AddFact("E", {"2", "3"});
+  db.AddFact("E", {"3", "4"});
+  std::vector<Tuple> result = EvaluateCq(PathQuery(2), db);
+  EXPECT_EQ(result, (std::vector<Tuple>{{"1", "3"}, {"2", "4"}}));
+}
+
+TEST(EvaluateCqTest, BooleanQueryYieldsEmptyTuple) {
+  Database db;
+  db.AddFact("R", {"a"});
+  ConjunctiveQuery cq({}, {Atom("R", {Term::Variable("x")})});
+  EXPECT_EQ(EvaluateCq(cq, db), (std::vector<Tuple>{{}}));
+  Database empty;
+  EXPECT_TRUE(EvaluateCq(cq, empty).empty());
+}
+
+TEST(EvaluateUcqTest, UnionsResults) {
+  Database db;
+  db.AddFact("E", {"1", "2"});
+  db.AddFact("E", {"2", "3"});
+  UnionQuery ucq({PathQuery(1), PathQuery(2)});
+  std::vector<Tuple> result = EvaluateUcq(ucq, db);
+  EXPECT_EQ(result, (std::vector<Tuple>{{"1", "2"}, {"1", "3"}, {"2", "3"}}));
+}
+
+TEST(HomomorphismTest, RepeatedVariableInAtom) {
+  Database db;
+  db.AddFact("E", {"1", "1"});
+  db.AddFact("E", {"1", "2"});
+  ConjunctiveQuery loop({}, {Atom("E", {Term::Variable("x"),
+                                        Term::Variable("x")})});
+  auto h = FindHomomorphism(loop, db);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->at("x"), "1");
+}
+
+}  // namespace
+}  // namespace qcont

@@ -1,0 +1,56 @@
+#ifndef QCONT_TESTS_ENGINE_VALIDATION_H_
+#define QCONT_TESTS_ENGINE_VALIDATION_H_
+
+// Shared cross-validation helpers for the containment-engine tests.
+
+#include <string>
+
+#include "core/datalog_ucq.h"
+#include "cq/containment.h"
+#include "cq/database.h"
+#include "datalog/eval.h"
+#include "datalog/expansion.h"
+
+namespace qcont {
+namespace testval {
+
+/// Validates a containment answer against ground truth obtainable without
+/// the engine:
+///  - contained: every expansion of Π within the depth bound must be
+///    contained in Θ (a complete refutation check up to that depth);
+///  - not contained: the witness must escape Θ and be derivable by Π on
+///    its own canonical database (a full certificate).
+/// Returns an empty string on success, a diagnostic otherwise.
+inline std::string ValidateAnswer(const DatalogProgram& program,
+                                  const UnionQuery& ucq,
+                                  const ContainmentAnswer& answer,
+                                  int depth = 4, std::size_t max_exp = 300) {
+  if (answer.contained) {
+    auto exps = EnumerateExpansions(program, depth, max_exp);
+    if (!exps.ok()) return "expansion enumeration failed";
+    for (const ConjunctiveQuery& e : *exps) {
+      auto c = CqContainedInUcq(e, ucq);
+      if (!c.ok()) return "containment check failed: " + c.status().ToString();
+      if (!*c) return "claimed contained but expansion escapes: " + e.ToString();
+    }
+    return "";
+  }
+  if (!answer.witness.has_value()) return "missing witness";
+  auto c = CqContainedInUcq(*answer.witness, ucq);
+  if (!c.ok()) return "witness check failed: " + c.status().ToString();
+  if (*c) return "witness is contained in the UCQ: " + answer.witness->ToString();
+  Database canonical = CanonicalDatabase(*answer.witness);
+  auto derived = EvaluateProgram(program, canonical);
+  if (!derived.ok()) return "evaluation failed";
+  if (!derived->HasFact(program.goal_predicate(),
+                        CanonicalHead(*answer.witness))) {
+    return "witness is not derivable by the program: " +
+           answer.witness->ToString();
+  }
+  return "";
+}
+
+}  // namespace testval
+}  // namespace qcont
+
+#endif  // QCONT_TESTS_ENGINE_VALIDATION_H_

@@ -1,0 +1,100 @@
+// Structural tests for the Theorem 5 hardness-instance generator: the
+// instances must have exactly the shape the paper's lower-bound proof
+// relies on — polynomial size, an acyclic UCQ, and unbounded variable
+// sharing (which is why Theorem 6's ACk engine does not help here).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/hardness.h"
+#include "structure/classify.h"
+
+namespace qcont {
+namespace {
+
+TEST(AtmSpecTest, TinyValidates) {
+  EXPECT_TRUE(AtmSpec::Tiny().Validate().ok());
+}
+
+TEST(AtmSpecTest, ValidationCatchesBadMachines) {
+  AtmSpec m = AtmSpec::Tiny();
+  m.existential[0] = false;  // the reduction needs an existential start
+  EXPECT_FALSE(m.Validate().ok());
+  m = AtmSpec::Tiny();
+  m.delta_left[0][0].move = 2;
+  EXPECT_FALSE(m.Validate().ok());
+  m = AtmSpec::Tiny();
+  m.initial_state = 5;
+  EXPECT_FALSE(m.Validate().ok());
+}
+
+TEST(HardnessTest, InstanceIsWellFormed) {
+  auto instance = BuildTheorem5Instance(AtmSpec::Tiny(), 2);
+  ASSERT_TRUE(instance.ok()) << instance.status().ToString();
+  EXPECT_TRUE(instance->program.Validate().ok());
+  EXPECT_TRUE(instance->ucq.Validate().ok());
+  EXPECT_EQ(instance->program.GoalArity(), 0);
+  EXPECT_EQ(instance->ucq.arity(), 0u);
+  // 2 plain + 2*2 composite symbols.
+  EXPECT_EQ(instance->tape_symbol_names.size(), 6u);
+}
+
+TEST(HardnessTest, UcqIsAcyclic) {
+  // The crux of Theorem 5(1): the error-detecting UCQ is in AC = HW(1),
+  // yet containment stays 2EXPTIME-hard.
+  auto instance = BuildTheorem5Instance(AtmSpec::Tiny(), 1);
+  ASSERT_TRUE(instance.ok());
+  auto acyclic = IsAcyclicUcq(instance->ucq);
+  ASSERT_TRUE(acyclic.ok());
+  EXPECT_TRUE(*acyclic);
+}
+
+TEST(HardnessTest, SharedVariablesGrowWithAddressWidth) {
+  // The Φ gadgets share the whole n-bit address tuple ā2 between two
+  // atoms, so the instances climb the ACk hierarchy as n grows — the
+  // reason bounded-sharing (Theorem 6) is the right tractability frontier.
+  // The Φ pair shares n + 3 variables (bx, by, the config link and the
+  // full address); the address-counter gadgets share 7. So the level is
+  // max(7, n + 3) and grows once n exceeds 4.
+  int at_one = 0;
+  for (int n : {1, 4, 6}) {
+    auto instance = BuildTheorem5Instance(AtmSpec::Tiny(), n);
+    ASSERT_TRUE(instance.ok());
+    auto level = AckLevel(instance->ucq);
+    ASSERT_TRUE(level.ok());
+    EXPECT_GE(*level, std::max(7, n + 3)) << "n=" << n;
+    if (n == 1) at_one = *level;
+    if (n == 6) EXPECT_GT(*level, at_one);
+  }
+}
+
+TEST(HardnessTest, SizesArePolynomialInN) {
+  auto small = BuildTheorem5Instance(AtmSpec::Tiny(), 1);
+  auto large = BuildTheorem5Instance(AtmSpec::Tiny(), 4);
+  ASSERT_TRUE(small.ok() && large.ok());
+  // Rules grow linearly in n (2 per address bit); disjunct count is
+  // dominated by the machine-dependent Φ complement, independent of n.
+  EXPECT_EQ(large->program.rules().size() - small->program.rules().size(),
+            2u * 3u);
+  EXPECT_EQ(large->ucq.disjuncts().size() >= small->ucq.disjuncts().size(),
+            true);
+  // The arity of the cell predicate is n + 8 as in the paper.
+  EXPECT_EQ(large->program.ArityOf("cell"), 4 + 8);  // x,y,z,z' + ā + u,v,w,t
+}
+
+TEST(HardnessTest, ProgramShapeMatchesPaper) {
+  auto instance = BuildTheorem5Instance(AtmSpec::Tiny(), 2);
+  ASSERT_TRUE(instance.ok());
+  const DatalogProgram& p = instance->program;
+  EXPECT_TRUE(p.IsRecursive());
+  EXPECT_FALSE(p.IsLinear());  // universal rules have two intensional atoms
+  EXPECT_EQ(p.ArityOf("prop"), 2 + 7);  // n + 7 with n = 2
+  EXPECT_EQ(p.ArityOf("accept_all"), 0);
+  EXPECT_TRUE(p.IsIntensional("prop"));
+  EXPECT_FALSE(p.IsIntensional("cell"));
+  EXPECT_FALSE(p.IsIntensional("start"));
+}
+
+}  // namespace
+}  // namespace qcont

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "parser/parser.h"
+#include "structure/graph.h"
+#include "structure/join_tree.h"
+#include "structure/tree_decomposition.h"
+#include "tests/generators.h"
+
+namespace qcont {
+namespace {
+
+ConjunctiveQuery Cq(const std::string& text) {
+  auto ucq = ParseUcq(text);
+  EXPECT_TRUE(ucq.ok()) << ucq.status().ToString();
+  return ucq->disjuncts().front();
+}
+
+UndirectedGraph Cycle(int n) {
+  UndirectedGraph g(n);
+  for (int i = 0; i < n; ++i) g.AddEdge(i, (i + 1) % n);
+  return g;
+}
+
+UndirectedGraph Clique(int n) {
+  UndirectedGraph g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) g.AddEdge(i, j);
+  }
+  return g;
+}
+
+TEST(GraphTest, BasicOperations) {
+  UndirectedGraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 1);  // self loop ignored
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_TRUE(g.IsForest());
+  EXPECT_EQ(g.ConnectedComponents().size(), 2u);  // {0,1,2} and {3}
+}
+
+TEST(GraphTest, CycleIsNotForest) {
+  EXPECT_FALSE(Cycle(3).IsForest());
+  EXPECT_FALSE(Cycle(5).IsForest());
+}
+
+TEST(GaifmanGraphTest, PathQuery) {
+  ConjunctiveQuery cq = Cq("Q() :- E(x,y), E(y,z).");
+  UndirectedGraph g = GaifmanGraph(cq);
+  EXPECT_EQ(g.NumVertices(), 3u);
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_TRUE(g.IsForest());
+}
+
+TEST(GaifmanGraphTest, WideAtomFormsClique) {
+  ConjunctiveQuery cq = Cq("Q() :- T(x,y,z).");
+  UndirectedGraph g = GaifmanGraph(cq);
+  EXPECT_EQ(g.NumEdges(), 3u);  // triangle
+}
+
+TEST(TreewidthTest, KnownValues) {
+  EXPECT_EQ(*TreewidthExact(UndirectedGraph(0)), 0);
+  EXPECT_EQ(*TreewidthExact(UndirectedGraph(1)), 0);
+  EXPECT_EQ(*TreewidthExact(Cycle(3)), 2);
+  EXPECT_EQ(*TreewidthExact(Cycle(6)), 2);
+  EXPECT_EQ(*TreewidthExact(Clique(5)), 4);
+  // Paths have treewidth 1.
+  UndirectedGraph path(5);
+  for (int i = 0; i < 4; ++i) path.AddEdge(i, i + 1);
+  EXPECT_EQ(*TreewidthExact(path), 1);
+  // 3x3 grid has treewidth 3.
+  UndirectedGraph grid(9);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      if (c + 1 < 3) grid.AddEdge(r * 3 + c, r * 3 + c + 1);
+      if (r + 1 < 3) grid.AddEdge(r * 3 + c, (r + 1) * 3 + c);
+    }
+  }
+  EXPECT_EQ(*TreewidthExact(grid), 3);
+}
+
+TEST(TreewidthTest, RefusesLargeGraphs) {
+  EXPECT_EQ(TreewidthExact(Clique(25)).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(TreeDecompositionTest, FromOrderIsValid) {
+  UndirectedGraph g = Cycle(5);
+  TreeDecomposition td = DecompositionFromOrder(g, MinFillOrder(g));
+  EXPECT_TRUE(td.Validate(g).ok());
+  EXPECT_EQ(td.Width(), 2);
+}
+
+TEST(TreeDecompositionTest, ValidateRejectsBadDecompositions) {
+  UndirectedGraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  TreeDecomposition td;
+  td.bags = {{0, 1}, {2}};  // edge (1,2) uncovered
+  td.edges = {{0, 1}};
+  EXPECT_FALSE(td.Validate(g).ok());
+  td.bags = {{0, 1}, {1, 2}, {0, 1}};
+  td.edges = {{0, 1}, {1, 2}};  // vertex 0's bags disconnected
+  EXPECT_FALSE(td.Validate(g).ok());
+}
+
+// Property: on random graphs the min-fill upper bound is valid and never
+// beats the exact treewidth.
+TEST(TreewidthProperty, HeuristicBoundsExact) {
+  std::mt19937 rng(42);
+  for (int trial = 0; trial < 30; ++trial) {
+    int n = 4 + static_cast<int>(rng() % 6);
+    UndirectedGraph g(n);
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (rng() % 3 == 0) g.AddEdge(i, j);
+      }
+    }
+    TreeDecomposition td = DecompositionFromOrder(g, MinFillOrder(g));
+    ASSERT_TRUE(td.Validate(g).ok());
+    auto exact = TreewidthExact(g);
+    ASSERT_TRUE(exact.ok());
+    EXPECT_GE(td.Width(), *exact);
+  }
+}
+
+TEST(JoinTreeTest, PaperSection3Examples) {
+  // The path CQ is acyclic (Example 3 context).
+  EXPECT_TRUE(IsAcyclic(Cq("Q() :- E(x1,x2), E(x2,x3), E(x3,x4).")));
+  // Closing the path into a cycle destroys acyclicity.
+  EXPECT_FALSE(IsAcyclic(Cq("Q() :- E(x1,x2), E(x2,x3), E(x3,x1).")));
+  // Section 3's clique-plus-wide-atom family is acyclic: the wide atom is
+  // the join-tree root covering all shared variables.
+  EXPECT_TRUE(IsAcyclic(
+      Cq("Q() :- E(x1,x2), E(x1,x3), E(x2,x3), T(x1,x2,x3).")));
+  // Without the covering atom a triangle is cyclic.
+  EXPECT_FALSE(IsAcyclic(Cq("Q() :- E(x1,x2), E(x1,x3), E(x2,x3).")));
+}
+
+TEST(JoinTreeTest, BuildAndValidate) {
+  ConjunctiveQuery cq =
+      Cq("Q() :- R(x,y), S(y,z), T(z,w), U(y,u).");
+  auto jt = BuildJoinTree(cq);
+  ASSERT_TRUE(jt.ok());
+  EXPECT_TRUE(jt->Validate(cq).ok());
+  EXPECT_EQ(BuildJoinTree(Cq("Q() :- E(x,y), E(y,z), E(z,x).")).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(JoinTreeTest, DisconnectedQueryYieldsForest) {
+  ConjunctiveQuery cq = Cq("Q() :- R(x,y), S(u,v).");
+  auto jt = BuildJoinTree(cq);
+  ASSERT_TRUE(jt.ok());
+  EXPECT_EQ(jt->Roots().size(), 2u);
+  EXPECT_TRUE(jt->Validate(cq).ok());
+}
+
+// Property: the ear-construction generator produces acyclic queries and
+// GYO accepts them with a valid join tree.
+TEST(JoinTreeProperty, GeneratorAgreesWithGyo) {
+  std::mt19937 rng(7);
+  testgen::SchemaSpec schema{{{"R", 2}, {"S", 3}, {"T", 1}}};
+  for (int trial = 0; trial < 50; ++trial) {
+    ConjunctiveQuery cq = testgen::RandomAcyclicCq(&rng, schema, 5, 0);
+    EXPECT_TRUE(IsAcyclic(cq)) << cq.ToString();
+    auto jt = BuildJoinTree(cq);
+    ASSERT_TRUE(jt.ok());
+    EXPECT_TRUE(jt->Validate(cq).ok()) << cq.ToString();
+  }
+}
+
+// Property: GYO acyclicity coincides with Gaifman treewidth 1 on binary
+// schemas (AC = TW(1) over graphs, as used throughout Section 5).
+TEST(JoinTreeProperty, BinaryAcyclicEqualsTreewidthOne) {
+  std::mt19937 rng(11);
+  testgen::SchemaSpec schema = testgen::BinarySchema();
+  for (int trial = 0; trial < 50; ++trial) {
+    ConjunctiveQuery cq = testgen::RandomCq(&rng, schema, 4, 4, 0);
+    UndirectedGraph g = GaifmanGraph(cq);
+    auto tw = TreewidthExact(g);
+    ASSERT_TRUE(tw.ok());
+    EXPECT_EQ(IsAcyclic(cq), *tw <= 1) << cq.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace qcont
