@@ -6,17 +6,22 @@
 //   qcont_cli rcontains <program-file> <uc2rpq-file>  graph containment
 //   qcont_cli classify  <ucq-file>                    structural classes
 //   qcont_cli eval      <program-file> <db-file>      bottom-up evaluation
+//   qcont_cli lint      [program|ucq|uc2rpq] <file>   static analysis
 //
 // File formats are the library's text syntax (see README "Input syntax").
 // Exit code: 0 = containment/equivalence holds, 1 = it does not (witness on
 // stdout), 2 = usage or input error, 3 = undecided (cyclic UC2RPQ search
-// exhausted).
+// exhausted). For lint: 0 = no errors, 1 = error diagnostics reported,
+// 2 = usage or syntax error.
 
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "analysis/analyzer.h"
+#include "analysis/diagnostic.h"
 #include "core/datalog_uc2rpq.h"
 #include "core/equivalence.h"
 #include "core/router.h"
@@ -41,7 +46,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: qcont_cli contains|equiv|rcontains <program> <query>\n"
                "       qcont_cli classify <ucq>\n"
-               "       qcont_cli eval <program> <database>\n");
+               "       qcont_cli eval <program> <database>\n"
+               "       qcont_cli lint [program|ucq|uc2rpq] <file>\n");
   return 2;
 }
 
@@ -54,11 +60,65 @@ bool Check(const Result<T>& r, const char* what) {
   return true;
 }
 
+// Runs the static analyzer over `text`, printing one line per diagnostic
+// plus a summary. `kind` is "program", "ucq", "uc2rpq", or "" to guess:
+// bracketed regex atoms mean UC2RPQ, otherwise treat as a program (which
+// also covers UCQ syntax; pass the kind explicitly to lint a UCQ as such).
+int Lint(const std::string& kind_arg, const std::string& text) {
+  std::string kind = kind_arg;
+  if (kind.empty()) {
+    kind = text.find('[') != std::string::npos ? "uc2rpq" : "program";
+  }
+
+  SourceLines lines;
+  std::vector<analysis::Diagnostic> diags;
+  analysis::AnalysisOptions options;
+  if (kind == "program") {
+    auto program = ParseProgramUnvalidated(text, &lines);
+    if (!Check(program, "program")) return 2;
+    options.rule_lines = lines.rule_lines;
+    diags = analysis::AnalyzeProgram(*program, options);
+  } else if (kind == "ucq") {
+    auto ucq = ParseUcqUnvalidated(text, &lines);
+    if (!Check(ucq, "ucq")) return 2;
+    options.rule_lines = lines.rule_lines;
+    diags = analysis::AnalyzeUcq(*ucq, options);
+  } else if (kind == "uc2rpq") {
+    auto gamma = ParseUC2rpqUnvalidated(text, &lines);
+    if (!Check(gamma, "uc2rpq")) return 2;
+    options.rule_lines = lines.rule_lines;
+    diags = analysis::AnalyzeUC2rpq(*gamma, options);
+  } else {
+    return Usage();
+  }
+
+  for (const analysis::Diagnostic& d : diags) {
+    std::printf("%s\n", analysis::FormatDiagnostic(d).c_str());
+  }
+  int errors = analysis::CountSeverity(diags, analysis::Severity::kError);
+  int warnings = analysis::CountSeverity(diags, analysis::Severity::kWarning);
+  std::printf("%d error(s), %d warning(s)\n", errors, warnings);
+  return errors > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 3) return Usage();
   const std::string mode = argv[1];
+
+  if (mode == "lint") {
+    // lint <file>  or  lint <kind> <file>
+    const std::string kind = argc >= 4 ? argv[2] : "";
+    const char* path = argc >= 4 ? argv[3] : argv[2];
+    std::string text;
+    if (!ReadFile(path, &text)) {
+      std::fprintf(stderr, "cannot read %s\n", path);
+      return 2;
+    }
+    return Lint(kind, text);
+  }
+
   std::string first_text;
   if (!ReadFile(argv[2], &first_text)) {
     std::fprintf(stderr, "cannot read %s\n", argv[2]);

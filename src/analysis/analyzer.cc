@@ -1,0 +1,531 @@
+#include "analysis/analyzer.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+#include <string>
+
+#include "datalog/predicate_graph.h"
+#include "structure/classify.h"
+
+namespace qcont {
+namespace analysis {
+
+namespace {
+
+int LineOf(const AnalysisOptions& options, int index) {
+  return (index >= 0 && index < static_cast<int>(options.rule_lines.size()))
+             ? options.rule_lines[index]
+             : 0;
+}
+
+void Emit(std::vector<Diagnostic>* out, const AnalysisOptions& options,
+          DiagCode code, Subject subject, int index, std::string message) {
+  out->push_back(Diagnostic{code, std::move(message), subject, index,
+                            LineOf(options, index)});
+}
+
+// Tracks the arity of each predicate across one input and reports the
+// first inconsistent use of each predicate (not every later use, to keep
+// the output readable).
+class ArityChecker {
+ public:
+  // Returns false (and remembers the conflict) when `atom` uses its
+  // predicate at an arity different from an earlier use.
+  bool Observe(const Atom& atom) {
+    auto [it, inserted] = arities_.emplace(atom.predicate(), atom.arity());
+    if (!inserted && it->second != atom.arity()) {
+      // Complain once per predicate.
+      return !reported_.insert(atom.predicate()).second;
+    }
+    return true;
+  }
+
+  std::size_t ExpectedArity(const std::string& predicate) const {
+    return arities_.at(predicate);
+  }
+
+ private:
+  std::map<std::string, std::size_t> arities_;
+  std::set<std::string> reported_;
+};
+
+// Variables occurring exactly once in the given atoms + extra terms,
+// skipping names that start with '_' (the conventional "intentionally
+// unused" marker, as in Prolog singleton warnings).
+std::vector<std::string> SingletonVariables(const std::vector<Atom>& atoms,
+                                            const std::vector<Term>& extra) {
+  std::map<std::string, int> counts;
+  std::vector<std::string> order;
+  auto count = [&](const Term& t) {
+    if (!t.is_variable()) return;
+    if (++counts[t.name()] == 1) order.push_back(t.name());
+  };
+  for (const Atom& a : atoms) {
+    for (const Term& t : a.terms()) count(t);
+  }
+  for (const Term& t : extra) count(t);
+  std::vector<std::string> out;
+  for (const std::string& name : order) {
+    if (counts[name] == 1 && !name.empty() && name[0] != '_') {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+// Number of variable-connected components of the atom list; atoms without
+// variables are their own component. 0 for an empty list.
+int ConnectedComponents(const std::vector<Atom>& atoms) {
+  const int n = static_cast<int>(atoms.size());
+  std::vector<int> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](int a) {
+    while (parent[a] != a) a = parent[a] = parent[parent[a]];
+    return a;
+  };
+  std::map<std::string, int> first_atom_of_var;
+  for (int i = 0; i < n; ++i) {
+    for (const Term& t : atoms[i].terms()) {
+      if (!t.is_variable()) continue;
+      auto [it, inserted] = first_atom_of_var.emplace(t.name(), i);
+      if (!inserted) parent[find(i)] = find(it->second);
+    }
+  }
+  std::set<int> roots;
+  for (int i = 0; i < n; ++i) roots.insert(find(i));
+  return static_cast<int>(roots.size());
+}
+
+// The shared warning passes over one rule/disjunct body. `free_terms` are
+// head terms (counted toward variable occurrences; a projection variable
+// used once in the body and once in the head is not a singleton).
+void BodyWarnings(std::vector<Diagnostic>* out, const AnalysisOptions& options,
+                  Subject subject, int index, const std::vector<Atom>& atoms,
+                  const std::vector<Term>& free_terms) {
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    for (std::size_t j = i + 1; j < atoms.size(); ++j) {
+      if (atoms[i] == atoms[j]) {
+        Emit(out, options, DiagCode::kDuplicateAtom, subject,
+             static_cast<int>(index),
+             "atom " + atoms[j].ToString() + " is repeated in the body");
+        break;  // one report per duplicated earlier atom
+      }
+    }
+  }
+  std::vector<std::string> singletons = SingletonVariables(atoms, free_terms);
+  if (!singletons.empty()) {
+    std::string joined;
+    for (const std::string& v : singletons) {
+      if (!joined.empty()) joined += ", ";
+      joined += "'" + v + "'";
+    }
+    Emit(out, options, DiagCode::kSingletonVariable, subject, index,
+         "singleton variable(s) " + joined +
+             " occur only once (prefix with '_' to silence)");
+  }
+  const int components = ConnectedComponents(atoms);
+  if (components >= 2) {
+    Emit(out, options, DiagCode::kCartesianProduct, subject, index,
+         "body is a cartesian product of " + std::to_string(components) +
+             " variable-disjoint parts");
+  }
+}
+
+}  // namespace
+
+std::vector<Diagnostic> AnalyzeProgram(const DatalogProgram& program,
+                                       const AnalysisOptions& options) {
+  std::vector<Diagnostic> out;
+  if (program.rules().empty()) {
+    Emit(&out, options, DiagCode::kEmptyInput, Subject::kInput, -1,
+         "program has no rules");
+    return out;
+  }
+
+  // Error passes: safety, constant-freeness, arity consistency, goal
+  // sanity. Together these are exactly DatalogProgram::Validate().
+  ArityChecker arities;
+  for (std::size_t i = 0; i < program.rules().size(); ++i) {
+    const Rule& rule = program.rules()[i];
+    const int index = static_cast<int>(i);
+    std::set<std::string> body_vars;
+    bool constants_reported = false;
+    auto check_terms = [&](const Atom& atom, bool is_body) {
+      for (const Term& t : atom.terms()) {
+        if (t.is_variable()) {
+          if (is_body) body_vars.insert(t.name());
+        } else if (!constants_reported) {
+          constants_reported = true;
+          Emit(&out, options, DiagCode::kConstant, Subject::kRule, index,
+               "constants are not supported in rules: " + rule.ToString());
+        }
+      }
+    };
+    for (const Atom& atom : rule.body) check_terms(atom, /*is_body=*/true);
+    check_terms(rule.head, /*is_body=*/false);
+    for (const Term& t : rule.head.terms()) {
+      if (t.is_variable() && !body_vars.count(t.name())) {
+        Emit(&out, options, DiagCode::kUnsafeRule, Subject::kRule, index,
+             "unsafe rule (head variable '" + t.name() +
+                 "' not in body): " + rule.ToString());
+      }
+    }
+    auto check_arity = [&](const Atom& atom) {
+      if (!arities.Observe(atom)) {
+        Emit(&out, options, DiagCode::kArityMismatch, Subject::kRule, index,
+             "predicate '" + atom.predicate() +
+                 "' used with inconsistent arities (" +
+                 std::to_string(atom.arity()) + " here, " +
+                 std::to_string(arities.ExpectedArity(atom.predicate())) +
+                 " before)");
+      }
+    };
+    check_arity(rule.head);
+    for (const Atom& atom : rule.body) check_arity(atom);
+  }
+  const bool goal_defined = program.IsIntensional(program.goal_predicate());
+  if (!goal_defined) {
+    Emit(&out, options, DiagCode::kGoalNotIntensional, Subject::kInput, -1,
+         "goal predicate '" + program.goal_predicate() +
+             "' is not intensional (no rule defines it)");
+  }
+
+  if (options.style_warnings) {
+    for (std::size_t i = 0; i < program.rules().size(); ++i) {
+      const Rule& rule = program.rules()[i];
+      BodyWarnings(&out, options, Subject::kRule, static_cast<int>(i),
+                   rule.body, rule.head.terms());
+      for (std::size_t j = 0; j < i; ++j) {
+        const Rule& earlier = program.rules()[j];
+        if (rule.head == earlier.head && rule.body == earlier.body) {
+          Emit(&out, options, DiagCode::kDuplicateRule, Subject::kRule,
+               static_cast<int>(i),
+               "rule duplicates rule " + std::to_string(j) + ": " +
+                   rule.ToString());
+          break;
+        }
+      }
+    }
+    // Dead rules: heads not reachable from the goal in the predicate
+    // dependency graph (one SCC-condensation reachability sweep).
+    if (goal_defined) {
+      PredicateGraph graph(program);
+      const std::vector<bool> reachable = graph.ReachableFromGoal();
+      for (std::size_t i = 0; i < program.rules().size(); ++i) {
+        const std::string& head = program.rules()[i].head.predicate();
+        const int node = graph.IndexOf(head);
+        if (node >= 0 && !reachable[node]) {
+          Emit(&out, options, DiagCode::kUnreachablePredicate, Subject::kRule,
+               static_cast<int>(i),
+               "rule is dead: predicate '" + head +
+                   "' is unreachable from goal '" +
+                   program.goal_predicate() + "'");
+        }
+      }
+    }
+  }
+
+  if (options.tractability_advisor && !HasErrors(out)) {
+    std::string fragment = program.IsRecursive() ? "recursive" : "nonrecursive";
+    if (program.IsLinear()) fragment += ", linear";
+    if (program.IsMonadic()) fragment += ", monadic";
+    std::string msg =
+        "program fragment: " + fragment + "; " +
+        std::to_string(program.rules().size()) + " rule(s), " +
+        std::to_string(program.IntensionalPredicates().size()) +
+        " intensional / " +
+        std::to_string(program.ExtensionalPredicates().size()) +
+        " extensional predicate(s), max " +
+        std::to_string(program.MaxRuleVariables()) + " variables per rule";
+    if (!program.IsRecursive()) {
+      msg += "; nonrecursive programs unfold into a finite UCQ, so "
+             "containment reduces to UCQ containment";
+    } else {
+      msg += "; CONT(Datalog, UCQ) runs the general 2EXPTIME type engine "
+             "(Theorem 2) unless the query is acyclic (ACk engine, "
+             "Theorem 6)";
+    }
+    Emit(&out, options, DiagCode::kProgramFragment, Subject::kInput, -1, msg);
+  }
+  return out;
+}
+
+std::vector<Diagnostic> AnalyzeUcq(const UnionQuery& ucq,
+                                   const AnalysisOptions& options) {
+  std::vector<Diagnostic> out;
+  if (ucq.disjuncts().empty()) {
+    Emit(&out, options, DiagCode::kEmptyInput, Subject::kInput, -1,
+         "UCQ has no disjuncts");
+    return out;
+  }
+
+  // Error passes: per-disjunct head safety and union-wide arity
+  // consistency — exactly UnionQuery::Validate().
+  ArityChecker arities;
+  for (std::size_t i = 0; i < ucq.disjuncts().size(); ++i) {
+    const ConjunctiveQuery& cq = ucq.disjuncts()[i];
+    const int index = static_cast<int>(i);
+    std::set<std::string> body_vars;
+    for (const Atom& atom : cq.atoms()) {
+      if (!arities.Observe(atom)) {
+        Emit(&out, options, DiagCode::kArityMismatch, Subject::kDisjunct,
+             index,
+             "predicate '" + atom.predicate() +
+                 "' used with inconsistent arities");
+      }
+      for (const Term& t : atom.terms()) {
+        if (t.is_variable()) body_vars.insert(t.name());
+      }
+    }
+    for (const Term& t : cq.head()) {
+      if (!t.is_variable()) {
+        Emit(&out, options, DiagCode::kInvalidHead, Subject::kDisjunct, index,
+             "head term " + t.ToString() + " is not a variable");
+      } else if (!body_vars.count(t.name())) {
+        Emit(&out, options, DiagCode::kInvalidHead, Subject::kDisjunct, index,
+             "free variable '" + t.name() + "' does not occur in the body");
+      }
+    }
+    if (cq.arity() != ucq.disjuncts().front().arity()) {
+      Emit(&out, options, DiagCode::kUnionArityMismatch, Subject::kDisjunct,
+           index,
+           "disjunct has arity " + std::to_string(cq.arity()) +
+               " but the union has arity " +
+               std::to_string(ucq.disjuncts().front().arity()));
+    }
+  }
+
+  if (options.style_warnings) {
+    for (std::size_t i = 0; i < ucq.disjuncts().size(); ++i) {
+      const ConjunctiveQuery& cq = ucq.disjuncts()[i];
+      BodyWarnings(&out, options, Subject::kDisjunct, static_cast<int>(i),
+                   cq.atoms(), cq.head());
+      for (std::size_t j = 0; j < i; ++j) {
+        const ConjunctiveQuery& earlier = ucq.disjuncts()[j];
+        if (cq.head() == earlier.head() && cq.atoms() == earlier.atoms()) {
+          Emit(&out, options, DiagCode::kDuplicateRule, Subject::kDisjunct,
+               static_cast<int>(i),
+               "disjunct duplicates disjunct " + std::to_string(j));
+          break;
+        }
+      }
+    }
+  }
+
+  if (options.tractability_advisor && !HasErrors(out)) {
+    auto classification = ClassifyUcq(ucq);
+    if (classification.ok()) {
+      std::string msg;
+      if (classification->acyclic) {
+        auto level = AckLevel(ucq);
+        const int k = level.ok() ? *level : classification->max_shared_vars;
+        msg = "acyclic UCQ in AC" + std::to_string(k) + " (treewidth " +
+              std::string(classification->treewidth_exact ? "" : "<= ") +
+              std::to_string(classification->treewidth) +
+              ") — route: single-exponential ACk engine (Theorem 6, "
+              "EXPTIME for fixed k)";
+      } else {
+        msg = "cyclic UCQ (treewidth " +
+              std::string(classification->treewidth_exact ? "" : "<= ") +
+              std::to_string(classification->treewidth) +
+              ") — route: general type engine (Theorem 2, 2EXPTIME)";
+      }
+      Emit(&out, options, DiagCode::kQueryTractability, Subject::kInput, -1,
+           msg);
+    }
+  }
+  return out;
+}
+
+std::vector<Diagnostic> AnalyzeUC2rpq(const UC2rpq& query,
+                                      const AnalysisOptions& options) {
+  std::vector<Diagnostic> out;
+  if (query.disjuncts().empty()) {
+    Emit(&out, options, DiagCode::kEmptyInput, Subject::kInput, -1,
+         "UC2RPQ has no disjuncts");
+    return out;
+  }
+
+  for (std::size_t i = 0; i < query.disjuncts().size(); ++i) {
+    const C2rpq& cq = query.disjuncts()[i];
+    const int index = static_cast<int>(i);
+    if (cq.atoms().empty()) {
+      Emit(&out, options, DiagCode::kEmptyInput, Subject::kDisjunct, index,
+           "disjunct has no atoms");
+      continue;
+    }
+    std::set<std::string> vars;
+    for (const RpqAtom& atom : cq.atoms()) {
+      for (const Term* t : {&atom.x, &atom.y}) {
+        if (t->is_variable()) {
+          vars.insert(t->name());
+        } else {
+          Emit(&out, options, DiagCode::kInvalidHead, Subject::kDisjunct,
+               index,
+               "endpoint " + t->ToString() + " of [" + atom.pattern +
+                   "] is not a variable");
+        }
+      }
+    }
+    for (const Term& t : cq.head()) {
+      if (!t.is_variable() || !vars.count(t.name())) {
+        Emit(&out, options, DiagCode::kInvalidHead, Subject::kDisjunct, index,
+             "free variable " + t.ToString() +
+                 " does not occur in any atom");
+      }
+    }
+    if (cq.arity() != query.disjuncts().front().arity()) {
+      Emit(&out, options, DiagCode::kUnionArityMismatch, Subject::kDisjunct,
+           index,
+           "disjunct has arity " + std::to_string(cq.arity()) +
+               " but the union has arity " +
+               std::to_string(query.disjuncts().front().arity()));
+    }
+    if (options.style_warnings) {
+      for (const RpqAtom& atom : cq.atoms()) {
+        if (!atom.nfa.IsLanguageNonempty()) {
+          Emit(&out, options, DiagCode::kEmptyRegexLanguage,
+               Subject::kDisjunct, index,
+               "atom [" + atom.pattern + "](" + atom.x.ToString() + "," +
+                   atom.y.ToString() +
+                   ") denotes the empty language; the disjunct can never "
+                   "match");
+        }
+      }
+      BodyWarnings(&out, options, Subject::kDisjunct, index,
+                   cq.UnderlyingCq().atoms(), cq.head());
+      auto same_atom = [](const RpqAtom& a, const RpqAtom& b) {
+        return a.pattern == b.pattern && a.x == b.x && a.y == b.y;
+      };
+      for (std::size_t a = 0; a < cq.atoms().size(); ++a) {
+        for (std::size_t b = a + 1; b < cq.atoms().size(); ++b) {
+          if (same_atom(cq.atoms()[a], cq.atoms()[b])) {
+            Emit(&out, options, DiagCode::kDuplicateAtom, Subject::kDisjunct,
+                 index,
+                 "atom [" + cq.atoms()[b].pattern +
+                     "] is repeated with the same endpoints");
+            break;
+          }
+        }
+      }
+      for (std::size_t j = 0; j < i; ++j) {
+        const C2rpq& earlier = query.disjuncts()[j];
+        if (cq.head() != earlier.head() ||
+            cq.atoms().size() != earlier.atoms().size()) {
+          continue;
+        }
+        bool equal = true;
+        for (std::size_t a = 0; a < cq.atoms().size(); ++a) {
+          if (!same_atom(cq.atoms()[a], earlier.atoms()[a])) {
+            equal = false;
+            break;
+          }
+        }
+        if (equal) {
+          Emit(&out, options, DiagCode::kDuplicateRule, Subject::kDisjunct,
+               index, "disjunct duplicates disjunct " + std::to_string(j));
+          break;
+        }
+      }
+    }
+  }
+
+  if (options.tractability_advisor && !HasErrors(out)) {
+    auto acyclic = IsAcyclicUC2rpq(query);
+    if (acyclic.ok()) {
+      std::string msg;
+      if (*acyclic) {
+        auto level = AcrkLevel(query);
+        msg = "acyclic UC2RPQ in ACR" +
+              (level.ok() ? std::to_string(*level) : std::string("?")) +
+              " — route: single-exponential ACRk engine (Theorem 9, EXPTIME "
+              "for fixed k)";
+      } else {
+        msg = "cyclic UC2RPQ — route: bounded refutation search (sound but "
+              "may report unknown; the paper's exact engines need "
+              "acyclicity)";
+      }
+      Emit(&out, options, DiagCode::kRpqTractability, Subject::kInput, -1,
+           msg);
+    }
+  }
+  return out;
+}
+
+std::vector<Diagnostic> CheckContainmentPair(const DatalogProgram& program,
+                                             const UnionQuery& ucq) {
+  AnalysisOptions options;
+  std::vector<Diagnostic> out;
+  if (static_cast<int>(ucq.arity()) != program.GoalArity()) {
+    Emit(&out, options, DiagCode::kUnionArityMismatch, Subject::kInput, -1,
+         "UCQ arity " + std::to_string(ucq.arity()) +
+             " differs from goal arity " +
+             std::to_string(program.GoalArity()));
+  }
+  std::set<std::string> reported_intensional;
+  std::set<std::string> reported_arity;
+  for (std::size_t i = 0; i < ucq.disjuncts().size(); ++i) {
+    const ConjunctiveQuery& cq = ucq.disjuncts()[i];
+    const int index = static_cast<int>(i);
+    bool constants_reported = false;
+    for (const Atom& atom : cq.atoms()) {
+      if (program.IsIntensional(atom.predicate()) &&
+          reported_intensional.insert(atom.predicate()).second) {
+        Emit(&out, options, DiagCode::kIntensionalInQuery, Subject::kDisjunct,
+             index,
+             "the UCQ mentions intensional predicate '" + atom.predicate() +
+                 "'; both queries must be over the extensional schema");
+      }
+      const int program_arity = program.ArityOf(atom.predicate());
+      if (program_arity != DatalogProgram::kMissingArity &&
+          program_arity != static_cast<int>(atom.arity()) &&
+          reported_arity.insert(atom.predicate()).second) {
+        Emit(&out, options, DiagCode::kArityMismatch, Subject::kDisjunct,
+             index,
+             "predicate '" + atom.predicate() + "' has arity " +
+                 std::to_string(program_arity) + " in the program but " +
+                 std::to_string(atom.arity()) + " in the query");
+      }
+      for (const Term& t : atom.terms()) {
+        if (!t.is_variable() && !constants_reported) {
+          constants_reported = true;
+          Emit(&out, options, DiagCode::kConstant, Subject::kDisjunct, index,
+               "the containment engines require constant-free queries");
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Diagnostic> CheckContainmentPair(const DatalogProgram& program,
+                                             const UC2rpq& gamma) {
+  AnalysisOptions options;
+  std::vector<Diagnostic> out;
+  if (static_cast<int>(gamma.arity()) != program.GoalArity()) {
+    Emit(&out, options, DiagCode::kUnionArityMismatch, Subject::kInput, -1,
+         "UC2RPQ arity " + std::to_string(gamma.arity()) +
+             " differs from goal arity " +
+             std::to_string(program.GoalArity()));
+  }
+  std::set<std::string> reported;
+  for (std::size_t i = 0; i < program.rules().size(); ++i) {
+    for (const Atom& atom : program.rules()[i].body) {
+      if (!program.IsIntensional(atom.predicate()) && atom.arity() != 2 &&
+          reported.insert(atom.predicate()).second) {
+        Emit(&out, options, DiagCode::kNonBinarySchema, Subject::kRule,
+             static_cast<int>(i),
+             "graph-database containment requires a binary extensional "
+             "schema; predicate '" +
+                 atom.predicate() + "' has arity " +
+                 std::to_string(atom.arity()));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace qcont

@@ -1,0 +1,67 @@
+#ifndef QCONT_ANALYSIS_ANALYZER_H_
+#define QCONT_ANALYSIS_ANALYZER_H_
+
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "cq/query.h"
+#include "datalog/program.h"
+#include "graphdb/c2rpq.h"
+
+namespace qcont {
+namespace analysis {
+
+/// Knobs for one analyzer run. The error passes always run — they are the
+/// definition of validity (DatalogProgram::Validate() is FirstError over
+/// them) — warnings and the advisor can be switched off.
+struct AnalysisOptions {
+  /// Emit QC1xx warnings (dead rules, singletons, cross joins, duplicates,
+  /// empty regex languages).
+  bool style_warnings = true;
+
+  /// Emit QC2xx info diagnostics: the tractability advisor classifies the
+  /// input (nonrecursive/linear/monadic; acyclic/ACk/TW(k)/ACRk) and names
+  /// the containment engine and complexity bound that applies.
+  bool tractability_advisor = true;
+
+  /// 1-based source line of rule/disjunct i, as produced by the parser's
+  /// SourceLines; diagnostics carry these lines. Empty when the input was
+  /// built programmatically.
+  std::vector<int> rule_lines;
+};
+
+/// Multi-pass static analysis of a Datalog program: rule safety, arity
+/// consistency, goal sanity (errors); unreachable predicates via the SCC
+/// condensation of the predicate dependency graph, singleton variables,
+/// cartesian products, duplicate rules/atoms (warnings); and the fragment
+/// report (info). Never fails: malformed inputs yield error diagnostics.
+std::vector<Diagnostic> AnalyzeProgram(const DatalogProgram& program,
+                                       const AnalysisOptions& options = {});
+
+/// Same for a UCQ: head safety and arity consistency (errors), duplicate
+/// disjuncts/atoms, singletons, cross joins (warnings), and the
+/// tractability advisor (acyclic + ACk level, treewidth, engine routing).
+std::vector<Diagnostic> AnalyzeUcq(const UnionQuery& ucq,
+                                   const AnalysisOptions& options = {});
+
+/// Same for a UC2RPQ; additionally flags atoms whose regular expression
+/// denotes the empty language (the disjunct can never match).
+std::vector<Diagnostic> AnalyzeUC2rpq(const UC2rpq& query,
+                                      const AnalysisOptions& options = {});
+
+/// The preconditions the CONT(Datalog, UCQ) engines share: the query arity
+/// equals the goal arity, the query is constant-free, mentions only
+/// extensional predicates, and uses them at the program's arities. Engines
+/// surface FirstError() of this; `lint` prints all of it.
+std::vector<Diagnostic> CheckContainmentPair(const DatalogProgram& program,
+                                             const UnionQuery& ucq);
+
+/// The CONT(Datalog, UC2RPQ) preconditions: arity agreement and a binary
+/// extensional schema on the program side.
+std::vector<Diagnostic> CheckContainmentPair(const DatalogProgram& program,
+                                             const UC2rpq& gamma);
+
+}  // namespace analysis
+}  // namespace qcont
+
+#endif  // QCONT_ANALYSIS_ANALYZER_H_

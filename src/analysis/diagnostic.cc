@@ -1,0 +1,104 @@
+#include "analysis/diagnostic.h"
+
+namespace qcont {
+namespace analysis {
+
+const char* DiagCodeId(DiagCode code) {
+  switch (code) {
+    case DiagCode::kEmptyInput: return "QC001";
+    case DiagCode::kUnsafeRule: return "QC002";
+    case DiagCode::kConstant: return "QC003";
+    case DiagCode::kArityMismatch: return "QC004";
+    case DiagCode::kGoalNotIntensional: return "QC005";
+    case DiagCode::kInvalidHead: return "QC006";
+    case DiagCode::kUnionArityMismatch: return "QC007";
+    case DiagCode::kIntensionalInQuery: return "QC008";
+    case DiagCode::kNonBinarySchema: return "QC009";
+    case DiagCode::kUnreachablePredicate: return "QC101";
+    case DiagCode::kSingletonVariable: return "QC102";
+    case DiagCode::kCartesianProduct: return "QC103";
+    case DiagCode::kDuplicateRule: return "QC104";
+    case DiagCode::kDuplicateAtom: return "QC105";
+    case DiagCode::kEmptyRegexLanguage: return "QC106";
+    case DiagCode::kProgramFragment: return "QC201";
+    case DiagCode::kQueryTractability: return "QC202";
+    case DiagCode::kRpqTractability: return "QC203";
+  }
+  return "QC???";
+}
+
+Severity DiagSeverity(DiagCode code) {
+  switch (code) {
+    case DiagCode::kEmptyInput:
+    case DiagCode::kUnsafeRule:
+    case DiagCode::kConstant:
+    case DiagCode::kArityMismatch:
+    case DiagCode::kGoalNotIntensional:
+    case DiagCode::kInvalidHead:
+    case DiagCode::kUnionArityMismatch:
+    case DiagCode::kIntensionalInQuery:
+    case DiagCode::kNonBinarySchema:
+      return Severity::kError;
+    case DiagCode::kUnreachablePredicate:
+    case DiagCode::kSingletonVariable:
+    case DiagCode::kCartesianProduct:
+    case DiagCode::kDuplicateRule:
+    case DiagCode::kDuplicateAtom:
+    case DiagCode::kEmptyRegexLanguage:
+      return Severity::kWarning;
+    case DiagCode::kProgramFragment:
+    case DiagCode::kQueryTractability:
+    case DiagCode::kRpqTractability:
+      return Severity::kInfo;
+  }
+  return Severity::kError;
+}
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kInfo: return "info";
+  }
+  return "error";
+}
+
+std::string FormatDiagnostic(const Diagnostic& d) {
+  std::string out = std::string(DiagCodeId(d.code)) + " " +
+                    SeverityName(d.severity()) + ": " + d.message;
+  if (d.subject != Subject::kInput && d.index >= 0) {
+    out += " (";
+    out += d.subject == Subject::kRule ? "rule " : "disjunct ";
+    out += std::to_string(d.index);
+    if (d.line > 0) out += ", line " + std::to_string(d.line);
+    out += ")";
+  } else if (d.line > 0) {
+    out += " (line " + std::to_string(d.line) + ")";
+  }
+  return out;
+}
+
+bool HasErrors(const std::vector<Diagnostic>& diagnostics) {
+  return CountSeverity(diagnostics, Severity::kError) > 0;
+}
+
+int CountSeverity(const std::vector<Diagnostic>& diagnostics,
+                  Severity severity) {
+  int count = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity() == severity) ++count;
+  }
+  return count;
+}
+
+Status FirstError(const std::vector<Diagnostic>& diagnostics) {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity() == Severity::kError) {
+      return InvalidArgumentError(d.message + " [" + DiagCodeId(d.code) + "]");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace analysis
+}  // namespace qcont

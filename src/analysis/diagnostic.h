@@ -1,0 +1,96 @@
+#ifndef QCONT_ANALYSIS_DIAGNOSTIC_H_
+#define QCONT_ANALYSIS_DIAGNOSTIC_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace qcont {
+namespace analysis {
+
+/// Severity of a diagnostic. Errors make the input unusable for the
+/// containment engines (Validate() fails); warnings flag suspicious but
+/// legal constructs; info diagnostics report structural facts such as the
+/// tractability class.
+enum class Severity {
+  kError,
+  kWarning,
+  kInfo,
+};
+
+/// Stable diagnostic codes. The QCxxx identifiers are part of the public
+/// surface (printed by `qcont_cli lint`, matched by tests and downstream
+/// tooling); never renumber an existing code. Errors are QC0xx, warnings
+/// QC1xx, info QC2xx — see DESIGN.md for the full table.
+enum class DiagCode {
+  // --- Errors ---
+  kEmptyInput,           // QC001: no rules / no disjuncts
+  kUnsafeRule,           // QC002: head variable not bound in the body
+  kConstant,             // QC003: constant where only variables are allowed
+  kArityMismatch,        // QC004: predicate used with inconsistent arities
+  kGoalNotIntensional,   // QC005: goal predicate has no defining rule
+  kInvalidHead,          // QC006: head/endpoint term not a bound variable
+  kUnionArityMismatch,   // QC007: disjunct or query/goal arities disagree
+  kIntensionalInQuery,   // QC008: query mentions an intensional predicate
+  kNonBinarySchema,      // QC009: graph containment needs a binary schema
+  // --- Warnings ---
+  kUnreachablePredicate, // QC101: rule head unreachable from the goal
+  kSingletonVariable,    // QC102: variable occurs exactly once
+  kCartesianProduct,     // QC103: body splits into variable-disjoint parts
+  kDuplicateRule,        // QC104: rule/disjunct repeats an earlier one
+  kDuplicateAtom,        // QC105: atom repeated within one body
+  kEmptyRegexLanguage,   // QC106: regex atom denotes the empty language
+  // --- Info ---
+  kProgramFragment,      // QC201: Datalog fragment classification
+  kQueryTractability,    // QC202: UCQ class + engine recommendation
+  kRpqTractability,      // QC203: UC2RPQ class + engine recommendation
+};
+
+/// "QC001" etc. (stable).
+const char* DiagCodeId(DiagCode code);
+
+/// The severity a code always carries (codes never change severity).
+Severity DiagSeverity(DiagCode code);
+
+/// "error" / "warning" / "info".
+const char* SeverityName(Severity severity);
+
+/// What a diagnostic's `index` refers to.
+enum class Subject {
+  kInput,     // the whole program/query (index is -1)
+  kRule,      // rule `index` of a Datalog program
+  kDisjunct,  // disjunct `index` of a UCQ/UC2RPQ
+};
+
+/// One analyzer finding. `line` is the 1-based source line of the offending
+/// rule/disjunct when the input was parsed from text (0 when constructed
+/// programmatically).
+struct Diagnostic {
+  DiagCode code;
+  std::string message;
+  Subject subject = Subject::kInput;
+  int index = -1;
+  int line = 0;
+
+  Severity severity() const { return DiagSeverity(code); }
+};
+
+/// "QC002 error: unsafe rule ... (rule 3, line 7)".
+std::string FormatDiagnostic(const Diagnostic& d);
+
+/// True iff some diagnostic has error severity.
+bool HasErrors(const std::vector<Diagnostic>& diagnostics);
+
+/// Counts diagnostics of the given severity.
+int CountSeverity(const std::vector<Diagnostic>& diagnostics,
+                  Severity severity);
+
+/// The first error-severity diagnostic as an InvalidArgumentError, or Ok.
+/// This is the bridge from analyzer output to the engines' Status surface.
+Status FirstError(const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace analysis
+}  // namespace qcont
+
+#endif  // QCONT_ANALYSIS_DIAGNOSTIC_H_

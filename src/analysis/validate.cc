@@ -1,0 +1,20 @@
+// DatalogProgram::Validate() is declared in datalog/program.h but defined
+// here, in the analysis library: validation *is* the analyzer's error
+// passes (safety, constant-freeness, arity consistency, goal sanity), so
+// defining it on top of AnalyzeProgram guarantees the two can never
+// disagree. The datalog library cannot host this definition itself without
+// a dependency cycle (analysis already depends on datalog).
+
+#include "analysis/analyzer.h"
+#include "datalog/program.h"
+
+namespace qcont {
+
+Status DatalogProgram::Validate() const {
+  analysis::AnalysisOptions options;
+  options.style_warnings = false;
+  options.tractability_advisor = false;
+  return analysis::FirstError(analysis::AnalyzeProgram(*this, options));
+}
+
+}  // namespace qcont

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/analyzer.h"
 #include "base/check.h"
 #include "core/instantiate.h"
 #include "structure/classify.h"
@@ -643,20 +644,8 @@ Result<ContainmentAnswer> DatalogContainedInAcyclicUcq(
     AckEngineStats* stats, const AckEngineLimits& limits) {
   QCONT_RETURN_IF_ERROR(program.Validate());
   QCONT_RETURN_IF_ERROR(ucq.Validate());
-  if (static_cast<int>(ucq.arity()) != program.GoalArity()) {
-    return InvalidArgumentError(
-        "UCQ arity " + std::to_string(ucq.arity()) +
-        " differs from goal arity " + std::to_string(program.GoalArity()));
-  }
-  for (const ConjunctiveQuery& cq : ucq.disjuncts()) {
-    for (const Atom& a : cq.atoms()) {
-      if (program.IsIntensional(a.predicate())) {
-        return InvalidArgumentError(
-            "the UCQ mentions intensional predicate '" + a.predicate() +
-            "'; both queries must be over the extensional schema");
-      }
-    }
-  }
+  QCONT_RETURN_IF_ERROR(
+      analysis::FirstError(analysis::CheckContainmentPair(program, ucq)));
   AckEngine engine(program, ucq, stats, limits);
   return engine.Run();
 }

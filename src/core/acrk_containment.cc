@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/analyzer.h"
 #include "base/check.h"
 #include "core/instantiate.h"
 #include "structure/join_tree.h"
@@ -735,20 +736,8 @@ Result<ContainmentAnswer> DatalogContainedInAcyclicUC2rpq(
     AcrkEngineStats* stats, const AcrkEngineLimits& limits) {
   QCONT_RETURN_IF_ERROR(program.Validate());
   QCONT_RETURN_IF_ERROR(gamma.Validate());
-  if (static_cast<int>(gamma.arity()) != program.GoalArity()) {
-    return InvalidArgumentError(
-        "UC2RPQ arity differs from the goal arity of the program");
-  }
-  for (const Rule& r : program.rules()) {
-    for (const Atom& a : r.body) {
-      if (!program.IsIntensional(a.predicate()) && a.arity() != 2) {
-        return InvalidArgumentError(
-            "graph-database containment requires a binary extensional "
-            "schema; predicate '" +
-            a.predicate() + "' has arity " + std::to_string(a.arity()));
-      }
-    }
-  }
+  QCONT_RETURN_IF_ERROR(
+      analysis::FirstError(analysis::CheckContainmentPair(program, gamma)));
   AcrkEngine engine(program, gamma, stats, limits);
   return engine.Run();
 }

@@ -148,7 +148,8 @@ Atom AtomB(const Term& x, const Term& y, const Term& z,
 
 }  // namespace
 
-Result<HardnessInstance> BuildTheorem5Instance(const AtmSpec& machine, int n) {
+Result<HardnessInstance> BuildTheorem5Instance(const AtmSpec& machine, int n,
+                                               const Theorem5Options& options) {
   QCONT_RETURN_IF_ERROR(machine.Validate());
   if (n < 1) return InvalidArgumentError("need at least one address bit");
   SymbolTable sym{machine.num_tape_symbols, machine.num_states};
@@ -167,9 +168,12 @@ Result<HardnessInstance> BuildTheorem5Instance(const AtmSpec& machine, int n) {
     for (const Term& bit : {x, y}) {
       std::vector<Term> body_addr = addr;
       body_addr[i] = bit;
-      rules.push_back(Rule{AtomB(x, y, z, addr, u, v, w, t),
-                           {Atom("bitv", {addr[i]}),
-                            AtomB(x, y, z, body_addr, u, v, w, t)}});
+      std::vector<Atom> body;
+      if (options.domesticate_addresses) {
+        body.push_back(Atom("bitv", {addr[i]}));
+      }
+      body.push_back(AtomB(x, y, z, body_addr, u, v, w, t));
+      rules.push_back(Rule{AtomB(x, y, z, addr, u, v, w, t), std::move(body)});
     }
   }
 

@@ -62,7 +62,18 @@ struct HardnessInstance {
   std::vector<std::string> tape_symbol_names;  // includes composite (q,e)
 };
 
-Result<HardnessInstance> BuildTheorem5Instance(const AtmSpec& machine, int n);
+struct Theorem5Options {
+  /// Guard the rewritten address bit of the §4.1 address-modification
+  /// rules with the unary extensional predicate `bitv`. The paper's rules
+  /// are unsafe as written (the replaced bit variable does not occur in
+  /// the body); turning this off reproduces that literal, unsafe phrasing
+  /// — the resulting program fails Validate() and exists so the static
+  /// analyzer's safety pass can be exercised against the primary source.
+  bool domesticate_addresses = true;
+};
+
+Result<HardnessInstance> BuildTheorem5Instance(
+    const AtmSpec& machine, int n, const Theorem5Options& options = {});
 
 }  // namespace qcont
 

@@ -1,0 +1,134 @@
+#include "datalog/predicate_graph.h"
+
+#include <algorithm>
+#include <set>
+
+#include "datalog/program.h"
+
+namespace qcont {
+
+namespace {
+
+// Iterative Tarjan SCC state for one node.
+struct TarjanFrame {
+  int node;
+  std::size_t next_edge = 0;
+};
+
+}  // namespace
+
+PredicateGraph::PredicateGraph(const DatalogProgram& program) {
+  auto intern = [&](const std::string& name) {
+    auto [it, inserted] = index_.emplace(name, names_.size());
+    if (inserted) {
+      names_.push_back(name);
+      edges_.emplace_back();
+    }
+    return it->second;
+  };
+  // Deterministic node order: heads then body predicates in program order.
+  for (const Rule& r : program.rules()) intern(r.head.predicate());
+  for (const Rule& r : program.rules()) {
+    const int head = intern(r.head.predicate());
+    for (const Atom& a : r.body) {
+      const int body = intern(a.predicate());
+      if (std::find(edges_[head].begin(), edges_[head].end(), body) ==
+          edges_[head].end()) {
+        edges_[head].push_back(body);
+      }
+    }
+  }
+  goal_ = IndexOf(program.goal_predicate());
+
+  // Tarjan's algorithm, iterative so deep rule chains cannot overflow the
+  // stack. SCC ids come out in reverse topological order.
+  const int n = num_predicates();
+  scc_of_.assign(n, -1);
+  std::vector<int> low(n, -1), disc(n, -1);
+  std::vector<bool> on_stack(n, false);
+  std::vector<int> stack;
+  int time = 0;
+  for (int root = 0; root < n; ++root) {
+    if (disc[root] != -1) continue;
+    std::vector<TarjanFrame> frames{{root}};
+    disc[root] = low[root] = time++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      TarjanFrame& f = frames.back();
+      if (f.next_edge < edges_[f.node].size()) {
+        const int to = edges_[f.node][f.next_edge++];
+        if (disc[to] == -1) {
+          disc[to] = low[to] = time++;
+          stack.push_back(to);
+          on_stack[to] = true;
+          frames.push_back({to});
+        } else if (on_stack[to]) {
+          low[f.node] = std::min(low[f.node], disc[to]);
+        }
+      } else {
+        if (low[f.node] == disc[f.node]) {
+          while (true) {
+            const int w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            scc_of_[w] = num_sccs_;
+            if (w == f.node) break;
+          }
+          ++num_sccs_;
+        }
+        const int done = f.node;
+        frames.pop_back();
+        if (!frames.empty()) {
+          low[frames.back().node] = std::min(low[frames.back().node],
+                                             low[done]);
+        }
+      }
+    }
+  }
+
+  recursive_scc_.assign(num_sccs_, false);
+  std::vector<int> scc_size(num_sccs_, 0);
+  for (int p = 0; p < n; ++p) ++scc_size[scc_of_[p]];
+  for (int p = 0; p < n; ++p) {
+    if (scc_size[scc_of_[p]] > 1) {
+      recursive_scc_[scc_of_[p]] = true;
+      continue;
+    }
+    for (int q : edges_[p]) {
+      if (q == p) recursive_scc_[scc_of_[p]] = true;
+    }
+  }
+}
+
+int PredicateGraph::IndexOf(const std::string& predicate) const {
+  auto it = index_.find(predicate);
+  return it == index_.end() ? -1 : it->second;
+}
+
+bool PredicateGraph::HasCycle() const {
+  for (bool r : recursive_scc_) {
+    if (r) return true;
+  }
+  return false;
+}
+
+std::vector<bool> PredicateGraph::ReachableFromGoal() const {
+  std::vector<bool> reachable(num_predicates(), false);
+  if (goal_ < 0) return reachable;
+  std::vector<int> worklist{goal_};
+  reachable[goal_] = true;
+  while (!worklist.empty()) {
+    const int p = worklist.back();
+    worklist.pop_back();
+    for (int q : edges_[p]) {
+      if (!reachable[q]) {
+        reachable[q] = true;
+        worklist.push_back(q);
+      }
+    }
+  }
+  return reachable;
+}
+
+}  // namespace qcont

@@ -1,0 +1,62 @@
+#ifndef QCONT_DATALOG_PREDICATE_GRAPH_H_
+#define QCONT_DATALOG_PREDICATE_GRAPH_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qcont {
+
+class DatalogProgram;
+
+/// The predicate dependency graph of a Datalog program: one node per
+/// predicate (intensional and extensional), an edge P -> Q whenever Q
+/// occurs in the body of a rule with head P. The structural facts every
+/// client needs — recursion, stratification-style ordering, reachability
+/// from the goal — are all functions of the SCC condensation computed once
+/// here; `DatalogProgram::IsRecursive` and the analyzer's dead-rule pass
+/// share this code.
+class PredicateGraph {
+ public:
+  explicit PredicateGraph(const DatalogProgram& program);
+
+  int num_predicates() const { return static_cast<int>(names_.size()); }
+  const std::vector<std::string>& predicate_names() const { return names_; }
+
+  /// Index of `predicate`, or -1 if it does not occur in the program.
+  int IndexOf(const std::string& predicate) const;
+
+  /// Body-predicate successors of node `p` (deduplicated).
+  const std::vector<int>& SuccessorsOf(int p) const { return edges_[p]; }
+
+  /// SCC id of node `p`. Ids are a reverse topological order of the
+  /// condensation: every edge leaves a node for one with a *smaller* SCC
+  /// id, so iterating ids ascending visits callees before callers (the
+  /// usual stratification-style evaluation order).
+  int SccOf(int p) const { return scc_of_[p]; }
+  int num_sccs() const { return num_sccs_; }
+
+  /// True iff `p` lies on a cycle: its SCC has more than one node, or it
+  /// has a self-loop.
+  bool IsRecursivePredicate(int p) const { return recursive_scc_[scc_of_[p]]; }
+
+  /// True iff some predicate lies on a cycle.
+  bool HasCycle() const;
+
+  /// Nodes reachable from the goal predicate (including the goal itself).
+  /// Empty vector-of-false when the goal does not occur in the program.
+  std::vector<bool> ReachableFromGoal() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::map<std::string, int> index_;
+  std::vector<std::vector<int>> edges_;
+  std::vector<int> scc_of_;
+  std::vector<bool> recursive_scc_;  // indexed by SCC id
+  int num_sccs_ = 0;
+  int goal_ = -1;
+};
+
+}  // namespace qcont
+
+#endif  // QCONT_DATALOG_PREDICATE_GRAPH_H_

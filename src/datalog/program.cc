@@ -1,9 +1,9 @@
 #include "datalog/program.h"
 
-#include <functional>
 #include <map>
-#include <unordered_map>
 #include <unordered_set>
+
+#include "datalog/predicate_graph.h"
 
 namespace qcont {
 
@@ -66,76 +66,10 @@ int DatalogProgram::ArityOf(const std::string& predicate) const {
   return kMissingArity;
 }
 
-Status DatalogProgram::Validate() const {
-  if (rules_.empty()) return InvalidArgumentError("program has no rules");
-  if (!idb_.count(goal_)) {
-    return InvalidArgumentError("goal predicate '" + goal_ +
-                                "' is not intensional");
-  }
-  std::unordered_map<std::string, std::size_t> arities;
-  for (const Rule& r : rules_) {
-    std::unordered_set<std::string> body_vars;
-    for (const Atom& a : r.body) {
-      for (const Term& t : a.terms()) {
-        if (!t.is_variable()) {
-          return InvalidArgumentError("constants are not supported in rules: " +
-                                      r.ToString());
-        }
-        body_vars.insert(t.name());
-      }
-    }
-    for (const Term& t : r.head.terms()) {
-      if (!t.is_variable()) {
-        return InvalidArgumentError("constants are not supported in rules: " +
-                                    r.ToString());
-      }
-      if (!body_vars.count(t.name())) {
-        return InvalidArgumentError("unsafe rule (head variable '" + t.name() +
-                                    "' not in body): " + r.ToString());
-      }
-    }
-    auto check_arity = [&](const Atom& a) -> Status {
-      auto [it, inserted] = arities.emplace(a.predicate(), a.arity());
-      if (!inserted && it->second != a.arity()) {
-        return InvalidArgumentError("predicate '" + a.predicate() +
-                                    "' used with inconsistent arities");
-      }
-      return Status::Ok();
-    };
-    QCONT_RETURN_IF_ERROR(check_arity(r.head));
-    for (const Atom& a : r.body) QCONT_RETURN_IF_ERROR(check_arity(a));
-  }
-  return Status::Ok();
-}
-
 bool DatalogProgram::IsRecursive() const {
-  // DFS over the predicate dependency graph looking for a cycle among
-  // intensional predicates.
-  std::map<std::string, std::vector<std::string>> deps;
-  for (const Rule& r : rules_) {
-    for (const Atom& a : r.body) {
-      if (idb_.count(a.predicate())) {
-        deps[r.head.predicate()].push_back(a.predicate());
-      }
-    }
-  }
-  std::unordered_map<std::string, int> state;  // 0 new, 1 active, 2 done
-  std::function<bool(const std::string&)> has_cycle =
-      [&](const std::string& p) -> bool {
-    int& s = state[p];
-    if (s == 1) return true;
-    if (s == 2) return false;
-    s = 1;
-    for (const std::string& q : deps[p]) {
-      if (has_cycle(q)) return true;
-    }
-    s = 2;
-    return false;
-  };
-  for (const std::string& p : idb_) {
-    if (has_cycle(p)) return true;
-  }
-  return false;
+  // Extensional predicates have no outgoing edges, so a cycle in the full
+  // dependency graph is a cycle among intensional predicates.
+  return PredicateGraph(*this).HasCycle();
 }
 
 bool DatalogProgram::IsLinear() const {

@@ -60,6 +60,11 @@ class DatalogProgram {
   /// Validation: rules are safe (head variables occur in bodies), arities
   /// are consistent, the goal predicate is intensional, and (as required by
   /// the containment algorithms) all rule terms are variables.
+  ///
+  /// Defined in analysis/validate.cc (library qcont_analysis): validation
+  /// runs the analyzer's error passes so that Validate() and
+  /// analysis::AnalyzeProgram can never disagree. Link qcont_analysis to
+  /// use it.
   Status Validate() const;
 
   /// True iff some intensional predicate depends on itself (cycle in the

@@ -24,7 +24,7 @@ enum class TokenKind {
 struct Token {
   TokenKind kind;
   std::string text;
-  std::size_t offset;
+  int line;  // 1-based source line on which the token starts
 };
 
 class Lexer {
@@ -36,38 +36,40 @@ class Lexer {
     while (true) {
       SkipSpaceAndComments();
       if (pos_ >= input_.size()) break;
-      std::size_t start = pos_;
+      const int start_line = line_;
       char c = input_[pos_];
       if (c == '(') {
-        out.push_back({TokenKind::kLParen, "(", start});
-        ++pos_;
+        out.push_back({TokenKind::kLParen, "(", start_line});
+        Advance();
       } else if (c == ')') {
-        out.push_back({TokenKind::kRParen, ")", start});
-        ++pos_;
+        out.push_back({TokenKind::kRParen, ")", start_line});
+        Advance();
       } else if (c == ',') {
-        out.push_back({TokenKind::kComma, ",", start});
-        ++pos_;
+        out.push_back({TokenKind::kComma, ",", start_line});
+        Advance();
       } else if (c == '.') {
-        out.push_back({TokenKind::kPeriod, ".", start});
-        ++pos_;
+        out.push_back({TokenKind::kPeriod, ".", start_line});
+        Advance();
       } else if (c == ':' && pos_ + 1 < input_.size() &&
                  input_[pos_ + 1] == '-') {
-        out.push_back({TokenKind::kImplies, ":-", start});
-        pos_ += 2;
+        out.push_back({TokenKind::kImplies, ":-", start_line});
+        Advance();
+        Advance();
       } else if (c == '\'') {
-        ++pos_;
+        Advance();
         std::string text;
         while (pos_ < input_.size() && input_[pos_] != '\'') {
-          text += input_[pos_++];
+          text += input_[pos_];
+          Advance();
         }
         if (pos_ >= input_.size()) {
-          return InvalidArgumentError("unterminated constant at offset " +
-                                      std::to_string(start));
+          return InvalidArgumentError("unterminated constant at line " +
+                                      std::to_string(start_line));
         }
-        ++pos_;
-        out.push_back({TokenKind::kConstant, std::move(text), start});
+        Advance();
+        out.push_back({TokenKind::kConstant, std::move(text), start_line});
       } else if (c == '[') {
-        ++pos_;
+        Advance();
         std::string text;
         int depth = 1;
         while (pos_ < input_.size() && depth > 0) {
@@ -76,38 +78,45 @@ class Lexer {
             --depth;
             if (depth == 0) break;
           }
-          text += input_[pos_++];
+          text += input_[pos_];
+          Advance();
         }
         if (pos_ >= input_.size()) {
-          return InvalidArgumentError("unterminated regex at offset " +
-                                      std::to_string(start));
+          return InvalidArgumentError("unterminated regex at line " +
+                                      std::to_string(start_line));
         }
-        ++pos_;  // consume ']'
-        out.push_back({TokenKind::kRegex, std::move(text), start});
+        Advance();  // consume ']'
+        out.push_back({TokenKind::kRegex, std::move(text), start_line});
       } else if (c == '_' || std::isalpha(static_cast<unsigned char>(c))) {
         std::string text;
         while (pos_ < input_.size() &&
                (input_[pos_] == '_' ||
                 std::isalnum(static_cast<unsigned char>(input_[pos_])))) {
-          text += input_[pos_++];
+          text += input_[pos_];
+          Advance();
         }
-        out.push_back({TokenKind::kIdent, std::move(text), start});
+        out.push_back({TokenKind::kIdent, std::move(text), start_line});
       } else {
         return InvalidArgumentError("unexpected character '" +
-                                    std::string(1, c) + "' at offset " +
-                                    std::to_string(start));
+                                    std::string(1, c) + "' at line " +
+                                    std::to_string(start_line));
       }
     }
-    out.push_back({TokenKind::kEnd, "", pos_});
+    out.push_back({TokenKind::kEnd, "", line_});
     return out;
   }
 
  private:
+  void Advance() {
+    if (input_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+
   void SkipSpaceAndComments() {
     while (pos_ < input_.size()) {
       char c = input_[pos_];
       if (std::isspace(static_cast<unsigned char>(c))) {
-        ++pos_;
+        Advance();
       } else if (c == '#' || c == '%') {
         while (pos_ < input_.size() && input_[pos_] != '\n') ++pos_;
       } else {
@@ -118,6 +127,7 @@ class Lexer {
 
   const std::string& input_;
   std::size_t pos_ = 0;
+  int line_ = 1;
 };
 
 // A parsed rule head/body in the surface syntax; bodies may mix relational
@@ -131,6 +141,7 @@ struct SurfaceAtom {
 struct SurfaceRule {
   SurfaceAtom head;
   std::vector<SurfaceAtom> body;
+  int line = 0;  // source line of the head atom
 };
 
 class RuleParser {
@@ -155,6 +166,13 @@ class RuleParser {
   const std::vector<SurfaceRule>& rules() const { return rules_; }
   const std::optional<std::string>& goal() const { return goal_; }
 
+  SourceLines Lines() const {
+    SourceLines out;
+    out.rule_lines.reserve(rules_.size());
+    for (const SurfaceRule& r : rules_) out.rule_lines.push_back(r.line);
+    return out;
+  }
+
  private:
   const Token& Peek() const { return tokens_[pos_]; }
   const Token& PeekAt(std::size_t delta) const {
@@ -164,8 +182,8 @@ class RuleParser {
 
   Status Expect(TokenKind kind, const std::string& what) {
     if (Peek().kind != kind) {
-      return InvalidArgumentError("expected " + what + " at offset " +
-                                  std::to_string(Peek().offset));
+      return InvalidArgumentError("expected " + what + " at line " +
+                                  std::to_string(Peek().line));
     }
     ++pos_;
     return Status::Ok();
@@ -178,8 +196,8 @@ class RuleParser {
     } else if (Peek().kind == TokenKind::kIdent) {
       atom.predicate = Next().text;
     } else {
-      return InvalidArgumentError("expected atom at offset " +
-                                  std::to_string(Peek().offset));
+      return InvalidArgumentError("expected atom at line " +
+                                  std::to_string(Peek().line));
     }
     QCONT_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
     if (Peek().kind != TokenKind::kRParen) {
@@ -189,8 +207,8 @@ class RuleParser {
         } else if (Peek().kind == TokenKind::kConstant) {
           atom.terms.push_back(Term::Constant(Next().text));
         } else {
-          return InvalidArgumentError("expected term at offset " +
-                                      std::to_string(Peek().offset));
+          return InvalidArgumentError("expected term at line " +
+                                      std::to_string(Peek().line));
         }
         if (Peek().kind == TokenKind::kComma) {
           ++pos_;
@@ -205,9 +223,11 @@ class RuleParser {
 
   Status ParseRule() {
     SurfaceRule rule;
+    rule.line = Peek().line;
     QCONT_ASSIGN_OR_RETURN(rule.head, ParseAtom());
     if (rule.head.regex.has_value()) {
-      return InvalidArgumentError("a rule head cannot be a regex atom");
+      return InvalidArgumentError("a rule head cannot be a regex atom (line " +
+                                  std::to_string(rule.line) + ")");
     }
     if (Peek().kind == TokenKind::kImplies) {
       ++pos_;
@@ -241,26 +261,29 @@ Result<RuleParser> ParseRules(const std::string& text) {
   return parser;
 }
 
-Result<Atom> ToRelationalAtom(const SurfaceAtom& atom) {
+Result<Atom> ToRelationalAtom(const SurfaceAtom& atom, int line) {
   if (atom.regex.has_value()) {
-    return InvalidArgumentError("regex atoms are only allowed in UC2RPQs");
+    return InvalidArgumentError(
+        "regex atoms are only allowed in UC2RPQs (line " +
+        std::to_string(line) + ")");
   }
   return Atom(atom.predicate, atom.terms);
 }
 
 }  // namespace
 
-Result<DatalogProgram> ParseProgram(const std::string& text) {
+Result<DatalogProgram> ParseProgramUnvalidated(const std::string& text,
+                                               SourceLines* lines) {
   QCONT_ASSIGN_OR_RETURN(RuleParser parser, ParseRules(text));
   if (parser.rules().empty()) {
     return InvalidArgumentError("program has no rules");
   }
   std::vector<Rule> rules;
   for (const SurfaceRule& sr : parser.rules()) {
-    QCONT_ASSIGN_OR_RETURN(Atom head, ToRelationalAtom(sr.head));
+    QCONT_ASSIGN_OR_RETURN(Atom head, ToRelationalAtom(sr.head, sr.line));
     std::vector<Atom> body;
     for (const SurfaceAtom& sa : sr.body) {
-      QCONT_ASSIGN_OR_RETURN(Atom atom, ToRelationalAtom(sa));
+      QCONT_ASSIGN_OR_RETURN(Atom atom, ToRelationalAtom(sa, sr.line));
       body.push_back(std::move(atom));
     }
     rules.push_back(Rule{std::move(head), std::move(body)});
@@ -268,12 +291,20 @@ Result<DatalogProgram> ParseProgram(const std::string& text) {
   std::string goal = parser.goal().has_value()
                          ? *parser.goal()
                          : rules.front().head.predicate();
-  DatalogProgram program(std::move(rules), std::move(goal));
+  if (lines != nullptr) *lines = parser.Lines();
+  return DatalogProgram(std::move(rules), std::move(goal));
+}
+
+Result<DatalogProgram> ParseProgram(const std::string& text,
+                                    SourceLines* lines) {
+  QCONT_ASSIGN_OR_RETURN(DatalogProgram program,
+                         ParseProgramUnvalidated(text, lines));
   QCONT_RETURN_IF_ERROR(program.Validate());
   return program;
 }
 
-Result<UnionQuery> ParseUcq(const std::string& text) {
+Result<UnionQuery> ParseUcqUnvalidated(const std::string& text,
+                                       SourceLines* lines) {
   QCONT_ASSIGN_OR_RETURN(RuleParser parser, ParseRules(text));
   if (parser.rules().empty()) {
     return InvalidArgumentError("UCQ has no disjuncts");
@@ -285,21 +316,27 @@ Result<UnionQuery> ParseUcq(const std::string& text) {
       return InvalidArgumentError("all UCQ disjuncts must share one head "
                                   "predicate; got '" +
                                   sr.head.predicate + "' and '" + head_pred +
-                                  "'");
+                                  "' (line " + std::to_string(sr.line) + ")");
     }
     std::vector<Atom> atoms;
     for (const SurfaceAtom& sa : sr.body) {
-      QCONT_ASSIGN_OR_RETURN(Atom atom, ToRelationalAtom(sa));
+      QCONT_ASSIGN_OR_RETURN(Atom atom, ToRelationalAtom(sa, sr.line));
       atoms.push_back(std::move(atom));
     }
     disjuncts.emplace_back(sr.head.terms, std::move(atoms));
   }
-  UnionQuery ucq(std::move(disjuncts));
+  if (lines != nullptr) *lines = parser.Lines();
+  return UnionQuery(std::move(disjuncts));
+}
+
+Result<UnionQuery> ParseUcq(const std::string& text, SourceLines* lines) {
+  QCONT_ASSIGN_OR_RETURN(UnionQuery ucq, ParseUcqUnvalidated(text, lines));
   QCONT_RETURN_IF_ERROR(ucq.Validate());
   return ucq;
 }
 
-Result<UC2rpq> ParseUC2rpq(const std::string& text) {
+Result<UC2rpq> ParseUC2rpqUnvalidated(const std::string& text,
+                                      SourceLines* lines) {
   QCONT_ASSIGN_OR_RETURN(RuleParser parser, ParseRules(text));
   if (parser.rules().empty()) {
     return InvalidArgumentError("UC2RPQ has no disjuncts");
@@ -310,10 +347,13 @@ Result<UC2rpq> ParseUC2rpq(const std::string& text) {
     for (const SurfaceAtom& sa : sr.body) {
       if (!sa.regex.has_value()) {
         return InvalidArgumentError(
-            "UC2RPQ atoms must be regex atoms [expr](x, y)");
+            "UC2RPQ atoms must be regex atoms [expr](x, y) (line " +
+            std::to_string(sr.line) + ")");
       }
       if (sa.terms.size() != 2) {
-        return InvalidArgumentError("regex atoms take exactly two variables");
+        return InvalidArgumentError(
+            "regex atoms take exactly two variables (line " +
+            std::to_string(sr.line) + ")");
       }
       QCONT_ASSIGN_OR_RETURN(RpqAtom atom,
                              MakeRpqAtom(*sa.regex, sa.terms[0], sa.terms[1]));
@@ -321,7 +361,12 @@ Result<UC2rpq> ParseUC2rpq(const std::string& text) {
     }
     disjuncts.emplace_back(sr.head.terms, std::move(atoms));
   }
-  UC2rpq out(std::move(disjuncts));
+  if (lines != nullptr) *lines = parser.Lines();
+  return UC2rpq(std::move(disjuncts));
+}
+
+Result<UC2rpq> ParseUC2rpq(const std::string& text, SourceLines* lines) {
+  QCONT_ASSIGN_OR_RETURN(UC2rpq out, ParseUC2rpqUnvalidated(text, lines));
   QCONT_RETURN_IF_ERROR(out.Validate());
   return out;
 }
@@ -331,9 +376,10 @@ Result<Database> ParseDatabase(const std::string& text) {
   Database db;
   for (const SurfaceRule& sr : parser.rules()) {
     if (!sr.body.empty()) {
-      return InvalidArgumentError("database facts cannot have bodies");
+      return InvalidArgumentError("database facts cannot have bodies (line " +
+                                  std::to_string(sr.line) + ")");
     }
-    QCONT_ASSIGN_OR_RETURN(Atom atom, ToRelationalAtom(sr.head));
+    QCONT_ASSIGN_OR_RETURN(Atom atom, ToRelationalAtom(sr.head, sr.line));
     Tuple t;
     for (const Term& term : atom.terms()) {
       t.push_back(term.name());

@@ -64,8 +64,12 @@ TEST(HardnessTest, SharedVariablesGrowWithAddressWidth) {
     auto level = AckLevel(instance->ucq);
     ASSERT_TRUE(level.ok());
     EXPECT_GE(*level, std::max(7, n + 3)) << "n=" << n;
-    if (n == 1) at_one = *level;
-    if (n == 6) EXPECT_GT(*level, at_one);
+    if (n == 1) {
+      at_one = *level;
+    }
+    if (n == 6) {
+      EXPECT_GT(*level, at_one);
+    }
   }
 }
 

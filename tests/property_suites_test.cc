@@ -215,7 +215,7 @@ TEST(RpqProperty, MatchesBruteForcePathSearch) {
           std::vector<Item> next;
           for (const Item& item : frontier) {
             if (nfa->AcceptsWord(item.word)) slow.emplace(src, item.node);
-            for (const std::string& label : {"a", "b", "a-", "b-"}) {
+            for (const char* label : {"a", "b", "a-", "b-"}) {
               for (const std::string& succ : g.Successors(item.node, label)) {
                 Item extended = item;
                 extended.node = succ;
