@@ -45,6 +45,39 @@ void BM_CliqueInClique(benchmark::State& state) {
 }
 BENCHMARK(BM_CliqueInClique)->DenseRange(3, 7, 1);
 
+// Headline E1 series: UCQ ⊆ UCQ over chain families at growing chain
+// length. Every disjunct pair is decided by the Chandra-Merlin test on the
+// canonical database of the left chain; the first two right-hand disjuncts
+// are too long to fold into the left chains, so the Sagiv-Yannakakis loop
+// walks them to refutation before the fitting disjunct succeeds. This is
+// the join-substrate hot path: one candidate lookup per atom once the
+// start variable is frozen.
+void BM_UcqContainment(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<ConjunctiveQuery> lhs_cqs, rhs_cqs;
+  for (int i = 0; i < 2; ++i) {
+    lhs_cqs.push_back(bench::ChainCq(2 * n + 2 * i, "e", 1));
+  }
+  rhs_cqs.push_back(bench::ChainCq(4 * n, "e", 1));  // refuted
+  rhs_cqs.push_back(bench::ChainCq(3 * n, "e", 1));  // refuted
+  rhs_cqs.push_back(bench::ChainCq(n, "e", 1));      // folds in
+  UnionQuery lhs(lhs_cqs), rhs(rhs_cqs);
+  HomSearchStats stats;
+  bool contained = false;
+  for (auto _ : state) {
+    stats = HomSearchStats();
+    contained = *UcqContained(lhs, rhs, &stats);
+  }
+  state.counters["contained"] = contained ? 1 : 0;
+  state.counters["atom_attempts"] = static_cast<double>(stats.atom_attempts);
+  state.counters["index_probes"] = static_cast<double>(stats.index_probes);
+  state.counters["index_candidates"] =
+      static_cast<double>(stats.index_candidates);
+  state.counters["scan_candidates"] =
+      static_cast<double>(stats.scan_candidates);
+}
+BENCHMARK(BM_UcqContainment)->RangeMultiplier(2)->Range(8, 64);
+
 // Random UCQ vs UCQ containment at growing disjunct counts.
 void BM_RandomUnionContainment(benchmark::State& state) {
   const int disjuncts = static_cast<int>(state.range(0));

@@ -42,6 +42,7 @@ void BM_YannakakisAcyclicRhs(benchmark::State& state) {
   }
   state.counters["semijoins"] = static_cast<double>(stats.semijoins);
   state.counters["tuples_scanned"] = static_cast<double>(stats.tuples_scanned);
+  state.counters["index_probes"] = static_cast<double>(stats.index_probes);
 }
 BENCHMARK(BM_YannakakisAcyclicRhs)->DenseRange(2, 12, 2);
 

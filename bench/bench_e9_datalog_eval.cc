@@ -32,6 +32,11 @@ void BM_TcChain(benchmark::State& state) {
   state.counters["derived"] = static_cast<double>(derived);
   state.counters["rule_firings"] = static_cast<double>(stats.rule_firings);
   state.counters["iterations"] = static_cast<double>(stats.iterations);
+  state.counters["index_probes"] = static_cast<double>(stats.hom.index_probes);
+  state.counters["index_candidates"] =
+      static_cast<double>(stats.hom.index_candidates);
+  state.counters["scan_candidates"] =
+      static_cast<double>(stats.hom.scan_candidates);
   state.SetLabel(semi ? "semi_naive" : "naive");
 }
 BENCHMARK(BM_TcChain)

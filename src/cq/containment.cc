@@ -4,18 +4,14 @@
 
 namespace qcont {
 
-Result<bool> CqContained(const ConjunctiveQuery& theta,
-                         const ConjunctiveQuery& theta_prime,
-                         HomSearchStats* stats) {
-  QCONT_RETURN_IF_ERROR(theta.Validate());
-  QCONT_RETURN_IF_ERROR(theta_prime.Validate());
-  if (theta.arity() != theta_prime.arity()) {
-    return InvalidArgumentError("containment between queries of arities " +
-                                std::to_string(theta.arity()) + " and " +
-                                std::to_string(theta_prime.arity()));
-  }
-  Database canonical = CanonicalDatabase(theta);
-  Tuple frozen_head = CanonicalHead(theta);
+namespace {
+
+// Chandra-Merlin check of theta_prime against the prebuilt canonical
+// database / frozen head of theta (all inputs already validated).
+Result<bool> ContainedInDisjunct(const ConjunctiveQuery& theta_prime,
+                                 const Database& canonical,
+                                 const Tuple& frozen_head,
+                                 HomSearchStats* stats) {
   Assignment fixed;
   for (std::size_t i = 0; i < theta_prime.head().size(); ++i) {
     const std::string& var = theta_prime.head()[i].name();
@@ -31,14 +27,52 @@ Result<bool> CqContained(const ConjunctiveQuery& theta,
   return FindHomomorphism(theta_prime, canonical, fixed, stats).has_value();
 }
 
-Result<bool> CqContainedInUcq(const ConjunctiveQuery& theta,
-                              const UnionQuery& theta_prime,
-                              HomSearchStats* stats) {
+// Sagiv-Yannakakis inner step: theta ⊆ some disjunct of theta_prime. The
+// canonical database of theta is built once and shared across disjuncts.
+Result<bool> CqInUcqPrevalidated(const ConjunctiveQuery& theta,
+                                 const UnionQuery& theta_prime,
+                                 HomSearchStats* stats) {
+  Database canonical = CanonicalDatabase(theta);
+  Tuple frozen_head = CanonicalHead(theta);
   for (const ConjunctiveQuery& disjunct : theta_prime.disjuncts()) {
-    QCONT_ASSIGN_OR_RETURN(bool contained, CqContained(theta, disjunct, stats));
+    if (theta.arity() != disjunct.arity()) {
+      return InvalidArgumentError("containment between queries of arities " +
+                                  std::to_string(theta.arity()) + " and " +
+                                  std::to_string(disjunct.arity()));
+    }
+    QCONT_ASSIGN_OR_RETURN(
+        bool contained,
+        ContainedInDisjunct(disjunct, canonical, frozen_head, stats));
     if (contained) return true;
   }
   return false;
+}
+
+}  // namespace
+
+Result<bool> CqContained(const ConjunctiveQuery& theta,
+                         const ConjunctiveQuery& theta_prime,
+                         HomSearchStats* stats) {
+  QCONT_RETURN_IF_ERROR(theta.Validate());
+  QCONT_RETURN_IF_ERROR(theta_prime.Validate());
+  if (theta.arity() != theta_prime.arity()) {
+    return InvalidArgumentError("containment between queries of arities " +
+                                std::to_string(theta.arity()) + " and " +
+                                std::to_string(theta_prime.arity()));
+  }
+  Database canonical = CanonicalDatabase(theta);
+  return ContainedInDisjunct(theta_prime, canonical, CanonicalHead(theta),
+                             stats);
+}
+
+Result<bool> CqContainedInUcq(const ConjunctiveQuery& theta,
+                              const UnionQuery& theta_prime,
+                              HomSearchStats* stats) {
+  QCONT_RETURN_IF_ERROR(theta.Validate());
+  for (const ConjunctiveQuery& disjunct : theta_prime.disjuncts()) {
+    QCONT_RETURN_IF_ERROR(disjunct.Validate());
+  }
+  return CqInUcqPrevalidated(theta, theta_prime, stats);
 }
 
 Result<bool> UcqContained(const UnionQuery& theta, const UnionQuery& theta_prime,
@@ -47,7 +81,7 @@ Result<bool> UcqContained(const UnionQuery& theta, const UnionQuery& theta_prime
   QCONT_RETURN_IF_ERROR(theta_prime.Validate());
   for (const ConjunctiveQuery& disjunct : theta.disjuncts()) {
     QCONT_ASSIGN_OR_RETURN(bool contained,
-                           CqContainedInUcq(disjunct, theta_prime, stats));
+                           CqInUcqPrevalidated(disjunct, theta_prime, stats));
     if (!contained) return false;
   }
   return true;

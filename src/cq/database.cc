@@ -2,19 +2,44 @@
 
 #include <algorithm>
 
-#include "base/hash.h"
-
 namespace qcont {
 
-std::size_t Database::TupleHash::operator()(const Tuple& t) const {
-  std::size_t seed = t.size();
-  for (const Value& v : t) HashCombine(&seed, std::hash<Value>()(v));
-  return seed;
+namespace {
+
+// Highest position a mask constrains (mask must be nonzero).
+inline std::uint32_t HighestBit(std::uint32_t mask) {
+  std::uint32_t top = 0;
+  while (mask >>= 1) ++top;
+  return top;
 }
 
+// Key of `row` under `mask`: values at masked positions, ascending. Returns
+// false if the row is too short to be constrained by every masked position.
+inline bool KeyOf(const std::vector<ValueId>& row, std::uint32_t mask,
+                  std::vector<ValueId>* key) {
+  key->clear();
+  for (std::uint32_t p = 0; mask >> p != 0; ++p) {
+    if ((mask >> p & 1u) == 0) continue;
+    if (p >= row.size()) return false;
+    key->push_back(row[p]);
+  }
+  return true;
+}
+
+}  // namespace
+
 bool Database::AddFact(const std::string& relation, Tuple tuple) {
-  RelationData& data = relations_[relation];
-  if (!data.set.insert(tuple).second) return false;
+  auto [rel_it, new_relation] = relations_.try_emplace(relation);
+  if (new_relation) relations_dirty_ = true;
+  RelationData& data = rel_it->second;
+  std::vector<ValueId> row;
+  row.reserve(tuple.size());
+  for (const Value& v : tuple) row.push_back(pool_->Intern(v));
+  if (!data.set.insert(row).second) return false;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (domain_ids_.insert(row[i]).second) domain_.push_back(tuple[i]);
+  }
+  data.rows.push_back(std::move(row));
   data.tuples.push_back(std::move(tuple));
   ++num_facts_;
   return true;
@@ -22,7 +47,15 @@ bool Database::AddFact(const std::string& relation, Tuple tuple) {
 
 bool Database::HasFact(const std::string& relation, const Tuple& tuple) const {
   auto it = relations_.find(relation);
-  return it != relations_.end() && it->second.set.count(tuple) > 0;
+  if (it == relations_.end()) return false;
+  std::vector<ValueId> row;
+  row.reserve(tuple.size());
+  for (const Value& v : tuple) {
+    ValueId id = pool_->Find(v);
+    if (id == kNoValue) return false;  // value never interned: no such fact
+    row.push_back(id);
+  }
+  return it->second.set.count(row) > 0;
 }
 
 const std::vector<Tuple>& Database::Facts(const std::string& relation) const {
@@ -31,27 +64,54 @@ const std::vector<Tuple>& Database::Facts(const std::string& relation) const {
   return it == relations_.end() ? *kEmpty : it->second.tuples;
 }
 
-std::vector<std::string> Database::Relations() const {
-  std::vector<std::string> out;
-  out.reserve(relations_.size());
-  for (const auto& [name, data] : relations_) {
-    if (!data.tuples.empty()) out.push_back(name);
-  }
-  std::sort(out.begin(), out.end());
-  return out;
+const std::vector<std::vector<ValueId>>& Database::Rows(
+    const std::string& relation) const {
+  static const std::vector<std::vector<ValueId>>* const kEmpty =
+      new std::vector<std::vector<ValueId>>();
+  auto it = relations_.find(relation);
+  return it == relations_.end() ? *kEmpty : it->second.rows;
 }
 
-std::vector<Value> Database::ActiveDomain() const {
-  std::unordered_set<Value> seen;
-  std::vector<Value> out;
-  for (const auto& [name, data] : relations_) {
-    for (const Tuple& t : data.tuples) {
-      for (const Value& v : t) {
-        if (seen.insert(v).second) out.push_back(v);
-      }
+const std::vector<std::uint32_t>& Database::Probe(
+    const std::string& relation, std::uint32_t mask,
+    const std::vector<ValueId>& key) const {
+  static const std::vector<std::uint32_t>* const kEmptyBucket =
+      new std::vector<std::uint32_t>();
+  ++index_stats_.probes;
+  auto it = relations_.find(relation);
+  if (it == relations_.end()) return *kEmptyBucket;
+  const RelationData& data = it->second;
+  auto [idx_it, built] = data.indexes.try_emplace(mask);
+  RelIndex& index = idx_it->second;
+  if (built) ++index_stats_.indexes_built;
+  if (index.rows_indexed < data.rows.size()) {
+    // Lazy build and incremental maintenance are the same loop: fold in
+    // every row added since the last probe of this (relation, mask).
+    const std::uint32_t top = HighestBit(mask);
+    std::vector<ValueId> row_key;
+    row_key.reserve(static_cast<std::size_t>(top) + 1);
+    for (std::size_t r = index.rows_indexed; r < data.rows.size(); ++r) {
+      if (!KeyOf(data.rows[r], mask, &row_key)) continue;
+      index.buckets[row_key].push_back(static_cast<std::uint32_t>(r));
+      ++index_stats_.rows_indexed;
     }
+    index.rows_indexed = data.rows.size();
   }
-  return out;
+  auto bucket = index.buckets.find(key);
+  return bucket == index.buckets.end() ? *kEmptyBucket : bucket->second;
+}
+
+const std::vector<std::string>& Database::Relations() const {
+  if (relations_dirty_) {
+    relations_cache_.clear();
+    relations_cache_.reserve(relations_.size());
+    for (const auto& [name, data] : relations_) {
+      if (!data.tuples.empty()) relations_cache_.push_back(name);
+    }
+    std::sort(relations_cache_.begin(), relations_cache_.end());
+    relations_dirty_ = false;
+  }
+  return relations_cache_;
 }
 
 void Database::UnionWith(const Database& other) {

@@ -2,11 +2,16 @@
 #define QCONT_CQ_DATABASE_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "base/hash.h"
+#include "base/interner.h"
 #include "cq/query.h"
 
 namespace qcont {
@@ -16,10 +21,37 @@ namespace qcont {
 using Value = std::string;
 using Tuple = std::vector<Value>;
 
+/// Interned value id, dense per value pool. `kNoValue` means "not interned".
+using ValueId = SymbolId;
+inline constexpr ValueId kNoValue = Interner::kMissing;
+
+/// Counters for the per-relation hash indexes (benchmark signal).
+struct DatabaseIndexStats {
+  std::uint64_t indexes_built = 0;  // distinct (relation, mask) indexes
+  std::uint64_t probes = 0;         // Probe() calls
+  std::uint64_t rows_indexed = 0;   // rows incorporated into some index
+};
+
 /// A finite relational database: a set of facts R(v1,...,vn).
+///
+/// Values are interned into a shared `Interner` pool, so the join substrate
+/// works on dense integer ids instead of strings. Databases created with the
+/// default constructor own a fresh pool; databases meant to be joined
+/// against each other (e.g. a semi-naive delta against the full database)
+/// should share one pool via the `Database(pool)` constructor so that value
+/// ids are comparable across them.
+///
+/// Per relation, hash indexes keyed on subsets of bound positions (a
+/// position bitmask) are built lazily on first probe, memoized per
+/// (relation, mask), and maintained incrementally as facts are added —
+/// `AddFact` never invalidates an index.
 class Database {
  public:
-  Database() = default;
+  Database() : pool_(std::make_shared<Interner>()) {}
+  explicit Database(std::shared_ptr<Interner> pool) : pool_(std::move(pool)) {}
+
+  /// The value pool; share it across databases that will be joined together.
+  const std::shared_ptr<Interner>& pool() const { return pool_; }
 
   /// Adds a fact; duplicate facts are ignored. Returns true if new.
   bool AddFact(const std::string& relation, Tuple tuple);
@@ -29,11 +61,38 @@ class Database {
   /// Tuples of `relation` (empty if the relation has no facts).
   const std::vector<Tuple>& Facts(const std::string& relation) const;
 
-  /// Relation names that have at least one fact.
-  std::vector<std::string> Relations() const;
+  /// Interned rows of `relation`, parallel to `Facts(relation)`.
+  const std::vector<std::vector<ValueId>>& Rows(
+      const std::string& relation) const;
 
-  /// All values occurring in any fact (the active domain).
-  std::vector<Value> ActiveDomain() const;
+  /// Pool id of `v`, or `kNoValue` if `v` was never interned in the pool.
+  /// (A value interned by another database sharing the pool resolves too;
+  /// such an id simply matches no row here.)
+  ValueId ValueIdOf(std::string_view v) const { return pool_->Find(v); }
+
+  /// Value string for a pool id.
+  const Value& ValueName(ValueId id) const { return pool_->NameOf(id); }
+
+  /// Indices into `Rows(relation)` of the rows whose values at the
+  /// positions set in `mask` equal `key` (key values listed in ascending
+  /// position order). Builds and memoizes the (relation, mask) index on
+  /// first use; later `AddFact`s are folded in incrementally on the next
+  /// probe. Only the first 32 positions of a relation are indexable.
+  /// `mask` must be nonzero.
+  const std::vector<std::uint32_t>& Probe(const std::string& relation,
+                                          std::uint32_t mask,
+                                          const std::vector<ValueId>& key) const;
+
+  const DatabaseIndexStats& index_stats() const { return index_stats_; }
+
+  /// Relation names that have at least one fact, sorted. Cached: the vector
+  /// is only rebuilt when a fact of a new relation arrives, and the
+  /// returned reference stays valid until then.
+  const std::vector<std::string>& Relations() const;
+
+  /// All values occurring in any fact (the active domain), in first-
+  /// occurrence order. Maintained incrementally by AddFact; never rebuilt.
+  const std::vector<Value>& ActiveDomain() const { return domain_; }
 
   std::size_t NumFacts() const { return num_facts_; }
 
@@ -43,14 +102,31 @@ class Database {
   std::string ToString() const;
 
  private:
-  struct TupleHash {
-    std::size_t operator()(const Tuple& t) const;
+  // One lazily built hash index: rows keyed by their values at the masked
+  // positions. `rows_indexed` tracks how many of the relation's rows have
+  // been folded in, so Probe can catch up incrementally after AddFact.
+  struct RelIndex {
+    std::unordered_map<std::vector<ValueId>, std::vector<std::uint32_t>,
+                       VectorHash<ValueId>>
+        buckets;
+    std::size_t rows_indexed = 0;
   };
   struct RelationData {
     std::vector<Tuple> tuples;
-    std::unordered_set<Tuple, TupleHash> set;
+    std::vector<std::vector<ValueId>> rows;  // parallel to `tuples`
+    // Duplicate detection over interned rows: one string hash per value at
+    // interning time instead of re-hashing whole string tuples.
+    std::unordered_set<std::vector<ValueId>, VectorHash<ValueId>> set;
+    mutable std::unordered_map<std::uint32_t, RelIndex> indexes;
   };
+
+  std::shared_ptr<Interner> pool_;
   std::unordered_map<std::string, RelationData> relations_;
+  std::vector<Value> domain_;               // first-occurrence order
+  std::unordered_set<ValueId> domain_ids_;  // membership for domain_
+  mutable std::vector<std::string> relations_cache_;
+  mutable bool relations_dirty_ = true;
+  mutable DatabaseIndexStats index_stats_;
   std::size_t num_facts_ = 0;
 };
 

@@ -1,25 +1,34 @@
 #include "cq/homomorphism.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <limits>
 #include <set>
+
+#include "base/check.h"
 
 namespace qcont {
 
 namespace {
 
-// Search state shared across the recursion.
-struct Searcher {
-  const Database& db;
-  std::vector<Atom> atoms;  // ordered at construction
+// ---------------------------------------------------------------------------
+// Scan engine: the pre-index reference implementation. Static greedy atom
+// order, full relation scan per atom, string-keyed bindings. Kept verbatim
+// (modulo per-atom databases) so the differential tests can pin the indexed
+// engine against it.
+// ---------------------------------------------------------------------------
+struct ScanSearcher {
+  std::vector<Atom> atoms;                // ordered at construction
+  std::vector<const Database*> dbs;       // parallel to `atoms`
   Assignment binding;
   HomSearchStats* stats;
-  const std::function<bool(const Assignment&)>* visit;
+  const std::function<bool(const Assignment&)>* visit = nullptr;
   bool stopped = false;
 
-  Searcher(const ConjunctiveQuery& cq, const Database& db_in,
-           const Assignment& fixed, HomSearchStats* stats_in)
-      : db(db_in), binding(fixed), stats(stats_in) {
-    atoms = cq.atoms();
+  ScanSearcher(const std::vector<Atom>& atoms_in,
+               const std::vector<const Database*>& dbs_in,
+               const Assignment& fixed, HomSearchStats* stats_in)
+      : atoms(atoms_in), dbs(dbs_in), binding(fixed), stats(stats_in) {
     OrderAtoms();
   }
 
@@ -28,6 +37,7 @@ struct Searcher {
   // relation. Keeps the search close to a join order a planner would pick.
   void OrderAtoms() {
     std::vector<Atom> ordered;
+    std::vector<const Database*> ordered_dbs;
     std::set<std::string> bound;
     for (const auto& [var, value] : binding) bound.insert(var);
     std::vector<bool> used(atoms.size(), false);
@@ -41,8 +51,9 @@ struct Searcher {
           if (t.is_constant() || bound.count(t.name())) ++covered;
         }
         // Prefer high coverage, then small relations.
-        long score = covered * 1000000 -
-                     static_cast<long>(db.Facts(atoms[i].predicate()).size());
+        long score =
+            covered * 1000000 -
+            static_cast<long>(dbs[i]->Facts(atoms[i].predicate()).size());
         if (best < 0 || score > best_score) {
           best = static_cast<int>(i);
           best_score = score;
@@ -53,8 +64,10 @@ struct Searcher {
         if (t.is_variable()) bound.insert(t.name());
       }
       ordered.push_back(atoms[best]);
+      ordered_dbs.push_back(dbs[best]);
     }
     atoms = std::move(ordered);
+    dbs = std::move(ordered_dbs);
   }
 
   void Recurse(std::size_t index) {
@@ -64,9 +77,12 @@ struct Searcher {
       return;
     }
     const Atom& atom = atoms[index];
-    for (const Tuple& fact : db.Facts(atom.predicate())) {
+    for (const Tuple& fact : dbs[index]->Facts(atom.predicate())) {
       if (fact.size() != atom.arity()) continue;
-      if (stats != nullptr) ++stats->atom_attempts;
+      if (stats != nullptr) {
+        ++stats->atom_attempts;
+        ++stats->scan_candidates;
+      }
       // Try to unify atom terms with the fact.
       std::vector<std::string> newly_bound;
       bool ok = true;
@@ -101,21 +117,264 @@ struct Searcher {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Indexed engine: interned value ids, per-relation hash indexes on the
+// bound-position subset, and dynamic atom selection by estimated candidate
+// count. All databases must share one value pool.
+// ---------------------------------------------------------------------------
+struct IndexedSearcher {
+  // One atom position: either a pool-interned constant or a dense-local
+  // variable slot.
+  struct Slot {
+    bool is_const;
+    ValueId const_id;  // valid when is_const
+    int var;           // valid when !is_const
+  };
+  struct AtomInfo {
+    const Database* db;
+    const std::string* predicate;
+    std::vector<Slot> slots;
+  };
+
+  std::vector<AtomInfo> atoms;
+  std::vector<bool> used;
+  std::vector<ValueId> binding;        // var slot -> id, kNoValue if unbound
+  std::vector<std::string> var_names;  // var slot -> name
+  const Interner* pool;
+  const Assignment* fixed;
+  HomSearchStats* stats;
+  const std::function<bool(const Assignment&)>* visit = nullptr;
+  bool stopped = false;
+  bool impossible = false;  // a constant or fixed value matches no fact
+
+  IndexedSearcher(const std::vector<Atom>& atoms_in,
+                  const std::vector<const Database*>& dbs_in,
+                  const Assignment& fixed_in, HomSearchStats* stats_in)
+      : fixed(&fixed_in), stats(stats_in) {
+    pool = dbs_in.empty() ? nullptr : dbs_in[0]->pool().get();
+    std::unordered_map<std::string, int> var_slots;
+    atoms.reserve(atoms_in.size());
+    for (std::size_t i = 0; i < atoms_in.size(); ++i) {
+      AtomInfo info;
+      info.db = dbs_in[i];
+      info.predicate = &atoms_in[i].predicate();
+      info.slots.reserve(atoms_in[i].arity());
+      for (const Term& t : atoms_in[i].terms()) {
+        Slot slot;
+        if (t.is_constant()) {
+          slot.is_const = true;
+          slot.const_id = pool->Find(t.name());
+          slot.var = -1;
+          if (slot.const_id == kNoValue) impossible = true;
+        } else {
+          slot.is_const = false;
+          slot.const_id = kNoValue;
+          auto [it, inserted] =
+              var_slots.emplace(t.name(), static_cast<int>(var_names.size()));
+          if (inserted) {
+            var_names.push_back(t.name());
+            binding.push_back(kNoValue);
+          }
+          slot.var = it->second;
+        }
+        info.slots.push_back(slot);
+      }
+      atoms.push_back(std::move(info));
+    }
+    used.assign(atoms.size(), false);
+    for (const auto& [var, value] : fixed_in) {
+      auto it = var_slots.find(var);
+      if (it == var_slots.end()) continue;  // rides along in the output only
+      ValueId id = pool->Find(value);
+      if (id == kNoValue) {
+        impossible = true;  // the var occurs in an atom; no fact can match
+        return;
+      }
+      binding[it->second] = id;
+    }
+  }
+
+  void Emit() {
+    Assignment out = *fixed;
+    for (std::size_t v = 0; v < binding.size(); ++v) {
+      if (binding[v] != kNoValue) out.emplace(var_names[v], pool->NameOf(binding[v]));
+    }
+    if (!(*visit)(out)) stopped = true;
+  }
+
+  // Bound-position mask and key of `atom` under the current binding. A
+  // position is bound if it holds a constant or an already-bound variable;
+  // only the first 32 positions are indexable.
+  void BoundMask(const AtomInfo& atom, std::uint32_t* mask,
+                 std::vector<ValueId>* key) const {
+    *mask = 0;
+    key->clear();
+    const std::size_t limit = std::min<std::size_t>(atom.slots.size(), 32);
+    for (std::size_t p = 0; p < limit; ++p) {
+      const Slot& s = atom.slots[p];
+      ValueId id = s.is_const ? s.const_id : binding[s.var];
+      if (id == kNoValue) continue;
+      *mask |= 1u << p;
+      key->push_back(id);
+    }
+  }
+
+  int BoundCount(const AtomInfo& atom) const {
+    int c = 0;
+    const std::size_t limit = std::min<std::size_t>(atom.slots.size(), 32);
+    for (std::size_t p = 0; p < limit; ++p) {
+      const Slot& s = atom.slots[p];
+      if ((s.is_const ? s.const_id : binding[s.var]) != kNoValue) ++c;
+    }
+    return c;
+  }
+
+  void Recurse(std::size_t depth) {
+    if (stopped) return;
+    if (depth == atoms.size()) {
+      Emit();
+      return;
+    }
+    // Pick the next atom dynamically: among the unused atoms with the most
+    // bound positions (the most-constrained ones), the one with the fewest
+    // candidates — bucket size under the bound-position index, or full
+    // relation size when nothing is bound yet. Only the most-constrained
+    // tier is probed, which keeps the per-node selection cost near-constant
+    // instead of one probe per remaining atom.
+    int max_bound = -1;
+    for (std::size_t i = 0; i < atoms.size(); ++i) {
+      if (used[i]) continue;
+      max_bound = std::max(max_bound, BoundCount(atoms[i]));
+    }
+    int best = -1;
+    std::size_t best_count = std::numeric_limits<std::size_t>::max();
+    const std::vector<std::uint32_t>* best_bucket = nullptr;
+    std::uint32_t mask = 0;
+    std::vector<ValueId> key;
+    for (std::size_t i = 0; i < atoms.size(); ++i) {
+      if (used[i]) continue;
+      const AtomInfo& atom = atoms[i];
+      if (BoundCount(atom) != max_bound) continue;
+      const std::vector<std::uint32_t>* bucket = nullptr;
+      std::size_t count;
+      if (max_bound > 0) {
+        BoundMask(atom, &mask, &key);
+        if (stats != nullptr) ++stats->index_probes;
+        bucket = &atom.db->Probe(*atom.predicate, mask, key);
+        count = bucket->size();
+      } else {
+        count = atom.db->Rows(*atom.predicate).size();
+      }
+      if (count < best_count) {
+        best = static_cast<int>(i);
+        best_count = count;
+        best_bucket = bucket;
+        if (count == 0) break;
+      }
+    }
+    if (best_count == 0) {
+      if (stats != nullptr) ++stats->backtracks;
+      return;
+    }
+    const AtomInfo& atom = atoms[best];
+    const auto& rows = atom.db->Rows(*atom.predicate);
+    used[best] = true;
+    std::vector<int> newly_bound;
+    auto try_row = [&](const std::vector<ValueId>& row) {
+      if (row.size() != atom.slots.size()) return;
+      if (stats != nullptr) {
+        ++stats->atom_attempts;
+        if (best_bucket != nullptr) {
+          ++stats->index_candidates;
+        } else {
+          ++stats->scan_candidates;
+        }
+      }
+      newly_bound.clear();
+      bool ok = true;
+      for (std::size_t p = 0; p < row.size(); ++p) {
+        const Slot& s = atom.slots[p];
+        if (s.is_const) {
+          if (s.const_id != row[p]) {
+            ok = false;
+            break;
+          }
+          continue;
+        }
+        ValueId& bound = binding[s.var];
+        if (bound != kNoValue) {
+          if (bound != row[p]) {
+            ok = false;
+            break;
+          }
+        } else {
+          bound = row[p];
+          newly_bound.push_back(s.var);
+        }
+      }
+      if (ok) {
+        Recurse(depth + 1);
+      } else if (stats != nullptr) {
+        ++stats->backtracks;
+      }
+      for (int v : newly_bound) binding[v] = kNoValue;
+    };
+    if (best_bucket != nullptr) {
+      for (std::uint32_t r : *best_bucket) {
+        try_row(rows[r]);
+        if (stopped) break;
+      }
+    } else {
+      for (const auto& row : rows) {
+        try_row(row);
+        if (stopped) break;
+      }
+    }
+    used[best] = false;
+  }
+};
+
+bool SharePool(const std::vector<const Database*>& dbs) {
+  for (std::size_t i = 1; i < dbs.size(); ++i) {
+    if (dbs[i]->pool() != dbs[0]->pool()) return false;
+  }
+  return true;
+}
+
 }  // namespace
+
+void EnumerateHomomorphismsOver(
+    const std::vector<Atom>& atoms, const std::vector<const Database*>& dbs,
+    const Assignment& fixed,
+    const std::function<bool(const Assignment&)>& visit,
+    HomSearchStats* stats, const HomSearchOptions& options) {
+  QCONT_CHECK(atoms.size() == dbs.size());
+  if (options.use_index && SharePool(dbs)) {
+    IndexedSearcher searcher(atoms, dbs, fixed, stats);
+    if (searcher.impossible) return;
+    searcher.visit = &visit;
+    searcher.Recurse(0);
+    return;
+  }
+  ScanSearcher searcher(atoms, dbs, fixed, stats);
+  searcher.visit = &visit;
+  searcher.Recurse(0);
+}
 
 void EnumerateHomomorphisms(const ConjunctiveQuery& cq, const Database& db,
                             const Assignment& fixed,
                             const std::function<bool(const Assignment&)>& visit,
-                            HomSearchStats* stats) {
-  Searcher searcher(cq, db, fixed, stats);
-  searcher.visit = &visit;
-  searcher.Recurse(0);
+                            HomSearchStats* stats,
+                            const HomSearchOptions& options) {
+  std::vector<const Database*> dbs(cq.atoms().size(), &db);
+  EnumerateHomomorphismsOver(cq.atoms(), dbs, fixed, visit, stats, options);
 }
 
 std::optional<Assignment> FindHomomorphism(const ConjunctiveQuery& cq,
                                            const Database& db,
                                            const Assignment& fixed,
-                                           HomSearchStats* stats) {
+                                           HomSearchStats* stats,
+                                           const HomSearchOptions& options) {
   std::optional<Assignment> found;
   EnumerateHomomorphisms(
       cq, db, fixed,
@@ -123,12 +382,13 @@ std::optional<Assignment> FindHomomorphism(const ConjunctiveQuery& cq,
         found = h;
         return false;  // stop at the first homomorphism
       },
-      stats);
+      stats, options);
   return found;
 }
 
 std::vector<Tuple> EvaluateCq(const ConjunctiveQuery& cq, const Database& db,
-                              HomSearchStats* stats) {
+                              HomSearchStats* stats,
+                              const HomSearchOptions& options) {
   std::set<Tuple> results;
   EnumerateHomomorphisms(
       cq, db, /*fixed=*/{},
@@ -139,15 +399,18 @@ std::vector<Tuple> EvaluateCq(const ConjunctiveQuery& cq, const Database& db,
         results.insert(std::move(out));
         return true;
       },
-      stats);
+      stats, options);
   return std::vector<Tuple>(results.begin(), results.end());
 }
 
 std::vector<Tuple> EvaluateUcq(const UnionQuery& ucq, const Database& db,
-                               HomSearchStats* stats) {
+                               HomSearchStats* stats,
+                               const HomSearchOptions& options) {
   std::set<Tuple> results;
   for (const ConjunctiveQuery& cq : ucq.disjuncts()) {
-    for (Tuple& t : EvaluateCq(cq, db, stats)) results.insert(std::move(t));
+    for (Tuple& t : EvaluateCq(cq, db, stats, options)) {
+      results.insert(std::move(t));
+    }
   }
   return std::vector<Tuple>(results.begin(), results.end());
 }

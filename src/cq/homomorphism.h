@@ -19,35 +19,62 @@ using Assignment = std::unordered_map<std::string, Value>;
 /// Counters reported by the backtracking search; used by benchmarks as a
 /// machine-independent cost signal.
 struct HomSearchStats {
-  std::uint64_t atom_attempts = 0;  // candidate tuples tried
+  std::uint64_t atom_attempts = 0;     // candidate tuples tried
   std::uint64_t backtracks = 0;
+  std::uint64_t index_probes = 0;      // hash-index lookups issued
+  std::uint64_t index_candidates = 0;  // candidates enumerated via an index
+  std::uint64_t scan_candidates = 0;   // candidates enumerated via full scan
+};
+
+/// Search configuration. The indexed path is the default; the scan path is
+/// the pre-index reference implementation (static greedy atom order, full
+/// relation scan per atom) kept for differential testing.
+struct HomSearchOptions {
+  bool use_index = true;
 };
 
 /// Searches for a homomorphism from the body of `cq` into `db` that extends
 /// the partial assignment `fixed`. This is the generic (NP) evaluation
-/// procedure: backtracking over atoms with a most-constrained-first order.
+/// procedure: backtracking over atoms. The indexed engine picks the next
+/// atom dynamically by estimated candidate count and enumerates candidates
+/// through per-relation hash indexes on the bound positions.
 ///
 /// Returns the full assignment if one exists.
-std::optional<Assignment> FindHomomorphism(const ConjunctiveQuery& cq,
-                                           const Database& db,
-                                           const Assignment& fixed = {},
-                                           HomSearchStats* stats = nullptr);
+std::optional<Assignment> FindHomomorphism(
+    const ConjunctiveQuery& cq, const Database& db,
+    const Assignment& fixed = {}, HomSearchStats* stats = nullptr,
+    const HomSearchOptions& options = {});
 
 /// Enumerates homomorphisms, invoking `visit` for each; enumeration stops
 /// early when `visit` returns false.
 void EnumerateHomomorphisms(const ConjunctiveQuery& cq, const Database& db,
                             const Assignment& fixed,
                             const std::function<bool(const Assignment&)>& visit,
-                            HomSearchStats* stats = nullptr);
+                            HomSearchStats* stats = nullptr,
+                            const HomSearchOptions& options = {});
+
+/// Generalization used by the semi-naive Datalog join: atom i is matched
+/// against `*dbs[i]` (`atoms.size() == dbs.size()`), so a delta relation
+/// can be joined against the full database without materializing their
+/// union. The indexed engine requires all databases to share one value
+/// pool (`Database::pool()`); if they do not, the call transparently falls
+/// back to the scan engine, which is value-pool agnostic.
+void EnumerateHomomorphismsOver(
+    const std::vector<Atom>& atoms, const std::vector<const Database*>& dbs,
+    const Assignment& fixed,
+    const std::function<bool(const Assignment&)>& visit,
+    HomSearchStats* stats = nullptr, const HomSearchOptions& options = {});
 
 /// Evaluates cq(db): the set of distinct head tuples h(x̄) over all
 /// homomorphisms h. For a Boolean query the result is {()} or {}.
 std::vector<Tuple> EvaluateCq(const ConjunctiveQuery& cq, const Database& db,
-                              HomSearchStats* stats = nullptr);
+                              HomSearchStats* stats = nullptr,
+                              const HomSearchOptions& options = {});
 
 /// Union of the disjunct evaluations, deduplicated and sorted.
 std::vector<Tuple> EvaluateUcq(const UnionQuery& ucq, const Database& db,
-                               HomSearchStats* stats = nullptr);
+                               HomSearchStats* stats = nullptr,
+                               const HomSearchOptions& options = {});
 
 }  // namespace qcont
 

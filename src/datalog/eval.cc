@@ -13,57 +13,51 @@ namespace {
 
 // Derives the head tuples produced by `rule` over `db`. If `delta_position`
 // is >= 0, the body atom at that index is matched against `delta` instead
-// of `db` (the semi-naive restriction "at least one new fact"). The
-// restriction is realized by renaming that atom's predicate and unioning
-// delta under the renamed name.
+// of `db` (the semi-naive restriction "at least one new fact"), realized by
+// pointing that atom's search at the delta database — no copies, no
+// renaming; delta and db share a value pool so the indexed join applies
+// (index the delta, probe the full relation, and vice versa: the searcher
+// orders atoms by candidate count, so whichever side is smaller drives).
 std::vector<Tuple> FireRule(const Rule& rule, const Database& db,
                             const Database* delta, int delta_position,
+                            const HomSearchOptions& options,
                             DatalogEvalStats* stats) {
-  static const std::string kDeltaPrefix = "\x7f_delta_";
-  std::vector<Atom> body = rule.body;
-  const Database* search_db = &db;
-  Database combined;
-  if (delta_position >= 0) {
-    const Atom original = body[delta_position];  // copy: the slot is replaced
-    body[delta_position] = Atom(kDeltaPrefix + original.predicate(),
-                                original.terms());
-    combined = db;
-    for (const Tuple& t : delta->Facts(original.predicate())) {
-      combined.AddFact(kDeltaPrefix + original.predicate(), t);
-    }
-    search_db = &combined;
-  }
-  ConjunctiveQuery body_query(rule.head.terms(), std::move(body));
+  std::vector<const Database*> dbs(rule.body.size(), &db);
+  if (delta_position >= 0) dbs[delta_position] = delta;
   std::vector<Tuple> out;
-  EnumerateHomomorphisms(body_query, *search_db, /*fixed=*/{},
-                         [&](const Assignment& h) {
-                           Tuple t;
-                           t.reserve(rule.head.arity());
-                           for (const Term& v : rule.head.terms()) {
-                             t.push_back(h.at(v.name()));
-                           }
-                           out.push_back(std::move(t));
-                           if (stats != nullptr) ++stats->rule_firings;
-                           return true;
-                         });
+  EnumerateHomomorphismsOver(
+      rule.body, dbs, /*fixed=*/{},
+      [&](const Assignment& h) {
+        Tuple t;
+        t.reserve(rule.head.arity());
+        for (const Term& v : rule.head.terms()) {
+          t.push_back(h.at(v.name()));
+        }
+        out.push_back(std::move(t));
+        if (stats != nullptr) ++stats->rule_firings;
+        return true;
+      },
+      stats != nullptr ? &stats->hom : nullptr, options);
   return out;
 }
 
 }  // namespace
 
 Result<Database> EvaluateProgram(const DatalogProgram& program,
-                                 const Database& edb, EvalStrategy strategy,
+                                 const Database& edb,
+                                 const EvalOptions& options,
                                  DatalogEvalStats* stats) {
   QCONT_RETURN_IF_ERROR(program.Validate());
   Database all = edb;
+  const HomSearchOptions hom_options{.use_index = options.use_index};
 
-  if (strategy == EvalStrategy::kNaive) {
+  if (options.strategy == EvalStrategy::kNaive) {
     bool changed = true;
     while (changed) {
       changed = false;
       if (stats != nullptr) ++stats->iterations;
       for (const Rule& rule : program.rules()) {
-        for (Tuple& t : FireRule(rule, all, nullptr, -1, stats)) {
+        for (Tuple& t : FireRule(rule, all, nullptr, -1, hom_options, stats)) {
           if (all.AddFact(rule.head.predicate(), std::move(t))) {
             changed = true;
             if (stats != nullptr) ++stats->derived_facts;
@@ -75,11 +69,12 @@ Result<Database> EvaluateProgram(const DatalogProgram& program,
   }
 
   // Semi-naive: round 0 fires all rules on the EDB; later rounds require at
-  // least one body atom to match the previous round's delta.
-  Database delta;
+  // least one body atom to match the previous round's delta. The deltas
+  // share `all`'s value pool so the indexed join spans both databases.
+  Database delta(all.pool());
   if (stats != nullptr) ++stats->iterations;
   for (const Rule& rule : program.rules()) {
-    for (Tuple& t : FireRule(rule, all, nullptr, -1, stats)) {
+    for (Tuple& t : FireRule(rule, all, nullptr, -1, hom_options, stats)) {
       if (all.AddFact(rule.head.predicate(), t)) {
         delta.AddFact(rule.head.predicate(), std::move(t));
         if (stats != nullptr) ++stats->derived_facts;
@@ -88,13 +83,13 @@ Result<Database> EvaluateProgram(const DatalogProgram& program,
   }
   while (delta.NumFacts() > 0) {
     if (stats != nullptr) ++stats->iterations;
-    Database next_delta;
+    Database next_delta(all.pool());
     for (const Rule& rule : program.rules()) {
       for (std::size_t i = 0; i < rule.body.size(); ++i) {
         if (!program.IsIntensional(rule.body[i].predicate())) continue;
         if (delta.Facts(rule.body[i].predicate()).empty()) continue;
-        for (Tuple& t :
-             FireRule(rule, all, &delta, static_cast<int>(i), stats)) {
+        for (Tuple& t : FireRule(rule, all, &delta, static_cast<int>(i),
+                                 hom_options, stats)) {
           if (!all.HasFact(rule.head.predicate(), t)) {
             next_delta.AddFact(rule.head.predicate(), t);
           }
@@ -111,15 +106,29 @@ Result<Database> EvaluateProgram(const DatalogProgram& program,
   return all;
 }
 
+Result<Database> EvaluateProgram(const DatalogProgram& program,
+                                 const Database& edb, EvalStrategy strategy,
+                                 DatalogEvalStats* stats) {
+  return EvaluateProgram(program, edb, EvalOptions{.strategy = strategy},
+                         stats);
+}
+
+Result<std::vector<Tuple>> EvaluateGoal(const DatalogProgram& program,
+                                        const Database& edb,
+                                        const EvalOptions& options,
+                                        DatalogEvalStats* stats) {
+  QCONT_ASSIGN_OR_RETURN(Database all,
+                         EvaluateProgram(program, edb, options, stats));
+  std::vector<Tuple> out = all.Facts(program.goal_predicate());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 Result<std::vector<Tuple>> EvaluateGoal(const DatalogProgram& program,
                                         const Database& edb,
                                         EvalStrategy strategy,
                                         DatalogEvalStats* stats) {
-  QCONT_ASSIGN_OR_RETURN(Database all,
-                         EvaluateProgram(program, edb, strategy, stats));
-  std::vector<Tuple> out = all.Facts(program.goal_predicate());
-  std::sort(out.begin(), out.end());
-  return out;
+  return EvaluateGoal(program, edb, EvalOptions{.strategy = strategy}, stats);
 }
 
 Result<bool> UcqContainedInDatalog(const UnionQuery& theta,

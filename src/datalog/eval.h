@@ -6,15 +6,19 @@
 
 #include "base/status.h"
 #include "cq/database.h"
+#include "cq/homomorphism.h"
 #include "datalog/program.h"
 
 namespace qcont {
 
-/// Evaluation counters (benchmark signal for experiment E9).
+/// Evaluation counters (benchmark signal for experiment E9). `hom`
+/// aggregates the join-substrate counters over every rule firing, so index
+/// effectiveness (index_candidates vs scan_candidates) is visible per run.
 struct DatalogEvalStats {
   std::uint64_t iterations = 0;
   std::uint64_t rule_firings = 0;      // rule body matches found
   std::uint64_t derived_facts = 0;     // new facts added over the run
+  HomSearchStats hom;                  // aggregated join-search counters
 };
 
 enum class EvalStrategy {
@@ -22,14 +26,30 @@ enum class EvalStrategy {
   kSemiNaive,  // delta-driven derivation
 };
 
+/// Full evaluation configuration. `use_index=false` selects the pre-index
+/// scan join path (differential-testing reference).
+struct EvalOptions {
+  EvalStrategy strategy = EvalStrategy::kSemiNaive;
+  bool use_index = true;
+};
+
 /// Computes F^∞(D): the database `edb` extended with all derived
-/// intensional facts, by bottom-up fixpoint.
+/// intensional facts, by bottom-up fixpoint. The semi-naive strategy joins
+/// each rule's delta atom against the delta relation and the remaining
+/// atoms against the full database through the shared per-relation hash
+/// indexes, which are maintained incrementally across rounds.
+Result<Database> EvaluateProgram(const DatalogProgram& program,
+                                 const Database& edb, const EvalOptions& options,
+                                 DatalogEvalStats* stats = nullptr);
 Result<Database> EvaluateProgram(const DatalogProgram& program,
                                  const Database& edb,
                                  EvalStrategy strategy = EvalStrategy::kSemiNaive,
                                  DatalogEvalStats* stats = nullptr);
 
 /// Π(D): the goal-predicate tuples derived over `edb`, sorted.
+Result<std::vector<Tuple>> EvaluateGoal(
+    const DatalogProgram& program, const Database& edb,
+    const EvalOptions& options, DatalogEvalStats* stats = nullptr);
 Result<std::vector<Tuple>> EvaluateGoal(
     const DatalogProgram& program, const Database& edb,
     EvalStrategy strategy = EvalStrategy::kSemiNaive,

@@ -14,42 +14,75 @@ namespace qcont {
 
 namespace {
 
-// Candidate matches of one atom: variable list + rows of values aligned to
-// the variables.
+// Candidate matches of one atom: variable list + rows of interned value ids
+// aligned to the variables.
 struct AtomRelation {
   std::vector<std::string> vars;
-  std::vector<std::vector<Value>> rows;
+  std::vector<std::vector<ValueId>> rows;
 };
 
 // Builds the per-atom candidate relation: database tuples unifying with the
-// atom under `fixed` (constants and repeated variables checked here).
+// atom under `fixed` (constants and repeated variables checked here). The
+// positions bound by constants or fixed variables are served through the
+// database's position-mask hash index instead of a full relation scan.
 AtomRelation BuildAtomRelation(const Atom& atom, const Database& db,
-                               const Assignment& fixed) {
+                               const Assignment& fixed,
+                               YannakakisStats* stats) {
   AtomRelation rel;
   for (const Term& t : atom.Variables()) rel.vars.push_back(t.name());
-  for (const Tuple& fact : db.Facts(atom.predicate())) {
-    if (fact.size() != atom.arity()) continue;
-    std::unordered_map<std::string, Value> local;
-    bool ok = true;
-    for (std::size_t i = 0; i < fact.size() && ok; ++i) {
-      const Term& t = atom.terms()[i];
-      if (t.is_constant()) {
-        ok = (t.name() == fact[i]);
-      } else {
-        auto fixed_it = fixed.find(t.name());
-        if (fixed_it != fixed.end() && fixed_it->second != fact[i]) {
-          ok = false;
-          break;
-        }
-        auto [it, inserted] = local.emplace(t.name(), fact[i]);
-        if (!inserted) ok = (it->second == fact[i]);
+  const std::size_t arity = atom.arity();
+  // Per position: the required id (constant / fixed variable, kNoValue if
+  // free) and the index of the position's variable in rel.vars (-1 if
+  // constant).
+  std::vector<ValueId> required(arity, kNoValue);
+  std::vector<int> pos_var(arity, -1);
+  std::uint32_t mask = 0;
+  std::vector<ValueId> probe_key;
+  for (std::size_t i = 0; i < arity; ++i) {
+    const Term& t = atom.terms()[i];
+    if (t.is_constant()) {
+      required[i] = db.ValueIdOf(t.name());
+      if (required[i] == kNoValue) return rel;  // matches no fact
+    } else {
+      for (std::size_t v = 0; v < rel.vars.size(); ++v) {
+        if (rel.vars[v] == t.name()) pos_var[i] = static_cast<int>(v);
+      }
+      auto fixed_it = fixed.find(t.name());
+      if (fixed_it != fixed.end()) {
+        required[i] = db.ValueIdOf(fixed_it->second);
+        if (required[i] == kNoValue) return rel;
       }
     }
-    if (!ok) continue;
-    std::vector<Value> row;
-    row.reserve(rel.vars.size());
-    for (const std::string& v : rel.vars) row.push_back(local.at(v));
-    rel.rows.push_back(std::move(row));
+    if (required[i] != kNoValue && i < 32) {
+      mask |= 1u << i;
+      probe_key.push_back(required[i]);
+    }
+  }
+  const auto& rows = db.Rows(atom.predicate());
+  const std::vector<std::uint32_t>* bucket = nullptr;
+  if (mask != 0) {
+    bucket = &db.Probe(atom.predicate(), mask, probe_key);
+    if (stats != nullptr) ++stats->index_probes;
+  }
+  auto try_row = [&](const std::vector<ValueId>& row) {
+    if (row.size() != arity) return;
+    std::vector<ValueId> out(rel.vars.size(), kNoValue);
+    for (std::size_t i = 0; i < arity; ++i) {
+      if (required[i] != kNoValue && row[i] != required[i]) return;
+      const int v = pos_var[i];
+      if (v < 0) continue;
+      if (out[v] == kNoValue) {
+        out[v] = row[i];
+      } else if (out[v] != row[i]) {
+        return;  // repeated variable bound inconsistently
+      }
+    }
+    rel.rows.push_back(std::move(out));
+  };
+  if (bucket != nullptr) {
+    for (std::uint32_t r : *bucket) try_row(rows[r]);
+  } else {
+    for (const auto& row : rows) try_row(row);
   }
   return rel;
 }
@@ -83,16 +116,16 @@ void Semijoin(AtomRelation* target, const AtomRelation& source,
     if (source.rows.empty()) target->rows.clear();
     return;
   }
-  std::unordered_set<std::vector<Value>, VectorHash<Value>> keys;
+  std::unordered_set<std::vector<ValueId>, VectorHash<ValueId>> keys;
   for (const auto& row : source.rows) {
-    std::vector<Value> key;
+    std::vector<ValueId> key;
     key.reserve(pos_s.size());
     for (int p : pos_s) key.push_back(row[p]);
     keys.insert(std::move(key));
   }
-  std::vector<std::vector<Value>> kept;
+  std::vector<std::vector<ValueId>> kept;
   for (auto& row : target->rows) {
-    std::vector<Value> key;
+    std::vector<ValueId> key;
     key.reserve(pos_t.size());
     for (int p : pos_t) key.push_back(row[p]);
     if (keys.count(key)) kept.push_back(std::move(row));
@@ -133,7 +166,7 @@ Result<ReducedQuery> UpwardReduce(const ConjunctiveQuery& cq,
   out.jt = std::move(jt);
   out.relations.reserve(cq.atoms().size());
   for (const Atom& a : cq.atoms()) {
-    out.relations.push_back(BuildAtomRelation(a, db, fixed));
+    out.relations.push_back(BuildAtomRelation(a, db, fixed, stats));
   }
   for (int v : PostOrder(out.jt)) {
     int p = out.jt.parent[v];
@@ -180,19 +213,19 @@ Result<std::vector<Tuple>> EvaluateAcyclicCq(const ConjunctiveQuery& cq,
       head_vars.push_back(t.name());
     }
   }
-  std::unordered_map<std::string, std::set<Value>> candidates;
+  std::unordered_map<std::string, std::set<ValueId>> candidates;
   for (const Atom& atom : cq.atoms()) {
-    AtomRelation rel = BuildAtomRelation(atom, db, /*fixed=*/{});
+    AtomRelation rel = BuildAtomRelation(atom, db, /*fixed=*/{}, stats);
     for (std::size_t i = 0; i < rel.vars.size(); ++i) {
       if (std::find(head_vars.begin(), head_vars.end(), rel.vars[i]) ==
           head_vars.end()) {
         continue;
       }
-      std::set<Value> values;
+      std::set<ValueId> values;
       for (const auto& row : rel.rows) values.insert(row[i]);
       auto [it, inserted] = candidates.emplace(rel.vars[i], values);
       if (!inserted) {
-        std::set<Value> merged;
+        std::set<ValueId> merged;
         std::set_intersection(it->second.begin(), it->second.end(),
                               values.begin(), values.end(),
                               std::inserter(merged, merged.begin()));
@@ -214,8 +247,8 @@ Result<std::vector<Tuple>> EvaluateAcyclicCq(const ConjunctiveQuery& cq,
       }
       return Status::Ok();
     }
-    for (const Value& v : candidates[head_vars[i]]) {
-      fixed[head_vars[i]] = v;
+    for (ValueId v : candidates[head_vars[i]]) {
+      fixed[head_vars[i]] = db.ValueName(v);
       QCONT_RETURN_IF_ERROR(try_assign(i + 1));
     }
     fixed.erase(head_vars[i]);

@@ -15,6 +15,7 @@ namespace qcont {
 struct YannakakisStats {
   std::uint64_t semijoins = 0;
   std::uint64_t tuples_scanned = 0;
+  std::uint64_t index_probes = 0;  // candidate lists served by a hash index
 };
 
 /// Decides whether the (acyclic) CQ has a homomorphism into `db` extending

@@ -98,6 +98,55 @@ TEST(DatabaseTest, AddAndLookup) {
   EXPECT_EQ(db.ActiveDomain().size(), 3u);
 }
 
+TEST(DatabaseTest, AccessorsDoNotRebuildOnDuplicateAddFact) {
+  Database db;
+  db.AddFact("R", {"a", "b"});
+  db.AddFact("S", {"c"});
+  const std::vector<std::string>& relations = db.Relations();
+  const std::vector<Value>& domain = db.ActiveDomain();
+  const std::string* relations_data = relations.data();
+  const Value* domain_data = domain.data();
+  EXPECT_EQ(relations, (std::vector<std::string>{"R", "S"}));
+  EXPECT_EQ(domain, (std::vector<Value>{"a", "b", "c"}));
+
+  // A duplicate fact and a new fact of a known relation with known values
+  // must not invalidate either cached vector (no rebuild, no realloc).
+  EXPECT_FALSE(db.AddFact("R", {"a", "b"}));
+  EXPECT_TRUE(db.AddFact("R", {"b", "a"}));
+  EXPECT_EQ(db.Relations().data(), relations_data);
+  EXPECT_EQ(db.ActiveDomain().data(), domain_data);
+  EXPECT_EQ(db.Relations(), (std::vector<std::string>{"R", "S"}));
+  EXPECT_EQ(db.ActiveDomain(), (std::vector<Value>{"a", "b", "c"}));
+}
+
+TEST(DatabaseTest, ProbeFindsRowsByBoundPositions) {
+  Database db;
+  db.AddFact("E", {"1", "2"});
+  db.AddFact("E", {"1", "3"});
+  db.AddFact("E", {"2", "3"});
+  ValueId one = db.ValueIdOf("1");
+  ASSERT_NE(one, kNoValue);
+  // Mask 0b01: rows whose first position is "1".
+  const auto& bucket = db.Probe("E", 1u, {one});
+  EXPECT_EQ(bucket.size(), 2u);
+  // Indexes catch up incrementally after AddFact.
+  db.AddFact("E", {"1", "4"});
+  EXPECT_EQ(db.Probe("E", 1u, {one}).size(), 3u);
+  EXPECT_TRUE(db.Probe("E", 1u, {db.ValueIdOf("4")}).empty());
+  EXPECT_EQ(db.ValueIdOf("never-seen"), kNoValue);
+  EXPECT_GE(db.index_stats().probes, 3u);
+  EXPECT_GE(db.index_stats().indexes_built, 1u);
+}
+
+TEST(DatabaseTest, SharedPoolGivesComparableIds) {
+  Database a;
+  Database b(a.pool());
+  a.AddFact("R", {"v"});
+  b.AddFact("R", {"v"});
+  EXPECT_EQ(a.ValueIdOf("v"), b.ValueIdOf("v"));
+  EXPECT_EQ(a.ValueName(a.ValueIdOf("v")), "v");
+}
+
 TEST(DatabaseTest, UnionWith) {
   Database a, b;
   a.AddFact("R", {"x"});
