@@ -54,6 +54,7 @@ BENCHMARK(BM_CliqueInClique)->DenseRange(3, 7, 1);
 // start variable is frozen.
 void BM_UcqContainment(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
   std::vector<ConjunctiveQuery> lhs_cqs, rhs_cqs;
   for (int i = 0; i < 2; ++i) {
     lhs_cqs.push_back(bench::ChainCq(2 * n + 2 * i, "e", 1));
@@ -62,13 +63,18 @@ void BM_UcqContainment(benchmark::State& state) {
   rhs_cqs.push_back(bench::ChainCq(3 * n, "e", 1));  // refuted
   rhs_cqs.push_back(bench::ChainCq(n, "e", 1));      // folds in
   UnionQuery lhs(lhs_cqs), rhs(rhs_cqs);
+  HomSearchOptions options;
+  options.exec.threads = threads;
   HomSearchStats stats;
   bool contained = false;
   for (auto _ : state) {
     stats = HomSearchStats();
-    contained = *UcqContained(lhs, rhs, &stats);
+    contained = *UcqContained(lhs, rhs, &stats, options);
   }
+  // The determinism contract makes every counter identical across the
+  // threads rows; only the time series varies.
   state.counters["contained"] = contained ? 1 : 0;
+  state.counters["threads"] = threads;
   state.counters["atom_attempts"] = static_cast<double>(stats.atom_attempts);
   state.counters["index_probes"] = static_cast<double>(stats.index_probes);
   state.counters["index_candidates"] =
@@ -76,7 +82,14 @@ void BM_UcqContainment(benchmark::State& state) {
   state.counters["scan_candidates"] =
       static_cast<double>(stats.scan_candidates);
 }
-BENCHMARK(BM_UcqContainment)->RangeMultiplier(2)->Range(8, 64);
+// Every size at threads=1 (the shape-check rows) and at BenchThreads().
+void UcqContainmentArgs(benchmark::internal::Benchmark* b) {
+  for (int n = 8; n <= 64; n *= 2) {
+    b->Args({n, 1});
+    b->Args({n, bench::BenchThreads()});
+  }
+}
+BENCHMARK(BM_UcqContainment)->Apply(UcqContainmentArgs);
 
 // Random UCQ vs UCQ containment at growing disjunct counts.
 void BM_RandomUnionContainment(benchmark::State& state) {

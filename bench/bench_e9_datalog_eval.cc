@@ -17,19 +17,21 @@ namespace {
 void BM_TcChain(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const bool semi = state.range(1) != 0;
+  const int threads = static_cast<int>(state.range(2));
   DatalogProgram tc = bench::TcProgram();
   Database db = bench::ChainDatabase(n);
+  EvalOptions options;
+  options.strategy = semi ? EvalStrategy::kSemiNaive : EvalStrategy::kNaive;
+  options.exec.threads = threads;
   DatalogEvalStats stats;
   std::size_t derived = 0;
   for (auto _ : state) {
     stats = DatalogEvalStats();
-    derived = EvaluateGoal(tc, db,
-                           semi ? EvalStrategy::kSemiNaive
-                                : EvalStrategy::kNaive,
-                           &stats)
-                  ->size();
+    derived = EvaluateGoal(tc, db, options, &stats)->size();
   }
+  // Counters are identical across the threads rows (determinism contract).
   state.counters["derived"] = static_cast<double>(derived);
+  state.counters["threads"] = threads;
   state.counters["rule_firings"] = static_cast<double>(stats.rule_firings);
   state.counters["iterations"] = static_cast<double>(stats.iterations);
   state.counters["index_probes"] = static_cast<double>(stats.hom.index_probes);
@@ -39,8 +41,17 @@ void BM_TcChain(benchmark::State& state) {
       static_cast<double>(stats.hom.scan_candidates);
   state.SetLabel(semi ? "semi_naive" : "naive");
 }
-BENCHMARK(BM_TcChain)
-    ->ArgsProduct({{8, 16, 32, 64}, {0, 1}});
+// Every (size, strategy) at threads=1 (the shape-check rows); semi-naive —
+// the only strategy with parallel delta rounds — also at BenchThreads().
+void TcChainArgs(benchmark::internal::Benchmark* b) {
+  for (int n : {8, 16, 32, 64}) {
+    for (int semi : {0, 1}) {
+      b->Args({n, semi, 1});
+      if (semi != 0) b->Args({n, semi, bench::BenchThreads()});
+    }
+  }
+}
+BENCHMARK(BM_TcChain)->Apply(TcChainArgs);
 
 void BM_TcRandomGraph(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -2,12 +2,16 @@
 # Runs the Google Benchmark suites and writes BENCH_<suite>.json files.
 #
 # Usage:
-#   bench/run_benchmarks.sh [-b BUILD_DIR] [-o OUT_DIR] [-s "SUITE ..."] [extra benchmark args...]
+#   bench/run_benchmarks.sh [-b BUILD_DIR] [-o OUT_DIR] [-s "SUITE ..."] \
+#                           [--threads N] [extra benchmark args...]
 #
 #   -b BUILD_DIR   CMake build directory containing bench/ binaries (default: build)
 #   -o OUT_DIR     directory the BENCH_*.json files are written to (default: repo root)
 #   -s SUITES      space-separated suite names without the bench_ prefix
 #                  (default: every suite below)
+#   --threads N    worker count for the parallel benchmark rows, exported as
+#                  QCONT_BENCH_THREADS (default: the binaries fall back to
+#                  the hardware concurrency, floored at 2)
 #
 # Any remaining arguments are forwarded to each benchmark binary, e.g.
 #   bench/run_benchmarks.sh -s "e1_ucq_containment e9_datalog_eval" --benchmark_min_time=0.05s
@@ -15,6 +19,34 @@
 # The script exits nonzero if any benchmark binary crashes or is missing, so
 # CI can gate on "benchmarks still run" without gating on timing.
 set -euo pipefail
+
+# Long options are split off before getopts (which would otherwise choke
+# on them wherever they appear): --threads is consumed here, every other
+# --flag is forwarded verbatim to the benchmark binaries.
+filtered=()
+passthrough=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --threads)
+      [[ $# -ge 2 ]] || { echo "ERROR: --threads needs a value" >&2; exit 2; }
+      export QCONT_BENCH_THREADS="$2"
+      shift 2
+      ;;
+    --threads=*)
+      export QCONT_BENCH_THREADS="${1#*=}"
+      shift
+      ;;
+    --*)
+      passthrough+=("$1")
+      shift
+      ;;
+    *)
+      filtered+=("$1")
+      shift
+      ;;
+  esac
+done
+set -- ${filtered[@]+"${filtered[@]}"}
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="$repo_root/build"
@@ -31,6 +63,7 @@ while getopts "b:o:s:" opt; do
   esac
 done
 shift $((OPTIND - 1))
+set -- ${passthrough[@]+"${passthrough[@]}"} "$@"
 
 mkdir -p "$out_dir"
 status=0

@@ -3,8 +3,10 @@
 
 // Scaling workload families used by the experiment benchmarks (EXPERIMENTS.md).
 
+#include <cstdlib>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cq/database.h"
@@ -13,6 +15,19 @@
 
 namespace qcont {
 namespace bench {
+
+/// Worker count for the "parallel" rows of the threaded benchmarks:
+/// QCONT_BENCH_THREADS if set (see run_benchmarks.sh --threads), otherwise
+/// the hardware concurrency, floored at 2 so the pool path is always
+/// exercised even on single-core runners.
+inline int BenchThreads() {
+  if (const char* env = std::getenv("QCONT_BENCH_THREADS")) {
+    int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 1 ? static_cast<int>(hw) : 2;
+}
 
 /// Boolean chain CQ: ∃x0..xn E(x0,x1) ∧ ... ∧ E(x{n-1},xn). AC1, TW(1).
 inline ConjunctiveQuery ChainCq(int n, const std::string& pred = "e",

@@ -1,0 +1,200 @@
+#include "base/thread_pool.h"
+
+#include <algorithm>
+#include <map>
+
+#include "base/check.h"
+
+namespace qcont {
+
+namespace {
+thread_local bool t_in_worker = false;
+}  // namespace
+
+// One ParallelFor call. `remaining` counts iterations not yet executed;
+// the worker that takes it to zero wakes the caller. Workers accumulate
+// schedule counters into the batch atomics; the caller folds them into the
+// ExecStats sink after the join, so the sink itself is never shared.
+struct ThreadPool::Batch {
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::atomic<std::size_t> remaining{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;  // first failure, written under mu
+  std::atomic<std::uint64_t> tasks{0};
+  std::atomic<std::uint64_t> steals{0};
+  std::atomic<std::uint64_t> splits{0};
+};
+
+ThreadPool::ThreadPool(int num_workers) {
+  const int n = std::max(1, num_workers);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) workers_.push_back(std::make_unique<Worker>());
+  threads_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+bool ThreadPool::InWorker() { return t_in_worker; }
+
+void ThreadPool::PushLocal(int self, Task task) {
+  {
+    std::lock_guard<std::mutex> lock(workers_[self]->mu);
+    workers_[self]->deque.push_back(task);
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  { std::lock_guard<std::mutex> lock(mu_); }  // pair with the sleep check
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::TryPop(int self, Task* task) {
+  Worker& w = *workers_[self];
+  std::lock_guard<std::mutex> lock(w.mu);
+  if (w.deque.empty()) return false;
+  *task = w.deque.back();
+  w.deque.pop_back();
+  pending_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ThreadPool::TrySteal(int self, Task* task) {
+  const std::size_t n = workers_.size();
+  for (std::size_t off = 1; off < n; ++off) {
+    Worker& victim = *workers_[(self + off) % n];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (victim.deque.empty()) continue;
+    *task = victim.deque.front();
+    victim.deque.pop_front();
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    task->batch->steals.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::RunTask(Task task, int self) {
+  // Lazy binary splitting: keep the lower half, expose the upper half to
+  // thieves. Engine loop bodies are coarse (a hom-check, a rule firing),
+  // so the split grain is a single iteration.
+  while (task.end - task.begin > 1) {
+    const std::size_t mid = task.begin + (task.end - task.begin) / 2;
+    PushLocal(self, Task{task.batch, mid, task.end});
+    task.batch->splits.fetch_add(1, std::memory_order_relaxed);
+    task.end = mid;
+  }
+  Batch* batch = task.batch;
+  if (!batch->failed.load(std::memory_order_relaxed)) {
+    try {
+      (*batch->body)(task.begin);
+    } catch (...) {
+      bool expected = false;
+      if (batch->failed.compare_exchange_strong(expected, true)) {
+        std::lock_guard<std::mutex> lock(batch->mu);
+        batch->error = std::current_exception();
+      }
+    }
+  }
+  batch->tasks.fetch_add(1, std::memory_order_relaxed);
+  // The batch may be destroyed by the caller as soon as `remaining` hits
+  // zero and the caller reacquires batch->mu, so the notification must be
+  // the last access.
+  if (batch->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(batch->mu);
+    batch->done_cv.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop(int self) {
+  t_in_worker = true;
+  for (;;) {
+    Task task;
+    if (TryPop(self, &task) || TrySteal(self, &task)) {
+      RunTask(task, self);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stop_) return;
+    work_cv_.wait(lock, [this] {
+      return stop_ || pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_) return;
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& body,
+                             ExecStats* stats) {
+  if (n == 0) return;
+  if (n == 1 || workers_.empty() || InWorker()) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    if (stats != nullptr) stats->tasks += n;
+    return;
+  }
+  Batch batch;
+  batch.body = &body;
+  batch.remaining.store(n, std::memory_order_relaxed);
+  // Seed one contiguous chunk per worker; lazy splitting and stealing do
+  // the rest of the balancing.
+  const std::size_t chunks = std::min<std::size_t>(workers_.size(), n);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = n * c / chunks;
+    const std::size_t end = n * (c + 1) / chunks;
+    std::lock_guard<std::mutex> lock(workers_[c]->mu);
+    workers_[c]->deque.push_back(Task{&batch, begin, end});
+  }
+  pending_.fetch_add(chunks, std::memory_order_release);
+  { std::lock_guard<std::mutex> lock(mu_); }  // pair with the sleep check
+  work_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(batch.mu);
+    batch.done_cv.wait(lock, [&batch] {
+      return batch.remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (stats != nullptr) {
+    ++stats->parallel_regions;
+    stats->tasks += batch.tasks.load(std::memory_order_relaxed);
+    stats->steals += batch.steals.load(std::memory_order_relaxed);
+    stats->splits += batch.splits.load(std::memory_order_relaxed);
+  }
+  if (batch.failed.load(std::memory_order_acquire)) {
+    QCONT_CHECK(batch.error != nullptr);
+    std::rethrow_exception(batch.error);
+  }
+}
+
+std::shared_ptr<ThreadPool> ThreadPool::Shared(int threads) {
+  static std::mutex mu;
+  // Pools keyed by exact worker count; destroyed (workers joined) at
+  // process exit. Idle pools only hold parked threads.
+  static std::map<int, std::shared_ptr<ThreadPool>> pools;
+  const int n = std::max(1, threads);
+  std::lock_guard<std::mutex> lock(mu);
+  std::shared_ptr<ThreadPool>& pool = pools[n];
+  if (pool == nullptr) pool = std::make_shared<ThreadPool>(n);
+  return pool;
+}
+
+void ParallelFor(const ExecContext& ctx, std::size_t n,
+                 const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (ctx.threads <= 1 || n == 1 || ThreadPool::InWorker()) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    if (ctx.stats != nullptr) ctx.stats->tasks += n;
+    return;
+  }
+  ThreadPool::Shared(ctx.threads)->ParallelFor(n, body, ctx.stats);
+}
+
+}  // namespace qcont

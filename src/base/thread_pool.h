@@ -1,0 +1,136 @@
+#ifndef QCONT_BASE_THREAD_POOL_H_
+#define QCONT_BASE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qcont {
+
+/// Counters reported by the execution substrate. Unlike the engine counters
+/// (`atom_attempts`, `combos`, ...), these are *schedule-dependent*: steal
+/// counts and task placement vary run to run and with the thread count.
+/// They are diagnostics for tuning, never benchmark shape signals.
+struct ExecStats {
+  std::uint64_t parallel_regions = 0;  // ParallelFor calls that fanned out
+  std::uint64_t tasks = 0;             // loop bodies executed
+  std::uint64_t steals = 0;            // tasks taken from another worker
+  std::uint64_t splits = 0;            // range-splitting events
+
+  void Merge(const ExecStats& other) {
+    parallel_regions += other.parallel_regions;
+    tasks += other.tasks;
+    steals += other.steals;
+    splits += other.splits;
+  }
+};
+
+/// Execution context threaded through the engine option structs
+/// (`HomSearchOptions`, `EvalOptions`, `TypeEngineOptions`). `threads <= 1`
+/// means "run serially on the calling thread" and is the default: every
+/// engine stays single-threaded unless a caller opts in.
+///
+/// Determinism contract: the engines guarantee that answers, derived
+/// databases, and all machine-independent counters are identical for every
+/// value of `threads` — parallelism only changes wall-clock time (and the
+/// schedule-dependent `ExecStats`). See DESIGN.md §11.
+struct ExecContext {
+  int threads = 1;
+  ExecStats* stats = nullptr;  // optional sink, owned by the caller
+};
+
+/// A fixed-size work-stealing thread pool.
+///
+/// Each worker owns a deque of tasks guarded by a small mutex: the owner
+/// pushes and pops at the back (LIFO, cache-friendly), idle workers steal
+/// from the front of a victim's deque (FIFO, oldest == largest ranges).
+/// `ParallelFor` seeds one contiguous index chunk per worker; a worker
+/// executing a range larger than one iteration repeatedly splits off the
+/// upper half back onto its own deque (lazy binary splitting), which is
+/// what thieves then pick up — load balance emerges without a central
+/// queue.
+///
+/// Pools are usually not constructed directly: `qcont::ParallelFor` below
+/// acquires a process-wide shared pool per thread count.
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` worker threads (at least 1).
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs `body(i)` for every i in [0, n), distributed over the workers,
+  /// and blocks until all iterations have finished. The calling thread
+  /// does not execute iterations itself. If a body throws, remaining
+  /// iterations are skipped (best-effort) and the first exception is
+  /// rethrown here. Nested calls from inside a worker run serially.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
+                   ExecStats* stats = nullptr);
+
+  /// The process-wide shared pool with exactly `threads` workers, created
+  /// on first use. Pools persist for the life of the process (workers park
+  /// on a condition variable while idle).
+  static std::shared_ptr<ThreadPool> Shared(int threads);
+
+  /// True while the calling thread is a pool worker executing a task; used
+  /// to degrade nested parallel regions to serial loops.
+  static bool InWorker();
+
+ private:
+  struct Batch;  // one ParallelFor call
+  struct Task {  // a contiguous iteration range of one batch
+    Batch* batch;
+    std::size_t begin;
+    std::size_t end;
+  };
+  struct Worker {
+    std::mutex mu;
+    std::deque<Task> deque;
+  };
+
+  void WorkerLoop(int self);
+  void RunTask(Task task, int self);
+  void PushLocal(int self, Task task);
+  bool TryPop(int self, Task* task);
+  bool TrySteal(int self, Task* task);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;  // guards sleeping workers and stop_
+  std::condition_variable work_cv_;
+  std::atomic<std::size_t> pending_{0};  // queued (not yet executing) tasks
+  bool stop_ = false;
+};
+
+/// Runs `body(i)` for every i in [0, n). Serial (in index order, on the
+/// calling thread) when `ctx.threads <= 1`, when n <= 1, or when already
+/// inside a pool worker; otherwise fans out over the shared pool with
+/// `ctx.threads` workers. Blocking; rethrows the first body exception.
+void ParallelFor(const ExecContext& ctx, std::size_t n,
+                 const std::function<void(std::size_t)>& body);
+
+/// Maps i -> fn(i) into a vector of size n (slot i written by iteration i,
+/// so the result order is deterministic regardless of schedule). T must be
+/// default-constructible and movable.
+template <typename T, typename Fn>
+std::vector<T> ParallelMap(const ExecContext& ctx, std::size_t n, Fn&& fn) {
+  std::vector<T> out(n);
+  ParallelFor(ctx, n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace qcont
+
+#endif  // QCONT_BASE_THREAD_POOL_H_

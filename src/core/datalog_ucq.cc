@@ -9,6 +9,7 @@
 
 #include "analysis/analyzer.h"
 #include "base/check.h"
+#include "base/thread_pool.h"
 #include "core/instantiate.h"
 
 namespace qcont {
@@ -139,11 +140,11 @@ struct KindState {
 class TypeEngine {
  public:
   TypeEngine(const DatalogProgram& program, const UnionQuery& ucq,
-             TypeEngineStats* stats, const TypeEngineLimits& limits)
+             TypeEngineStats* stats, const TypeEngineOptions& options)
       : program_(program),
         ucq_(ucq),
         stats_(stats),
-        limits_(limits),
+        options_(options),
         kinds_(program) {}
 
   Result<ContainmentAnswer> Run() {
@@ -153,14 +154,21 @@ class TypeEngine {
     }
     std::vector<int> root_kinds = kinds_.RootKinds();
     state_.resize(kinds_.NumKinds());
-    QCONT_RETURN_IF_ERROR(Fixpoint());
-    if (stats_ != nullptr) {
-      stats_->kinds = kinds_.NumKinds();
-      for (const KindState& k : state_) {
-        stats_->types += k.types.size();
-        for (const SubtreeType& t : k.types) stats_->elements += t.NumElements();
-      }
+    cursors_.resize(kinds_.NumKinds());
+    for (std::size_t k = 0; k < kinds_.NumKinds(); ++k) {
+      cursors_[k].resize(kinds_.RulesOf(static_cast<int>(k)).size());
     }
+    Status fixpoint = Fixpoint();
+    if (!fixpoint.ok()) {
+      if (stats_ != nullptr) stats_->Merge(run_);
+      return fixpoint;
+    }
+    run_.kinds = kinds_.NumKinds();
+    for (const KindState& k : state_) {
+      run_.types += k.types.size();
+      for (const SubtreeType& t : k.types) run_.elements += t.NumElements();
+    }
+    if (stats_ != nullptr) stats_->Merge(run_);
     // Decision: every reachable root type must contain a complete element.
     for (int kind_id : root_kinds) {
       const KindState& kind = state_[kind_id];
@@ -189,79 +197,186 @@ class TypeEngine {
   }
 
  private:
-  // Least fixpoint over reachable types.
+  // Per-(kind, rule) frontier of the combination space already enumerated:
+  // every combo with all child indices below `prev` has been processed.
+  struct RuleCursor {
+    bool ran = false;        // base rules (no IDB child) run exactly once
+    std::vector<int> prev;   // per-child type count at the last enumeration
+  };
+
+  // One fixpoint task: enumerate the combos of (kind, rule_pos) that are
+  // new this round, i.e. product([0,cur)) \ product([0,prev)).
+  struct ComboTask {
+    int kind = -1;
+    int rule_pos = -1;
+    std::vector<int> prev;
+    std::vector<int> cur;
+  };
+
+  struct ComboResult {
+    std::vector<int> combo;
+    SubtreeType type;
+    std::string canon;
+  };
+
+  struct TaskOutput {
+    std::vector<ComboResult> results;
+    TypeEngineStats stats;
+  };
+
+  // Least fixpoint over reachable types, processed in rounds. Each round
+  // snapshots the per-kind type counts, fans the per-rule enumerations of
+  // *new* combinations out over the pool (they read only the frozen type
+  // tables of the snapshot), and merges the per-task buffers serially in
+  // task order at the barrier — so type order, provenance, budget errors,
+  // and counters are identical for every thread count. Every combination
+  // over the final type sets is enumerated exactly once (the new-combo
+  // ranges of a rule partition its combination space across rounds), which
+  // replaces the seen-combination string set of the previous implementation
+  // and its per-combo key allocations.
   Status Fixpoint() {
     std::uint64_t total_types = 0;
-    bool changed = true;
-    while (changed) {
-      changed = false;
+    while (true) {
+      std::vector<ComboTask> tasks;
       for (std::size_t k = 0; k < kinds_.NumKinds(); ++k) {
-        const std::vector<InstRule>& rules = kinds_.RulesOf(static_cast<int>(k));
+        const std::vector<InstRule>& rules =
+            kinds_.RulesOf(static_cast<int>(k));
         for (std::size_t rp = 0; rp < rules.size(); ++rp) {
           const InstRule& rule = rules[rp];
-          const std::size_t num_children = rule.idb_atoms.size();
+          RuleCursor& cursor = cursors_[k][rp];
+          if (rule.idb_atoms.empty() && cursor.ran) continue;
+          ComboTask task;
+          task.kind = static_cast<int>(k);
+          task.rule_pos = static_cast<int>(rp);
           bool viable = true;
           for (const InstIdbAtom& child : rule.idb_atoms) {
-            if (state_[child.kind_id].types.empty()) {
+            int count = static_cast<int>(state_[child.kind_id].types.size());
+            if (count == 0) {
               viable = false;
               break;
             }
+            task.cur.push_back(count);
           }
           if (!viable) continue;
-          std::vector<int> combo(num_children, 0);
-          while (true) {
-            std::string combo_key =
-                std::to_string(k) + "/" + std::to_string(rp);
-            for (int c : combo) combo_key += "," + std::to_string(c);
-            if (processed_.insert(combo_key).second) {
-              if (stats_ != nullptr) ++stats_->combos;
-              if (processed_.size() > limits_.max_combos) {
-                return ResourceExhaustedError(
-                    "type-engine combination budget exceeded");
-              }
-              SubtreeType type = ComputeType(rule, combo);
-              std::string canon = type.Canonical();
-              if (state_[k].canon.insert(canon).second) {
-                state_[k].types.push_back(std::move(type));
-                Provenance prov;
-                prov.rule_pos = static_cast<int>(rp);
-                prov.child_types = combo;
-                state_[k].provenance.push_back(std::move(prov));
-                ++total_types;
-                if (total_types > limits_.max_types) {
-                  return ResourceExhaustedError(
-                      "type-engine type budget exceeded");
-                }
-                changed = true;
-              }
-            }
-            std::size_t pos = 0;
-            while (pos < num_children) {
-              int limit = static_cast<int>(
-                  state_[rule.idb_atoms[pos].kind_id].types.size());
-              if (++combo[pos] < limit) break;
-              combo[pos] = 0;
-              ++pos;
-            }
-            if (pos == num_children) break;
+          task.prev = cursor.ran ? cursor.prev
+                                 : std::vector<int>(rule.idb_atoms.size(), 0);
+          if (!rule.idb_atoms.empty() && task.prev == task.cur) continue;
+          tasks.push_back(std::move(task));
+        }
+      }
+      if (tasks.empty()) break;
+
+      // Budget handed to each task: a task that exceeds it stops early; the
+      // barrier merge below then necessarily trips the combo budget before
+      // committing that task's (truncated) buffer, so early termination is
+      // invisible in results and deterministic for every thread count.
+      const std::uint64_t combo_budget =
+          options_.max_combos > run_.combos ? options_.max_combos - run_.combos
+                                            : 0;
+      std::vector<TaskOutput> outputs = ParallelMap<TaskOutput>(
+          options_.exec, tasks.size(), [&](std::size_t t) {
+            return RunComboTask(tasks[t], combo_budget);
+          });
+
+      // Barrier merge, serial and in task order.
+      for (std::size_t t = 0; t < tasks.size(); ++t) {
+        const ComboTask& task = tasks[t];
+        run_.combos += outputs[t].stats.combos;
+        run_.enumeration_steps += outputs[t].stats.enumeration_steps;
+        if (run_.combos > options_.max_combos) {
+          return ResourceExhaustedError(
+              "type-engine combination budget exceeded");
+        }
+        KindState& kind = state_[task.kind];
+        for (ComboResult& r : outputs[t].results) {
+          if (!kind.canon.insert(r.canon).second) continue;
+          kind.types.push_back(std::move(r.type));
+          Provenance prov;
+          prov.rule_pos = task.rule_pos;
+          prov.child_types = std::move(r.combo);
+          kind.provenance.push_back(std::move(prov));
+          ++total_types;
+          if (total_types > options_.max_types) {
+            return ResourceExhaustedError("type-engine type budget exceeded");
           }
         }
+      }
+      for (const ComboTask& task : tasks) {
+        RuleCursor& cursor = cursors_[task.kind][task.rule_pos];
+        cursor.ran = true;
+        cursor.prev = task.cur;
       }
     }
     return Status::Ok();
   }
 
-  SubtreeType ComputeType(const InstRule& rule, const std::vector<int>& combo) {
+  // Enumerates the new combos of one task. The new region
+  // product([0,cur)) \ product([0,prev)) is decomposed by pivot: the pivot
+  // p is the first child whose index escapes the old box, so
+  // c_j ∈ [0, prev_j) for j < p, c_p ∈ [prev_p, cur_p), c_j ∈ [0, cur_j)
+  // for j > p — each new combo has exactly one pivot, hence is visited
+  // exactly once, in a deterministic order.
+  TaskOutput RunComboTask(const ComboTask& task, std::uint64_t budget) const {
+    const InstRule& rule = kinds_.RulesOf(task.kind)[task.rule_pos];
+    const std::size_t n = rule.idb_atoms.size();
+    TaskOutput out;
+    auto process = [&](const std::vector<int>& combo) {
+      ++out.stats.combos;
+      if (out.stats.combos > budget) return false;
+      ComboResult r;
+      r.combo = combo;
+      r.type = ComputeType(rule, combo, &out.stats);
+      r.canon = r.type.Canonical();
+      out.results.push_back(std::move(r));
+      return true;
+    };
+    if (n == 0) {
+      process({});
+      return out;
+    }
+    std::vector<int> combo(n);
+    for (std::size_t p = 0; p < n; ++p) {
+      if (task.prev[p] == task.cur[p]) continue;
+      bool empty = false;
+      for (std::size_t j = 0; j < p; ++j) {
+        if (task.prev[j] == 0) {
+          empty = true;
+          break;
+        }
+      }
+      if (empty) continue;
+      for (std::size_t j = 0; j < p; ++j) combo[j] = 0;
+      combo[p] = task.prev[p];
+      for (std::size_t j = p + 1; j < n; ++j) combo[j] = 0;
+      while (true) {
+        if (!process(combo)) return out;
+        std::size_t pos = 0;
+        while (pos < n) {
+          int lo = pos == p ? task.prev[p] : 0;
+          int hi = pos < p ? task.prev[pos] : task.cur[pos];
+          if (++combo[pos] < hi) break;
+          combo[pos] = lo;
+          ++pos;
+        }
+        if (pos == n) break;
+      }
+    }
+    return out;
+  }
+
+  SubtreeType ComputeType(const InstRule& rule, const std::vector<int>& combo,
+                          TypeEngineStats* stats) const {
     SubtreeType out;
     out.per_disjunct.resize(disjuncts_.size());
     for (std::size_t d = 0; d < disjuncts_.size(); ++d) {
-      ComputeElements(rule, combo, static_cast<int>(d), &out.per_disjunct[d]);
+      ComputeElements(rule, combo, static_cast<int>(d), stats,
+                      &out.per_disjunct[d]);
     }
     return out;
   }
 
   void ComputeElements(const InstRule& rule, const std::vector<int>& combo,
-                       int d, ElementSet* out) {
+                       int d, TypeEngineStats* stats, ElementSet* out) const {
     const DisjunctInfo& info = disjuncts_[d];
     std::vector<int> sigma(info.num_vars, -1);
     std::uint64_t base_atoms = 0;
@@ -269,9 +384,9 @@ class TypeEngine {
     // Choose one element per child (sets always contain the empty element),
     // then extend with matches against this node's extensional atoms.
     std::function<void(std::size_t)> choose_child = [&](std::size_t j) {
-      if (stats_ != nullptr) ++stats_->enumeration_steps;
+      ++stats->enumeration_steps;
       if (j == rule.idb_atoms.size()) {
-        MatchLevel(rule, info, &sigma, base_atoms, 0, out);
+        MatchLevel(rule, info, &sigma, base_atoms, 0, stats, out);
         return;
       }
       const InstIdbAtom& child = rule.idb_atoms[j];
@@ -306,13 +421,13 @@ class TypeEngine {
   // against one of this rule instance's extensional atoms.
   void MatchLevel(const InstRule& rule, const DisjunctInfo& info,
                   std::vector<int>* sigma, std::uint64_t atoms, int t,
-                  ElementSet* out) {
-    if (stats_ != nullptr) ++stats_->enumeration_steps;
+                  TypeEngineStats* stats, ElementSet* out) const {
+    ++stats->enumeration_steps;
     if (t == info.num_atoms) {
       EmitElement(rule, info, *sigma, atoms, out);
       return;
     }
-    MatchLevel(rule, info, sigma, atoms, t + 1, out);
+    MatchLevel(rule, info, sigma, atoms, t + 1, stats, out);
     if (atoms & (1ULL << t)) return;
     for (const auto& [pred, terms] : rule.edb_atoms) {
       if (pred != info.preds[t] || terms.size() != info.atom_vars[t].size()) {
@@ -330,7 +445,7 @@ class TypeEngine {
         }
       }
       if (ok) {
-        MatchLevel(rule, info, sigma, atoms | (1ULL << t), t + 1, out);
+        MatchLevel(rule, info, sigma, atoms | (1ULL << t), t + 1, stats, out);
       }
       for (int v : touched) (*sigma)[v] = -1;
     }
@@ -338,7 +453,7 @@ class TypeEngine {
 
   void EmitElement(const InstRule& rule, const DisjunctInfo& info,
                    const std::vector<int>& sigma, std::uint64_t atoms,
-                   ElementSet* out) {
+                   ElementSet* out) const {
     Element e;
     e.atoms = atoms;
     e.f.assign(info.num_vars, -1);
@@ -385,24 +500,25 @@ class TypeEngine {
   const DatalogProgram& program_;
   const UnionQuery& ucq_;
   TypeEngineStats* stats_;
-  TypeEngineLimits limits_;
+  TypeEngineOptions options_;
+  TypeEngineStats run_;
 
   std::vector<DisjunctInfo> disjuncts_;
   KindSpace kinds_;
   std::vector<KindState> state_;
-  std::set<std::string> processed_;
+  std::vector<std::vector<RuleCursor>> cursors_;
 };
 
 }  // namespace
 
 Result<ContainmentAnswer> DatalogContainedInUcq(
     const DatalogProgram& program, const UnionQuery& ucq,
-    TypeEngineStats* stats, const TypeEngineLimits& limits) {
+    TypeEngineStats* stats, const TypeEngineOptions& options) {
   QCONT_RETURN_IF_ERROR(program.Validate());
   QCONT_RETURN_IF_ERROR(ucq.Validate());
   QCONT_RETURN_IF_ERROR(
       analysis::FirstError(analysis::CheckContainmentPair(program, ucq)));
-  TypeEngine engine(program, ucq, stats, limits);
+  TypeEngine engine(program, ucq, stats, options);
   return engine.Run();
 }
 

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "base/status.h"
+#include "base/thread_pool.h"
 #include "cq/query.h"
 #include "datalog/program.h"
 
@@ -21,20 +22,43 @@ struct ContainmentAnswer {
 };
 
 /// Cost counters of the type-automaton fixpoint; the machine-independent
-/// complexity signal reported by experiments E3/E4.
+/// complexity signal reported by experiments E3/E4. Value-type
+/// accumulator: each fixpoint task fills its own instance and the totals
+/// are combined with `Merge` at the round barrier, so the counters are
+/// identical for every thread count (the combination space of a least
+/// fixpoint is schedule-independent: every (rule, child-types) combination
+/// over the final type sets is processed exactly once).
 struct TypeEngineStats {
   std::uint64_t kinds = 0;           // (predicate, equality-pattern) pairs
   std::uint64_t types = 0;           // distinct reachable subtree types
   std::uint64_t elements = 0;        // partial-match elements over all types
   std::uint64_t combos = 0;          // (rule, child-type...) combinations run
   std::uint64_t enumeration_steps = 0;  // DFS steps in element enumeration
+
+  void Merge(const TypeEngineStats& other) {
+    kinds += other.kinds;
+    types += other.types;
+    elements += other.elements;
+    combos += other.combos;
+    enumeration_steps += other.enumeration_steps;
+  }
 };
 
-/// Resource limits; the fixpoint aborts with kResourceExhausted when hit.
-struct TypeEngineLimits {
+/// Engine configuration: resource limits (the fixpoint aborts with
+/// kResourceExhausted when a budget is hit) and the execution context.
+/// With `exec.threads > 1` the per-round (rule, new-combination-range)
+/// tasks fan out over the work-stealing pool against the frozen type
+/// tables of the previous round; per-task type buffers and counters are
+/// merged in task order at the round barrier, so answers, budgets, and
+/// all counters are identical for every thread count.
+struct TypeEngineOptions {
   std::uint64_t max_types = 2'000'000;
   std::uint64_t max_combos = 50'000'000;
+  ExecContext exec;
 };
+
+/// Backwards-compatible name from when the struct carried only budgets.
+using TypeEngineLimits = TypeEngineOptions;
 
 /// Decides CONT(Datalog, UCQ): is Π ⊆ Θ? This is the general
 /// Chaudhuri-Vardi procedure [12] in its explicit deterministic form: the
@@ -52,7 +76,7 @@ struct TypeEngineLimits {
 Result<ContainmentAnswer> DatalogContainedInUcq(
     const DatalogProgram& program, const UnionQuery& ucq,
     TypeEngineStats* stats = nullptr,
-    const TypeEngineLimits& limits = TypeEngineLimits());
+    const TypeEngineOptions& options = TypeEngineOptions());
 
 }  // namespace qcont
 

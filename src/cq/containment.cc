@@ -1,5 +1,11 @@
 #include "cq/containment.h"
 
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "base/check.h"
+#include "base/thread_pool.h"
 #include "cq/database.h"
 
 namespace qcont {
@@ -11,7 +17,8 @@ namespace {
 Result<bool> ContainedInDisjunct(const ConjunctiveQuery& theta_prime,
                                  const Database& canonical,
                                  const Tuple& frozen_head,
-                                 HomSearchStats* stats) {
+                                 HomSearchStats* stats,
+                                 const HomSearchOptions& options) {
   Assignment fixed;
   for (std::size_t i = 0; i < theta_prime.head().size(); ++i) {
     const std::string& var = theta_prime.head()[i].name();
@@ -24,14 +31,16 @@ Result<bool> ContainedInDisjunct(const ConjunctiveQuery& theta_prime,
       fixed.emplace(var, frozen_head[i]);
     }
   }
-  return FindHomomorphism(theta_prime, canonical, fixed, stats).has_value();
+  return FindHomomorphism(theta_prime, canonical, fixed, stats, options)
+      .has_value();
 }
 
 // Sagiv-Yannakakis inner step: theta ⊆ some disjunct of theta_prime. The
 // canonical database of theta is built once and shared across disjuncts.
 Result<bool> CqInUcqPrevalidated(const ConjunctiveQuery& theta,
                                  const UnionQuery& theta_prime,
-                                 HomSearchStats* stats) {
+                                 HomSearchStats* stats,
+                                 const HomSearchOptions& options) {
   Database canonical = CanonicalDatabase(theta);
   Tuple frozen_head = CanonicalHead(theta);
   for (const ConjunctiveQuery& disjunct : theta_prime.disjuncts()) {
@@ -42,17 +51,156 @@ Result<bool> CqInUcqPrevalidated(const ConjunctiveQuery& theta,
     }
     QCONT_ASSIGN_OR_RETURN(
         bool contained,
-        ContainedInDisjunct(disjunct, canonical, frozen_head, stats));
+        ContainedInDisjunct(disjunct, canonical, frozen_head, stats, options));
     if (contained) return true;
   }
   return false;
+}
+
+inline void AtomicMin(std::atomic<std::size_t>* a, std::size_t v) {
+  std::size_t cur = a->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel Sagiv-Yannakakis: the disjunct×disjunct pair grid.
+//
+// The serial algorithm walks lefts in order until the first one refuted (or
+// the first arity error), and for each left walks rights in order until the
+// first one that folds in. The parallel version evaluates pairs
+// speculatively across the pool, then *commits* outcomes by replaying that
+// serial walk over the finished grid: only the pairs the serial walk would
+// have executed contribute to `stats`, so answers, errors, and counter
+// totals are bit-identical for every thread count. Speculative pairs that
+// provably cannot be reached by the serial walk (they lie beyond a known
+// fold-in/error on their row, or on a row below a known stopper row) are
+// skipped via atomic frontiers — that is the cancellation path, and it only
+// affects wall-clock time, never results.
+// ---------------------------------------------------------------------------
+
+struct PairOutcome {
+  bool ran = false;
+  bool contained = false;
+  bool arity_error = false;
+  HomSearchStats stats;
+};
+
+Result<bool> GridContained(const ConjunctiveQuery* lefts, std::size_t nl,
+                           const UnionQuery& theta_prime, HomSearchStats* stats,
+                           const HomSearchOptions& options) {
+  const std::vector<ConjunctiveQuery>& rights = theta_prime.disjuncts();
+  const std::size_t nr = rights.size();
+
+  // Canonical databases are built up front: all pairs of one row share one
+  // database (and its lazily built indexes — safe under concurrent const
+  // probes, see Database).
+  std::vector<Database> canonical;
+  std::vector<Tuple> heads;
+  canonical.reserve(nl);
+  heads.reserve(nl);
+  for (std::size_t i = 0; i < nl; ++i) {
+    canonical.push_back(CanonicalDatabase(lefts[i]));
+    heads.push_back(CanonicalHead(lefts[i]));
+  }
+
+  std::vector<PairOutcome> grid(nl * nr);
+  // Cancellation frontiers. first_stop[i] = smallest j on row i known to
+  // end the serial row walk (a fold-in or an arity error); stop_row = the
+  // smallest row known to end the serial walk over rows (every pair ran,
+  // and the first fold-in does not precede the first error — i.e. the row
+  // is refuted or errors out). Only *observed* outcomes enter a frontier,
+  // which is what guarantees that every pair on the serial path runs.
+  std::vector<std::atomic<std::size_t>> first_hit(nl);
+  std::vector<std::atomic<std::size_t>> first_err(nl);
+  std::vector<std::atomic<std::size_t>> completed(nl);
+  for (std::size_t i = 0; i < nl; ++i) {
+    first_hit[i].store(nr, std::memory_order_relaxed);
+    first_err[i].store(nr, std::memory_order_relaxed);
+    completed[i].store(0, std::memory_order_relaxed);
+  }
+  std::atomic<std::size_t> stop_row{nl};
+
+  ParallelFor(options.exec, nl * nr, [&](std::size_t idx) {
+    const std::size_t i = idx / nr;
+    const std::size_t j = idx % nr;
+    if (i > stop_row.load(std::memory_order_relaxed)) return;
+    const std::size_t hit = first_hit[i].load(std::memory_order_relaxed);
+    const std::size_t err = first_err[i].load(std::memory_order_relaxed);
+    if (j > hit || j > err) return;
+    PairOutcome& out = grid[idx];
+    out.ran = true;
+    if (lefts[i].arity() != rights[j].arity()) {
+      out.arity_error = true;
+      AtomicMin(&first_err[i], j);
+    } else {
+      Result<bool> pair = ContainedInDisjunct(rights[j], canonical[i],
+                                              heads[i], &out.stats, options);
+      // ContainedInDisjunct only fails on the arity precondition, which is
+      // checked above; keep the invariant explicit.
+      QCONT_CHECK(pair.ok());
+      out.contained = *pair;
+      if (out.contained) AtomicMin(&first_hit[i], j);
+    }
+    if (completed[i].fetch_add(1, std::memory_order_acq_rel) + 1 == nr) {
+      // Row finished: it stops the serial walk unless the first fold-in
+      // strictly precedes the first error.
+      if (first_hit[i].load(std::memory_order_relaxed) >=
+          first_err[i].load(std::memory_order_relaxed) ||
+          first_hit[i].load(std::memory_order_relaxed) >= nr) {
+        AtomicMin(&stop_row, i);
+      }
+    }
+  });
+
+  // Deterministic commit: replay the serial walk over the finished grid.
+  for (std::size_t i = 0; i < nl; ++i) {
+    bool found = false;
+    for (std::size_t j = 0; j < nr; ++j) {
+      const PairOutcome& out = grid[i * nr + j];
+      QCONT_CHECK_MSG(out.ran, "speculative skip removed a serial-path pair");
+      if (out.arity_error) {
+        return InvalidArgumentError("containment between queries of arities " +
+                                    std::to_string(lefts[i].arity()) + " and " +
+                                    std::to_string(rights[j].arity()));
+      }
+      if (stats != nullptr) stats->Merge(out.stats);
+      if (out.contained) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+// Dispatches between the serial walk and the pair grid. `lefts` spans the
+// already-validated left-hand disjuncts.
+Result<bool> ContainedPrevalidated(const ConjunctiveQuery* lefts,
+                                   std::size_t nl,
+                                   const UnionQuery& theta_prime,
+                                   HomSearchStats* stats,
+                                   const HomSearchOptions& options) {
+  if (options.exec.threads <= 1 || nl * theta_prime.disjuncts().size() <= 1) {
+    for (std::size_t i = 0; i < nl; ++i) {
+      QCONT_ASSIGN_OR_RETURN(
+          bool contained,
+          CqInUcqPrevalidated(lefts[i], theta_prime, stats, options));
+      if (!contained) return false;
+    }
+    return true;
+  }
+  return GridContained(lefts, nl, theta_prime, stats, options);
 }
 
 }  // namespace
 
 Result<bool> CqContained(const ConjunctiveQuery& theta,
                          const ConjunctiveQuery& theta_prime,
-                         HomSearchStats* stats) {
+                         HomSearchStats* stats,
+                         const HomSearchOptions& options) {
   QCONT_RETURN_IF_ERROR(theta.Validate());
   QCONT_RETURN_IF_ERROR(theta_prime.Validate());
   if (theta.arity() != theta_prime.arity()) {
@@ -62,36 +210,36 @@ Result<bool> CqContained(const ConjunctiveQuery& theta,
   }
   Database canonical = CanonicalDatabase(theta);
   return ContainedInDisjunct(theta_prime, canonical, CanonicalHead(theta),
-                             stats);
+                             stats, options);
 }
 
 Result<bool> CqContainedInUcq(const ConjunctiveQuery& theta,
                               const UnionQuery& theta_prime,
-                              HomSearchStats* stats) {
+                              HomSearchStats* stats,
+                              const HomSearchOptions& options) {
   QCONT_RETURN_IF_ERROR(theta.Validate());
   for (const ConjunctiveQuery& disjunct : theta_prime.disjuncts()) {
     QCONT_RETURN_IF_ERROR(disjunct.Validate());
   }
-  return CqInUcqPrevalidated(theta, theta_prime, stats);
+  return ContainedPrevalidated(&theta, 1, theta_prime, stats, options);
 }
 
 Result<bool> UcqContained(const UnionQuery& theta, const UnionQuery& theta_prime,
-                          HomSearchStats* stats) {
+                          HomSearchStats* stats,
+                          const HomSearchOptions& options) {
   QCONT_RETURN_IF_ERROR(theta.Validate());
   QCONT_RETURN_IF_ERROR(theta_prime.Validate());
-  for (const ConjunctiveQuery& disjunct : theta.disjuncts()) {
-    QCONT_ASSIGN_OR_RETURN(bool contained,
-                           CqInUcqPrevalidated(disjunct, theta_prime, stats));
-    if (!contained) return false;
-  }
-  return true;
+  return ContainedPrevalidated(theta.disjuncts().data(),
+                               theta.disjuncts().size(), theta_prime, stats,
+                               options);
 }
 
 Result<bool> UcqEquivalent(const UnionQuery& a, const UnionQuery& b,
-                           HomSearchStats* stats) {
-  QCONT_ASSIGN_OR_RETURN(bool ab, UcqContained(a, b, stats));
+                           HomSearchStats* stats,
+                           const HomSearchOptions& options) {
+  QCONT_ASSIGN_OR_RETURN(bool ab, UcqContained(a, b, stats, options));
   if (!ab) return false;
-  return UcqContained(b, a, stats);
+  return UcqContained(b, a, stats, options);
 }
 
 }  // namespace qcont

@@ -77,6 +77,12 @@ const std::vector<std::uint32_t>& Database::Probe(
     const std::vector<ValueId>& key) const {
   static const std::vector<std::uint32_t>* const kEmptyBucket =
       new std::vector<std::uint32_t>();
+  // Serializes lazy index construction (and the stats counters) so that
+  // concurrent const probes are safe; see the class comment. Probes of an
+  // already-built index still take the lock, but the build check below is
+  // a racy read without it, and the uncontended acquisition is cheap
+  // relative to a hash-bucket lookup.
+  std::lock_guard<std::mutex> lock(memo_mu_.mu);
   ++index_stats_.probes;
   auto it = relations_.find(relation);
   if (it == relations_.end()) return *kEmptyBucket;
@@ -102,6 +108,7 @@ const std::vector<std::uint32_t>& Database::Probe(
 }
 
 const std::vector<std::string>& Database::Relations() const {
+  std::lock_guard<std::mutex> lock(memo_mu_.mu);
   if (relations_dirty_) {
     relations_cache_.clear();
     relations_cache_.reserve(relations_.size());

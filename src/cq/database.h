@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -45,6 +46,15 @@ struct DatabaseIndexStats {
 /// position bitmask) are built lazily on first probe, memoized per
 /// (relation, mask), and maintained incrementally as facts are added —
 /// `AddFact` never invalidates an index.
+///
+/// Thread safety: all const probing entry points (`Probe`, `Facts`,
+/// `Rows`, `HasFact`, `Relations`, `ValueIdOf`, ...) may be called
+/// concurrently from multiple threads *as long as no thread mutates the
+/// database* (`AddFact`, `UnionWith`) at the same time — the memoized lazy
+/// index builds and the index statistics behind `Probe` are guarded by an
+/// internal mutex. This is the contract the parallel engines rely on:
+/// databases are frozen for the duration of a parallel region and merged
+/// at the barrier on one thread.
 class Database {
  public:
   Database() : pool_(std::make_shared<Interner>()) {}
@@ -78,7 +88,8 @@ class Database {
   /// position order). Builds and memoizes the (relation, mask) index on
   /// first use; later `AddFact`s are folded in incrementally on the next
   /// probe. Only the first 32 positions of a relation are indexable.
-  /// `mask` must be nonzero.
+  /// `mask` must be nonzero. Safe for concurrent const callers (see class
+  /// comment); the returned reference stays valid until the next AddFact.
   const std::vector<std::uint32_t>& Probe(const std::string& relation,
                                           std::uint32_t mask,
                                           const std::vector<ValueId>& key) const;
@@ -120,6 +131,16 @@ class Database {
     mutable std::unordered_map<std::uint32_t, RelIndex> indexes;
   };
 
+  // Guards the mutable memoized state reachable from const methods (lazy
+  // index builds, index_stats_, the relations cache). Copying a Database
+  // copies the data but not the mutex.
+  struct UncopiedMutex {
+    std::mutex mu;
+    UncopiedMutex() = default;
+    UncopiedMutex(const UncopiedMutex&) {}
+    UncopiedMutex& operator=(const UncopiedMutex&) { return *this; }
+  };
+
   std::shared_ptr<Interner> pool_;
   std::unordered_map<std::string, RelationData> relations_;
   std::vector<Value> domain_;               // first-occurrence order
@@ -127,6 +148,7 @@ class Database {
   mutable std::vector<std::string> relations_cache_;
   mutable bool relations_dirty_ = true;
   mutable DatabaseIndexStats index_stats_;
+  mutable UncopiedMutex memo_mu_;
   std::size_t num_facts_ = 0;
 };
 

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/thread_pool.h"
 #include "cq/database.h"
 #include "cq/query.h"
 
@@ -17,20 +18,35 @@ namespace qcont {
 using Assignment = std::unordered_map<std::string, Value>;
 
 /// Counters reported by the backtracking search; used by benchmarks as a
-/// machine-independent cost signal.
+/// machine-independent cost signal. Stats are value-type accumulators:
+/// every task of a parallel region fills its own instance, and the totals
+/// are combined with `Merge` at the join, so no counter is ever shared
+/// between threads and totals are identical for every thread count.
 struct HomSearchStats {
   std::uint64_t atom_attempts = 0;     // candidate tuples tried
   std::uint64_t backtracks = 0;
   std::uint64_t index_probes = 0;      // hash-index lookups issued
   std::uint64_t index_candidates = 0;  // candidates enumerated via an index
   std::uint64_t scan_candidates = 0;   // candidates enumerated via full scan
+
+  void Merge(const HomSearchStats& other) {
+    atom_attempts += other.atom_attempts;
+    backtracks += other.backtracks;
+    index_probes += other.index_probes;
+    index_candidates += other.index_candidates;
+    scan_candidates += other.scan_candidates;
+  }
 };
 
 /// Search configuration. The indexed path is the default; the scan path is
 /// the pre-index reference implementation (static greedy atom order, full
-/// relation scan per atom) kept for differential testing.
+/// relation scan per atom) kept for differential testing. `exec` controls
+/// the fan-out of *independent* hom-checks in the UCQ containment loops
+/// (UcqContained / CqContainedInUcq); a single FindHomomorphism search is
+/// always serial.
 struct HomSearchOptions {
   bool use_index = true;
+  ExecContext exec;
 };
 
 /// Searches for a homomorphism from the body of `cq` into `db` that extends

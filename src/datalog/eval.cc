@@ -4,12 +4,21 @@
 #include <string>
 #include <vector>
 
+#include "base/thread_pool.h"
 #include "cq/homomorphism.h"
 #include "cq/query.h"
 
 namespace qcont {
 
 namespace {
+
+// One rule firing: the derived head tuples plus this firing's counters.
+// Stats are task-local by construction — no pointer is shared between
+// concurrent firings; callers fold `stats` in with Merge at the join.
+struct FiredRule {
+  std::vector<Tuple> tuples;
+  DatalogEvalStats stats;
+};
 
 // Derives the head tuples produced by `rule` over `db`. If `delta_position`
 // is >= 0, the body atom at that index is matched against `delta` instead
@@ -18,13 +27,11 @@ namespace {
 // renaming; delta and db share a value pool so the indexed join applies
 // (index the delta, probe the full relation, and vice versa: the searcher
 // orders atoms by candidate count, so whichever side is smaller drives).
-std::vector<Tuple> FireRule(const Rule& rule, const Database& db,
-                            const Database* delta, int delta_position,
-                            const HomSearchOptions& options,
-                            DatalogEvalStats* stats) {
+FiredRule FireRule(const Rule& rule, const Database& db, const Database* delta,
+                   int delta_position, const HomSearchOptions& options) {
   std::vector<const Database*> dbs(rule.body.size(), &db);
   if (delta_position >= 0) dbs[delta_position] = delta;
-  std::vector<Tuple> out;
+  FiredRule out;
   EnumerateHomomorphismsOver(
       rule.body, dbs, /*fixed=*/{},
       [&](const Assignment& h) {
@@ -33,11 +40,11 @@ std::vector<Tuple> FireRule(const Rule& rule, const Database& db,
         for (const Term& v : rule.head.terms()) {
           t.push_back(h.at(v.name()));
         }
-        out.push_back(std::move(t));
-        if (stats != nullptr) ++stats->rule_firings;
+        out.tuples.push_back(std::move(t));
+        ++out.stats.rule_firings;
         return true;
       },
-      stats != nullptr ? &stats->hom : nullptr, options);
+      &out.stats.hom, options);
   return out;
 }
 
@@ -49,15 +56,21 @@ Result<Database> EvaluateProgram(const DatalogProgram& program,
                                  DatalogEvalStats* stats) {
   QCONT_RETURN_IF_ERROR(program.Validate());
   Database all = edb;
-  const HomSearchOptions hom_options{.use_index = options.use_index};
+  HomSearchOptions hom_options;
+  hom_options.use_index = options.use_index;
 
   if (options.strategy == EvalStrategy::kNaive) {
+    // The naive reference strategy is deliberately serial: each rule in a
+    // round sees the facts added by the rules before it, so firings are
+    // order-dependent by definition.
     bool changed = true;
     while (changed) {
       changed = false;
       if (stats != nullptr) ++stats->iterations;
       for (const Rule& rule : program.rules()) {
-        for (Tuple& t : FireRule(rule, all, nullptr, -1, hom_options, stats)) {
+        FiredRule fired = FireRule(rule, all, nullptr, -1, hom_options);
+        if (stats != nullptr) stats->Merge(fired.stats);
+        for (Tuple& t : fired.tuples) {
           if (all.AddFact(rule.head.predicate(), std::move(t))) {
             changed = true;
             if (stats != nullptr) ++stats->derived_facts;
@@ -71,10 +84,14 @@ Result<Database> EvaluateProgram(const DatalogProgram& program,
   // Semi-naive: round 0 fires all rules on the EDB; later rounds require at
   // least one body atom to match the previous round's delta. The deltas
   // share `all`'s value pool so the indexed join spans both databases.
+  // Round 0 stays serial: like the naive rounds, each rule sees the facts
+  // added by the rules before it.
   Database delta(all.pool());
   if (stats != nullptr) ++stats->iterations;
   for (const Rule& rule : program.rules()) {
-    for (Tuple& t : FireRule(rule, all, nullptr, -1, hom_options, stats)) {
+    FiredRule fired = FireRule(rule, all, nullptr, -1, hom_options);
+    if (stats != nullptr) stats->Merge(fired.stats);
+    for (Tuple& t : fired.tuples) {
       if (all.AddFact(rule.head.predicate(), t)) {
         delta.AddFact(rule.head.predicate(), std::move(t));
         if (stats != nullptr) ++stats->derived_facts;
@@ -84,15 +101,35 @@ Result<Database> EvaluateProgram(const DatalogProgram& program,
   while (delta.NumFacts() > 0) {
     if (stats != nullptr) ++stats->iterations;
     Database next_delta(all.pool());
+    // The (rule, delta position) joins of a round are independent: they
+    // only read `all` and `delta`, which are frozen until the barrier. Each
+    // runs as its own pool task into a private FiredRule; the buffers are
+    // merged below in task order, so the result is bit-identical to the
+    // serial loop for every thread count (including insertion order, which
+    // fixes the interning order of new values).
+    struct DeltaJoin {
+      const Rule* rule;
+      int position;
+    };
+    std::vector<DeltaJoin> joins;
     for (const Rule& rule : program.rules()) {
       for (std::size_t i = 0; i < rule.body.size(); ++i) {
         if (!program.IsIntensional(rule.body[i].predicate())) continue;
         if (delta.Facts(rule.body[i].predicate()).empty()) continue;
-        for (Tuple& t : FireRule(rule, all, &delta, static_cast<int>(i),
-                                 hom_options, stats)) {
-          if (!all.HasFact(rule.head.predicate(), t)) {
-            next_delta.AddFact(rule.head.predicate(), t);
-          }
+        joins.push_back(DeltaJoin{&rule, static_cast<int>(i)});
+      }
+    }
+    std::vector<FiredRule> fired = ParallelMap<FiredRule>(
+        options.exec, joins.size(), [&](std::size_t t) {
+          return FireRule(*joins[t].rule, all, &delta, joins[t].position,
+                          hom_options);
+        });
+    for (std::size_t t = 0; t < joins.size(); ++t) {
+      if (stats != nullptr) stats->Merge(fired[t].stats);
+      const std::string& head = joins[t].rule->head.predicate();
+      for (Tuple& tuple : fired[t].tuples) {
+        if (!all.HasFact(head, tuple)) {
+          next_delta.AddFact(head, std::move(tuple));
         }
       }
     }
@@ -109,8 +146,9 @@ Result<Database> EvaluateProgram(const DatalogProgram& program,
 Result<Database> EvaluateProgram(const DatalogProgram& program,
                                  const Database& edb, EvalStrategy strategy,
                                  DatalogEvalStats* stats) {
-  return EvaluateProgram(program, edb, EvalOptions{.strategy = strategy},
-                         stats);
+  EvalOptions options;
+  options.strategy = strategy;
+  return EvaluateProgram(program, edb, options, stats);
 }
 
 Result<std::vector<Tuple>> EvaluateGoal(const DatalogProgram& program,
@@ -128,11 +166,14 @@ Result<std::vector<Tuple>> EvaluateGoal(const DatalogProgram& program,
                                         const Database& edb,
                                         EvalStrategy strategy,
                                         DatalogEvalStats* stats) {
-  return EvaluateGoal(program, edb, EvalOptions{.strategy = strategy}, stats);
+  EvalOptions options;
+  options.strategy = strategy;
+  return EvaluateGoal(program, edb, options, stats);
 }
 
 Result<bool> UcqContainedInDatalog(const UnionQuery& theta,
                                    const DatalogProgram& program,
+                                   const EvalOptions& options,
                                    DatalogEvalStats* stats) {
   QCONT_RETURN_IF_ERROR(theta.Validate());
   QCONT_RETURN_IF_ERROR(program.Validate());
@@ -141,14 +182,19 @@ Result<bool> UcqContainedInDatalog(const UnionQuery& theta,
   }
   for (const ConjunctiveQuery& disjunct : theta.disjuncts()) {
     Database canonical = CanonicalDatabase(disjunct);
-    QCONT_ASSIGN_OR_RETURN(
-        Database derived,
-        EvaluateProgram(program, canonical, EvalStrategy::kSemiNaive, stats));
+    QCONT_ASSIGN_OR_RETURN(Database derived,
+                           EvaluateProgram(program, canonical, options, stats));
     if (!derived.HasFact(program.goal_predicate(), CanonicalHead(disjunct))) {
       return false;
     }
   }
   return true;
+}
+
+Result<bool> UcqContainedInDatalog(const UnionQuery& theta,
+                                   const DatalogProgram& program,
+                                   DatalogEvalStats* stats) {
+  return UcqContainedInDatalog(theta, program, EvalOptions(), stats);
 }
 
 }  // namespace qcont

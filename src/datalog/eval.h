@@ -14,11 +14,23 @@ namespace qcont {
 /// Evaluation counters (benchmark signal for experiment E9). `hom`
 /// aggregates the join-substrate counters over every rule firing, so index
 /// effectiveness (index_candidates vs scan_candidates) is visible per run.
+///
+/// Value-type accumulator: every rule firing fills its own instance and
+/// the totals are combined with `Merge` at the join point (the round
+/// barrier under parallel evaluation), never through a pointer shared
+/// across firings — totals are identical for every thread count.
 struct DatalogEvalStats {
   std::uint64_t iterations = 0;
   std::uint64_t rule_firings = 0;      // rule body matches found
   std::uint64_t derived_facts = 0;     // new facts added over the run
   HomSearchStats hom;                  // aggregated join-search counters
+
+  void Merge(const DatalogEvalStats& other) {
+    iterations += other.iterations;
+    rule_firings += other.rule_firings;
+    derived_facts += other.derived_facts;
+    hom.Merge(other.hom);
+  }
 };
 
 enum class EvalStrategy {
@@ -27,10 +39,17 @@ enum class EvalStrategy {
 };
 
 /// Full evaluation configuration. `use_index=false` selects the pre-index
-/// scan join path (differential-testing reference).
+/// scan join path (differential-testing reference). With
+/// `exec.threads > 1`, the semi-naive strategy evaluates each rule's
+/// delta join of a round on its own pool task against the frozen
+/// database; per-task fact buffers and counters are merged in rule order
+/// at the round barrier, so the derived database (including fact
+/// insertion order) and all counters are bit-identical to the serial run.
+/// The naive strategy is the reference implementation and always serial.
 struct EvalOptions {
   EvalStrategy strategy = EvalStrategy::kSemiNaive;
   bool use_index = true;
+  ExecContext exec;
 };
 
 /// Computes F^∞(D): the database `edb` extended with all derived
@@ -58,7 +77,13 @@ Result<std::vector<Tuple>> EvaluateGoal(
 /// Containment of a UCQ in a Datalog program (Cosmadakis-Kanellakis [16],
 /// used by the paper for Corollary 2): Θ ⊆ Π iff for every disjunct θ the
 /// frozen head of θ belongs to Π(D_θ). Single-exponential worst case in
-/// the program arity; polynomial data complexity.
+/// the program arity; polynomial data complexity. The per-disjunct
+/// evaluations run with `options` (so `options.exec` parallelizes each
+/// fixpoint's delta rounds).
+Result<bool> UcqContainedInDatalog(const UnionQuery& theta,
+                                   const DatalogProgram& program,
+                                   const EvalOptions& options,
+                                   DatalogEvalStats* stats = nullptr);
 Result<bool> UcqContainedInDatalog(const UnionQuery& theta,
                                    const DatalogProgram& program,
                                    DatalogEvalStats* stats = nullptr);

@@ -17,8 +17,8 @@
 namespace qcont {
 namespace {
 
-constexpr HomSearchOptions kIndexed{.use_index = true};
-constexpr HomSearchOptions kScan{.use_index = false};
+constexpr HomSearchOptions kIndexed{.use_index = true, .exec = {}};
+constexpr HomSearchOptions kScan{.use_index = false, .exec = {}};
 
 std::vector<Tuple> Sorted(std::vector<Tuple> tuples) {
   std::sort(tuples.begin(), tuples.end());
@@ -118,9 +118,10 @@ TEST(IndexDifferentialTest, DatalogFixpointAgreesAcrossEnginesAndStrategies) {
     for (EvalStrategy strategy :
          {EvalStrategy::kNaive, EvalStrategy::kSemiNaive}) {
       for (bool use_index : {false, true}) {
-        auto goal = EvaluateGoal(
-            program, edb,
-            EvalOptions{.strategy = strategy, .use_index = use_index});
+        EvalOptions options;
+        options.strategy = strategy;
+        options.use_index = use_index;
+        auto goal = EvaluateGoal(program, edb, options);
         ASSERT_TRUE(goal.ok()) << "trial " << trial;
         goals.push_back(*goal);
       }
@@ -138,10 +139,11 @@ TEST(IndexDifferentialTest, SemiNaiveIndexedNeverScansMoreThanScanEngine) {
     Database edb = testgen::RandomDatabase(&rng, schema, 5, 12);
     DatalogProgram program = testgen::RandomLinearProgram(&rng, schema, 1);
     DatalogEvalStats indexed_stats, scan_stats;
-    auto indexed = EvaluateGoal(program, edb, EvalOptions{.use_index = true},
-                                &indexed_stats);
-    auto scan = EvaluateGoal(program, edb, EvalOptions{.use_index = false},
-                             &scan_stats);
+    EvalOptions indexed_options, scan_options;
+    indexed_options.use_index = true;
+    scan_options.use_index = false;
+    auto indexed = EvaluateGoal(program, edb, indexed_options, &indexed_stats);
+    auto scan = EvaluateGoal(program, edb, scan_options, &scan_stats);
     ASSERT_TRUE(indexed.ok() && scan.ok()) << "trial " << trial;
     EXPECT_EQ(*indexed, *scan) << "trial " << trial;
     EXPECT_LE(Candidates(indexed_stats.hom), Candidates(scan_stats.hom))
