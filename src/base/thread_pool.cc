@@ -106,12 +106,19 @@ void ThreadPool::RunTask(Task task, int self) {
     }
   }
   batch->tasks.fetch_add(1, std::memory_order_relaxed);
-  // The batch may be destroyed by the caller as soon as `remaining` hits
-  // zero and the caller reacquires batch->mu, so the notification must be
-  // the last access.
-  if (batch->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+  // The caller may destroy the stack-allocated Batch as soon as it observes
+  // `remaining == 0`, and it checks that predicate under batch->mu. The
+  // final decrement therefore has to happen while holding batch->mu too:
+  // otherwise the caller could see zero (wait() checks the predicate on
+  // entry), return, and destroy the Batch between our decrement and our
+  // lock/notify. Holding the mutex across decrement + notify means the
+  // caller cannot re-acquire it — and hence cannot return — until this
+  // worker's last access to the Batch (the unlock) has completed.
+  {
     std::lock_guard<std::mutex> lock(batch->mu);
-    batch->done_cv.notify_all();
+    if (batch->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      batch->done_cv.notify_all();
+    }
   }
 }
 

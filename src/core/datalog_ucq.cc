@@ -159,16 +159,13 @@ class TypeEngine {
       cursors_[k].resize(kinds_.RulesOf(static_cast<int>(k)).size());
     }
     Status fixpoint = Fixpoint();
-    if (!fixpoint.ok()) {
-      if (stats_ != nullptr) stats_->Merge(run_);
-      return fixpoint;
-    }
     run_.kinds = kinds_.NumKinds();
     for (const KindState& k : state_) {
       run_.types += k.types.size();
       for (const SubtreeType& t : k.types) run_.elements += t.NumElements();
     }
-    if (stats_ != nullptr) stats_->Merge(run_);
+    FlushStats();
+    if (!fixpoint.ok()) return fixpoint;
     // Decision: every reachable root type must contain a complete element.
     for (int kind_id : root_kinds) {
       const KindState& kind = state_[kind_id];
@@ -197,6 +194,19 @@ class TypeEngine {
   }
 
  private:
+  // Publishes this run's counters to the caller's sink. kinds/types/
+  // elements are per-run snapshots, so they overwrite whatever a reused
+  // TypeEngineStats held from a previous call (the pre-pool assignment
+  // semantics); combos/enumeration_steps keep accumulating across calls,
+  // matching DatalogEvalStats.
+  void FlushStats() {
+    if (stats_ == nullptr) return;
+    stats_->kinds = 0;
+    stats_->types = 0;
+    stats_->elements = 0;
+    stats_->Merge(run_);
+  }
+
   // Per-(kind, rule) frontier of the combination space already enumerated:
   // every combo with all child indices below `prev` has been processed.
   struct RuleCursor {

@@ -28,6 +28,11 @@ struct ContainmentAnswer {
 /// identical for every thread count (the combination space of a least
 /// fixpoint is schedule-independent: every (rule, child-types) combination
 /// over the final type sets is processed exactly once).
+///
+/// Reuse across calls: when one instance is passed to several
+/// `DatalogContainedInUcq` calls, `combos` and `enumeration_steps`
+/// accumulate (matching `DatalogEvalStats`), while the snapshot fields
+/// `kinds`/`types`/`elements` are overwritten with the last run's values.
 struct TypeEngineStats {
   std::uint64_t kinds = 0;           // (predicate, equality-pattern) pairs
   std::uint64_t types = 0;           // distinct reachable subtree types

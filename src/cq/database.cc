@@ -1,6 +1,9 @@
 #include "cq/database.h"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <shared_mutex>
 
 namespace qcont {
 
@@ -77,19 +80,34 @@ const std::vector<std::uint32_t>& Database::Probe(
     const std::vector<ValueId>& key) const {
   static const std::vector<std::uint32_t>* const kEmptyBucket =
       new std::vector<std::uint32_t>();
-  // Serializes lazy index construction (and the stats counters) so that
-  // concurrent const probes are safe; see the class comment. Probes of an
-  // already-built index still take the lock, but the build check below is
-  // a racy read without it, and the uncontended acquisition is cheap
-  // relative to a hash-bucket lookup.
-  std::lock_guard<std::mutex> lock(memo_mu_.mu);
-  ++index_stats_.probes;
+  index_stats_.probes.fetch_add(1, std::memory_order_relaxed);
+  // `relations_` (and each relation's `rows`) is only mutated by AddFact /
+  // UnionWith, which the thread-safety contract forbids concurrently with
+  // probes, so it is read without the memo lock. Only the `indexes` memo
+  // is mutated under concurrent const probes and needs guarding.
   auto it = relations_.find(relation);
   if (it == relations_.end()) return *kEmptyBucket;
   const RelationData& data = it->second;
+  {
+    // Fast path: the (relation, mask) index exists and is up to date.
+    // Shared lock only, so parallel hom searches probing the same frozen
+    // database never serialize on the join hot path.
+    std::shared_lock<std::shared_mutex> lock(memo_mu_.mu);
+    auto idx_it = data.indexes.find(mask);
+    if (idx_it != data.indexes.end() &&
+        idx_it->second.rows_indexed == data.rows.size()) {
+      const RelIndex& index = idx_it->second;
+      auto bucket = index.buckets.find(key);
+      return bucket == index.buckets.end() ? *kEmptyBucket : bucket->second;
+    }
+  }
+  // Slow path: build the index (or fold in rows added since the last
+  // probe) under the exclusive lock. Re-check the build state after
+  // acquiring it — another thread may have finished the build in between.
+  std::unique_lock<std::shared_mutex> lock(memo_mu_.mu);
   auto [idx_it, built] = data.indexes.try_emplace(mask);
   RelIndex& index = idx_it->second;
-  if (built) ++index_stats_.indexes_built;
+  if (built) index_stats_.indexes_built.fetch_add(1, std::memory_order_relaxed);
   if (index.rows_indexed < data.rows.size()) {
     // Lazy build and incremental maintenance are the same loop: fold in
     // every row added since the last probe of this (relation, mask).
@@ -99,7 +117,7 @@ const std::vector<std::uint32_t>& Database::Probe(
     for (std::size_t r = index.rows_indexed; r < data.rows.size(); ++r) {
       if (!KeyOf(data.rows[r], mask, &row_key)) continue;
       index.buckets[row_key].push_back(static_cast<std::uint32_t>(r));
-      ++index_stats_.rows_indexed;
+      index_stats_.rows_indexed.fetch_add(1, std::memory_order_relaxed);
     }
     index.rows_indexed = data.rows.size();
   }
@@ -108,7 +126,11 @@ const std::vector<std::uint32_t>& Database::Probe(
 }
 
 const std::vector<std::string>& Database::Relations() const {
-  std::lock_guard<std::mutex> lock(memo_mu_.mu);
+  {
+    std::shared_lock<std::shared_mutex> lock(memo_mu_.mu);
+    if (!relations_dirty_) return relations_cache_;
+  }
+  std::unique_lock<std::shared_mutex> lock(memo_mu_.mu);
   if (relations_dirty_) {
     relations_cache_.clear();
     relations_cache_.reserve(relations_.size());

@@ -1,10 +1,11 @@
 #ifndef QCONT_CQ_DATABASE_H_
 #define QCONT_CQ_DATABASE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -51,10 +52,12 @@ struct DatabaseIndexStats {
 /// `Rows`, `HasFact`, `Relations`, `ValueIdOf`, ...) may be called
 /// concurrently from multiple threads *as long as no thread mutates the
 /// database* (`AddFact`, `UnionWith`) at the same time — the memoized lazy
-/// index builds and the index statistics behind `Probe` are guarded by an
-/// internal mutex. This is the contract the parallel engines rely on:
-/// databases are frozen for the duration of a parallel region and merged
-/// at the barrier on one thread.
+/// index builds behind `Probe` are guarded by an internal shared mutex
+/// (shared lock on the probe hot path, exclusive lock only while a missing
+/// or stale index is built) and the index statistics are atomic, so probes
+/// of an already-built index never serialize against each other. This is
+/// the contract the parallel engines rely on: databases are frozen for the
+/// duration of a parallel region and merged at the barrier on one thread.
 class Database {
  public:
   Database() : pool_(std::make_shared<Interner>()) {}
@@ -94,7 +97,15 @@ class Database {
                                           std::uint32_t mask,
                                           const std::vector<ValueId>& key) const;
 
-  const DatabaseIndexStats& index_stats() const { return index_stats_; }
+  /// Snapshot of the index counters. (Stored atomically so concurrent
+  /// probes can bump them without locking; hence a by-value snapshot.)
+  DatabaseIndexStats index_stats() const {
+    DatabaseIndexStats s;
+    s.indexes_built = index_stats_.indexes_built.load(std::memory_order_relaxed);
+    s.probes = index_stats_.probes.load(std::memory_order_relaxed);
+    s.rows_indexed = index_stats_.rows_indexed.load(std::memory_order_relaxed);
+    return s;
+  }
 
   /// Relation names that have at least one fact, sorted. Cached: the vector
   /// is only rebuilt when a fact of a new relation arrives, and the
@@ -132,13 +143,36 @@ class Database {
   };
 
   // Guards the mutable memoized state reachable from const methods (lazy
-  // index builds, index_stats_, the relations cache). Copying a Database
-  // copies the data but not the mutex.
+  // index builds, the relations cache). Probes of already-built indexes
+  // take the lock shared; building or extending an index takes it
+  // exclusive. Copying a Database copies the data but not the mutex.
   struct UncopiedMutex {
-    std::mutex mu;
+    std::shared_mutex mu;
     UncopiedMutex() = default;
     UncopiedMutex(const UncopiedMutex&) {}
     UncopiedMutex& operator=(const UncopiedMutex&) { return *this; }
+  };
+
+  // Index counters, updated by concurrent shared-lock probes. Copying a
+  // Database snapshots the values.
+  struct AtomicIndexStats {
+    std::atomic<std::uint64_t> indexes_built{0};
+    std::atomic<std::uint64_t> probes{0};
+    std::atomic<std::uint64_t> rows_indexed{0};
+    AtomicIndexStats() = default;
+    AtomicIndexStats(const AtomicIndexStats& o)
+        : indexes_built(o.indexes_built.load(std::memory_order_relaxed)),
+          probes(o.probes.load(std::memory_order_relaxed)),
+          rows_indexed(o.rows_indexed.load(std::memory_order_relaxed)) {}
+    AtomicIndexStats& operator=(const AtomicIndexStats& o) {
+      indexes_built.store(o.indexes_built.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+      probes.store(o.probes.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+      rows_indexed.store(o.rows_indexed.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+      return *this;
+    }
   };
 
   std::shared_ptr<Interner> pool_;
@@ -147,7 +181,7 @@ class Database {
   std::unordered_set<ValueId> domain_ids_;  // membership for domain_
   mutable std::vector<std::string> relations_cache_;
   mutable bool relations_dirty_ = true;
-  mutable DatabaseIndexStats index_stats_;
+  mutable AtomicIndexStats index_stats_;
   mutable UncopiedMutex memo_mu_;
   std::size_t num_facts_ = 0;
 };
