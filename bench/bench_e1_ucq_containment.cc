@@ -8,6 +8,7 @@
 
 #include "bench/workloads.h"
 #include "cq/containment.h"
+#include "obs/obs.h"
 
 namespace qcont {
 namespace {
@@ -81,6 +82,23 @@ void BM_UcqContainment(benchmark::State& state) {
       static_cast<double>(stats.index_candidates);
   state.counters["scan_candidates"] =
       static_cast<double>(stats.scan_candidates);
+  // One instrumented pass outside the timed loop: per-phase wall time from
+  // the span totals (grid = whole disjunct-pair sweep, pair = the per-pair
+  // Chandra-Merlin tests inside it), plus an optional trace file.
+  {
+    TraceSession trace;
+    ObsContext obs{nullptr, &trace};
+    HomSearchOptions traced = options;
+    traced.obs = &obs;
+    benchmark::DoNotOptimize(*UcqContained(lhs, rhs, nullptr, traced));
+    auto totals = trace.DurationTotalsUs();
+    state.counters["t_grid_us"] = totals["ucq/grid"];
+    // Serial sweeps emit ucq/pair, the parallel grid emits ucq/grid_cell;
+    // both are "one disjunct pair decided", so the column sums them.
+    state.counters["t_pairs_us"] = totals["ucq/pair"] + totals["ucq/grid_cell"];
+    bench::MaybeWriteTrace(trace, "e1_ucq_n" + std::to_string(n) + "_t" +
+                                      std::to_string(threads));
+  }
 }
 // Every size at threads=1 (the shape-check rows) and at BenchThreads().
 void UcqContainmentArgs(benchmark::internal::Benchmark* b) {

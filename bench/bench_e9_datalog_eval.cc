@@ -9,6 +9,7 @@
 
 #include "bench/workloads.h"
 #include "datalog/eval.h"
+#include "obs/obs.h"
 #include "parser/parser.h"
 
 namespace qcont {
@@ -39,6 +40,23 @@ void BM_TcChain(benchmark::State& state) {
       static_cast<double>(stats.hom.index_candidates);
   state.counters["scan_candidates"] =
       static_cast<double>(stats.hom.scan_candidates);
+  // One instrumented pass outside the timed loop: per-phase wall time from
+  // the span totals (eval = whole fixpoint, rounds = delta rounds, joins =
+  // the parallel delta-join tasks), plus an optional trace file.
+  {
+    TraceSession trace;
+    ObsContext obs{nullptr, &trace};
+    EvalOptions traced = options;
+    traced.obs = &obs;
+    benchmark::DoNotOptimize(EvaluateGoal(tc, db, traced)->size());
+    auto totals = trace.DurationTotalsUs();
+    state.counters["t_eval_us"] = totals["datalog/eval"];
+    state.counters["t_rounds_us"] = totals["datalog/round"];
+    state.counters["t_joins_us"] = totals["datalog/delta_join"];
+    bench::MaybeWriteTrace(
+        trace, "e9_tc_n" + std::to_string(n) + (semi ? "_semi" : "_naive") +
+                   "_t" + std::to_string(threads));
+  }
   state.SetLabel(semi ? "semi_naive" : "naive");
 }
 // Every (size, strategy) at threads=1 (the shape-check rows); semi-naive —

@@ -12,6 +12,10 @@
 #   --threads N    worker count for the parallel benchmark rows, exported as
 #                  QCONT_BENCH_THREADS (default: the binaries fall back to
 #                  the hardware concurrency, floored at 2)
+#   --trace        also write TRACE_<workload>.json Chrome trace files for
+#                  the instrumented benchmark passes into OUT_DIR (exported
+#                  as QCONT_BENCH_TRACE_DIR; validate/inspect with
+#                  tools/check_trace.py or https://ui.perfetto.dev)
 #
 # Any remaining arguments are forwarded to each benchmark binary, e.g.
 #   bench/run_benchmarks.sh -s "e1_ucq_containment e9_datalog_eval" --benchmark_min_time=0.05s
@@ -25,6 +29,7 @@ set -euo pipefail
 # --flag is forwarded verbatim to the benchmark binaries.
 filtered=()
 passthrough=()
+want_trace=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --threads)
@@ -34,6 +39,10 @@ while [[ $# -gt 0 ]]; do
       ;;
     --threads=*)
       export QCONT_BENCH_THREADS="${1#*=}"
+      shift
+      ;;
+    --trace)
+      want_trace=1
       shift
       ;;
     --*)
@@ -66,6 +75,11 @@ shift $((OPTIND - 1))
 set -- ${passthrough[@]+"${passthrough[@]}"} "$@"
 
 mkdir -p "$out_dir"
+# --trace resolves against the final OUT_DIR, so it must be exported after
+# getopts has run.
+if [[ "$want_trace" == 1 ]]; then
+  export QCONT_BENCH_TRACE_DIR="$out_dir"
+fi
 status=0
 for suite in $suites; do
   bin="$build_dir/bench/bench_$suite"

@@ -12,6 +12,7 @@
 #include "cq/database.h"
 #include "cq/query.h"
 #include "datalog/program.h"
+#include "obs/trace.h"
 
 namespace qcont {
 namespace bench {
@@ -112,6 +113,18 @@ inline UnionQuery ChainUnion(int m) {
     disjuncts.push_back(ChainCq(len, "e", 2));
   }
   return UnionQuery(std::move(disjuncts));
+}
+
+/// Writes `session`'s trace to $QCONT_BENCH_TRACE_DIR/TRACE_<name>.json
+/// when that directory is set (run_benchmarks.sh --trace), else does
+/// nothing. Returns whether a file was written. Benchmarks call this after
+/// their single instrumented pass, outside the timed loop.
+inline bool MaybeWriteTrace(const TraceSession& session,
+                            const std::string& name) {
+  const char* dir = std::getenv("QCONT_BENCH_TRACE_DIR");
+  if (dir == nullptr || *dir == '\0') return false;
+  const std::string path = std::string(dir) + "/TRACE_" + name + ".json";
+  return session.WriteFile(path).ok();
 }
 
 /// Random directed graph database over labels {e} with n nodes.

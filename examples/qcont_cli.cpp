@@ -1,12 +1,19 @@
 // qcont_cli: command-line front-end to the containment engines.
 //
 // Usage:
+//   qcont_cli [--trace=FILE] [--metrics] <subcommand> <args...>
+//
 //   qcont_cli contains  <program-file> <ucq-file>     relational containment
 //   qcont_cli equiv     <program-file> <ucq-file>     boundedness check
 //   qcont_cli rcontains <program-file> <uc2rpq-file>  graph containment
 //   qcont_cli classify  <ucq-file>                    structural classes
 //   qcont_cli eval      <program-file> <db-file>      bottom-up evaluation
 //   qcont_cli lint      [program|ucq|uc2rpq] <file>   static analysis
+//
+// --trace=FILE writes a Chrome trace_event JSON of the run (load it in
+// chrome://tracing or https://ui.perfetto.dev). --metrics prints the final
+// counter/gauge snapshot to stderr after the subcommand's own output. Both
+// flags work on every subcommand and may appear before or after it.
 //
 // File formats are the library's text syntax (see README "Input syntax").
 // Exit code: 0 = containment/equivalence holds, 1 = it does not (witness on
@@ -26,6 +33,9 @@
 #include "core/equivalence.h"
 #include "core/router.h"
 #include "datalog/eval.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "parser/parser.h"
 #include "structure/classify.h"
 
@@ -43,11 +53,13 @@ bool ReadFile(const std::string& path, std::string* out) {
 }
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: qcont_cli contains|equiv|rcontains <program> <query>\n"
-               "       qcont_cli classify <ucq>\n"
-               "       qcont_cli eval <program> <database>\n"
-               "       qcont_cli lint [program|ucq|uc2rpq] <file>\n");
+  std::fprintf(
+      stderr,
+      "usage: qcont_cli [--trace=FILE] [--metrics] <subcommand> <args>\n"
+      "       qcont_cli contains|equiv|rcontains <program> <query>\n"
+      "       qcont_cli classify <ucq>\n"
+      "       qcont_cli eval <program> <database>\n"
+      "       qcont_cli lint [program|ucq|uc2rpq] <file>\n");
   return 2;
 }
 
@@ -101,27 +113,29 @@ int Lint(const std::string& kind_arg, const std::string& text) {
   return errors > 0 ? 1 : 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc < 3) return Usage();
-  const std::string mode = argv[1];
+// The subcommand dispatcher. `args` is argv with the program name and the
+// --trace/--metrics flags already stripped, so args[0] is the mode.
+int RunCommand(const std::vector<std::string>& args, const ObsContext* obs) {
+  if (args.size() < 2) return Usage();
+  const std::string& mode = args[0];
+  const std::string span_name = "cli/" + mode;
+  ObsSpan cli_span(obs, span_name.c_str(), "cli");
 
   if (mode == "lint") {
     // lint <file>  or  lint <kind> <file>
-    const std::string kind = argc >= 4 ? argv[2] : "";
-    const char* path = argc >= 4 ? argv[3] : argv[2];
+    const std::string kind = args.size() >= 3 ? args[1] : "";
+    const std::string& path = args.size() >= 3 ? args[2] : args[1];
     std::string text;
     if (!ReadFile(path, &text)) {
-      std::fprintf(stderr, "cannot read %s\n", path);
+      std::fprintf(stderr, "cannot read %s\n", path.c_str());
       return 2;
     }
     return Lint(kind, text);
   }
 
   std::string first_text;
-  if (!ReadFile(argv[2], &first_text)) {
-    std::fprintf(stderr, "cannot read %s\n", argv[2]);
+  if (!ReadFile(args[1], &first_text)) {
+    std::fprintf(stderr, "cannot read %s\n", args[1].c_str());
     return 2;
   }
 
@@ -134,10 +148,10 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  if (argc < 4) return Usage();
+  if (args.size() < 3) return Usage();
   std::string second_text;
-  if (!ReadFile(argv[3], &second_text)) {
-    std::fprintf(stderr, "cannot read %s\n", argv[3]);
+  if (!ReadFile(args[2], &second_text)) {
+    std::fprintf(stderr, "cannot read %s\n", args[2].c_str());
     return 2;
   }
   auto program = ParseProgram(first_text);
@@ -146,7 +160,9 @@ int main(int argc, char** argv) {
   if (mode == "eval") {
     auto db = ParseDatabase(second_text);
     if (!Check(db, "database")) return 2;
-    auto result = EvaluateGoal(*program, *db);
+    EvalOptions eval_options;
+    eval_options.obs = obs;
+    auto result = EvaluateGoal(*program, *db, eval_options);
     if (!Check(result, "evaluation")) return 2;
     for (const Tuple& t : *result) {
       std::string line = program->goal_predicate() + "(";
@@ -162,8 +178,10 @@ int main(int argc, char** argv) {
   if (mode == "contains" || mode == "equiv") {
     auto ucq = ParseUcq(second_text);
     if (!Check(ucq, "query")) return 2;
+    RouterOptions router;
+    router.obs = obs;
     if (mode == "contains") {
-      auto routed = DecideContainment(*program, *ucq);
+      auto routed = DecideContainment(*program, *ucq, router);
       if (!Check(routed, "containment")) return 2;
       std::printf("%s  (%s)\n",
                   routed->answer.contained ? "CONTAINED" : "NOT CONTAINED",
@@ -174,7 +192,7 @@ int main(int argc, char** argv) {
       }
       return routed->answer.contained ? 0 : 1;
     }
-    auto eq = DatalogEquivalentToUcq(*program, *ucq);
+    auto eq = DatalogEquivalentToUcq(*program, *ucq, router, EvalOptions());
     if (!Check(eq, "equivalence")) return 2;
     std::printf("program in query: %s\nquery in program: %s\nequivalent: %s\n",
                 eq->program_in_ucq ? "yes" : "no",
@@ -189,7 +207,9 @@ int main(int argc, char** argv) {
   if (mode == "rcontains") {
     auto gamma = ParseUC2rpq(second_text);
     if (!Check(gamma, "query")) return 2;
-    auto verdict = DatalogContainedInUC2rpq(*program, *gamma);
+    Uc2rpqSearchOptions search;
+    search.obs = obs;
+    auto verdict = DatalogContainedInUC2rpq(*program, *gamma, search);
     if (!Check(verdict, "containment")) return 2;
     switch (verdict->verdict) {
       case Uc2rpqVerdict::kContained:
@@ -210,4 +230,52 @@ int main(int argc, char** argv) {
     }
   }
   return Usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  bool print_metrics = false;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
+      if (trace_path.empty()) {
+        std::fprintf(stderr, "--trace needs a file name\n");
+        return 2;
+      }
+    } else if (arg == "--metrics") {
+      print_metrics = true;
+    } else {
+      args.push_back(arg);
+    }
+  }
+
+  MetricRegistry metrics;
+  TraceSession trace;
+  ObsContext obs_storage{&metrics, &trace};
+  // Only hand the engines a sink when some output was requested, so plain
+  // invocations keep the zero-instrumentation fast path.
+  const ObsContext* obs =
+      (!trace_path.empty() || print_metrics) ? &obs_storage : nullptr;
+
+  int code = RunCommand(args, obs);
+
+  if (!trace_path.empty()) {
+    Status written = trace.WriteFile(trace_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "--trace: %s\n", written.ToString().c_str());
+      if (code == 0) code = 2;
+    }
+  }
+  if (print_metrics) {
+    std::fprintf(stderr, "== metrics ==\n");
+    for (const auto& [name, value] : metrics.Snapshot()) {
+      std::fprintf(stderr, "%-32s %llu\n", name.c_str(),
+                   static_cast<unsigned long long>(value));
+    }
+  }
+  return code;
 }

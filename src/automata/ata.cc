@@ -13,7 +13,10 @@ using Position = std::pair<int, int>;  // (node, state)
 }  // namespace
 
 bool AlternatingTreeAutomaton::Accepts(const RankedTree& tree,
-                                       AtaRunStats* stats) const {
+                                       AtaRunStats* stats,
+                                       const ObsContext* obs) const {
+  ObsSpan accepts_span(obs, "ata/accepts", "automata");
+  AtaRunStats run;
   // Discover the reachable game arena from (root, initial).
   std::map<Position, AtaFormula> formulas;
   // Resolved target positions per (position, conjunct, literal):
@@ -48,7 +51,7 @@ bool AlternatingTreeAutomaton::Accepts(const RankedTree& tree,
     targets.emplace(pos, std::move(pos_targets));
     formulas.emplace(pos, std::move(formula));
   }
-  if (stats != nullptr) stats->positions = formulas.size();
+  run.positions = formulas.size();
 
   // Least fixpoint of Eve's winning region: a position wins if some
   // conjunct has all its (legal) targets winning.
@@ -57,7 +60,7 @@ bool AlternatingTreeAutomaton::Accepts(const RankedTree& tree,
   bool changed = true;
   while (changed) {
     changed = false;
-    if (stats != nullptr) ++stats->iterations;
+    ++run.iterations;
     for (const auto& [pos, pos_targets] : targets) {
       if (winning[pos]) continue;
       bool win = false;
@@ -80,6 +83,18 @@ bool AlternatingTreeAutomaton::Accepts(const RankedTree& tree,
       }
     }
   }
+  // Flush: mirror the legacy sink's semantics (positions assigned,
+  // iterations accumulated) and publish the same run-local values.
+  if (stats != nullptr) {
+    stats->positions = run.positions;
+    stats->iterations += run.iterations;
+  }
+  if (MetricRegistry* metrics = ObsMetrics(obs)) {
+    metrics->Add("ata.iterations", run.iterations);
+    metrics->SetGauge("ata.positions", run.positions);
+  }
+  accepts_span.AddArg("positions", run.positions);
+  accepts_span.AddArg("iterations", run.iterations);
   return winning[{tree.root(), InitialState()}];
 }
 

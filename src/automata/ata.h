@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "automata/tree.h"
+#include "obs/obs.h"
 
 namespace qcont {
 
@@ -25,8 +26,12 @@ using AtaFormula = std::vector<AtaConjunct>;
 
 /// Statistics of the acceptance-game solver.
 struct AtaRunStats {
-  std::uint64_t positions = 0;   // distinct (node, state) pairs explored
-  std::uint64_t iterations = 0;  // fixpoint rounds
+  /// Distinct (node, state) pairs in the reachable game arena. Assigned
+  /// (snapshot) per run; registry mirror: gauge `ata.positions`.
+  std::uint64_t positions = 0;
+  /// Fixpoint rounds until Eve's winning region stabilizes. Accumulates
+  /// across runs; counter `ata.iterations`.
+  std::uint64_t iterations = 0;
 };
 
 /// A two-way alternating tree automaton (2ATA) over integer-labeled trees
@@ -54,8 +59,10 @@ class AlternatingTreeAutomaton {
   virtual AtaFormula Delta(int state, int symbol) const = 0;
 
   /// Membership, decided by solving the reachability game (polynomial in
-  /// |tree| × |reachable states|).
-  bool Accepts(const RankedTree& tree, AtaRunStats* stats = nullptr) const;
+  /// |tree| × |reachable states|). `obs` (optional, borrowed) receives an
+  /// `ata/accepts` span and the `ata.*` metrics.
+  bool Accepts(const RankedTree& tree, AtaRunStats* stats = nullptr,
+               const ObsContext* obs = nullptr) const;
 };
 
 }  // namespace qcont

@@ -9,6 +9,7 @@ namespace qcont {
 
 namespace {
 thread_local bool t_in_worker = false;
+thread_local int t_worker_id = -1;
 }  // namespace
 
 // One ParallelFor call. `remaining` counts iterations not yet executed;
@@ -47,6 +48,8 @@ ThreadPool::~ThreadPool() {
 }
 
 bool ThreadPool::InWorker() { return t_in_worker; }
+
+int ThreadPool::CurrentWorkerId() { return t_worker_id; }
 
 void ThreadPool::PushLocal(int self, Task task) {
   {
@@ -124,6 +127,7 @@ void ThreadPool::RunTask(Task task, int self) {
 
 void ThreadPool::WorkerLoop(int self) {
   t_in_worker = true;
+  t_worker_id = self;
   for (;;) {
     Task task;
     if (TryPop(self, &task) || TrySteal(self, &task)) {

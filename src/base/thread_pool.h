@@ -88,6 +88,11 @@ class ThreadPool {
   /// to degrade nested parallel regions to serial loops.
   static bool InWorker();
 
+  /// The calling thread's worker index within its pool, or -1 when the
+  /// caller is not a pool worker. Stable for the worker's lifetime; used by
+  /// the observability layer to lane trace spans per worker (DESIGN.md §12).
+  static int CurrentWorkerId();
+
  private:
   struct Batch;  // one ParallelFor call
   struct Task {  // a contiguous iteration range of one batch

@@ -226,7 +226,17 @@ class AckEngine {
         limits_(limits),
         kinds_(program) {}
 
+  // Engine runs accumulate into the run-local `run_`; `Run` flushes it to
+  // the caller's legacy sink and the registry in one place at the end.
   Result<ContainmentAnswer> Run() {
+    Result<ContainmentAnswer> result = RunImpl();
+    Flush();
+    return result;
+  }
+
+ private:
+  Result<ContainmentAnswer> RunImpl() {
+    ObsSpan run_span(limits_.obs, "ack/run", "core");
     for (const ConjunctiveQuery& cq : ucq_.disjuncts()) {
       if (!IsAcyclic(cq)) {
         return FailedPreconditionError(
@@ -235,26 +245,22 @@ class AckEngine {
       }
       QCONT_ASSIGN_OR_RETURN(AckDisjunct d, BuildAckDisjunct(cq));
       disjuncts_.push_back(std::move(d));
-      if (stats_ != nullptr) {
-        // AC1 is the lowest level of the hierarchy by convention.
-        stats_->ack_level = std::max(
-            {stats_->ack_level, 1, MaxSharedVariables(cq)});
-      }
+      // AC1 is the lowest level of the hierarchy by convention.
+      run_.ack_level = std::max({run_.ack_level, 1, MaxSharedVariables(cq)});
     }
     std::vector<int> root_kinds = kinds_.RootKinds();
     state_.resize(kinds_.NumKinds());
     QCONT_RETURN_IF_ERROR(Fixpoint());
-    if (stats_ != nullptr) {
-      stats_->kinds = kinds_.NumKinds();
-      for (const KindState& k : state_) {
-        stats_->summaries += k.summaries.size();
-        for (const Summary& s : k.summaries) {
-          for (const auto& [entry, ac] : s.at) {
-            stats_->antichain_sets += ac.size();
-          }
+    run_.kinds = kinds_.NumKinds();
+    for (const KindState& k : state_) {
+      run_.summaries += k.summaries.size();
+      for (const Summary& s : k.summaries) {
+        for (const auto& [entry, ac] : s.at) {
+          run_.antichain_sets += ac.size();
         }
       }
     }
+    summarized_ = true;
     for (int kind_id : root_kinds) {
       const std::vector<int>& pattern = kinds_.KeyOf(kind_id).pattern;
       const KindState& kind = state_[kind_id];
@@ -281,13 +287,41 @@ class AckEngine {
     return answer;
   }
 
- private:
+  // Reproduces the legacy sink's mixed semantics (see AckEngineStats) and
+  // publishes the same run-local values to the registry: the per-event
+  // counters flush unconditionally (they were bumped before any error), the
+  // post-fixpoint snapshot fields only when the fixpoint completed.
+  void Flush() {
+    if (MetricRegistry* metrics = ObsMetrics(limits_.obs)) {
+      metrics->Add("ack.combos", run_.combos);
+      metrics->Add("ack.game_states", run_.game_states);
+      metrics->SetGauge("ack.level", static_cast<std::uint64_t>(run_.ack_level));
+      if (summarized_) {
+        metrics->Add("ack.summaries", run_.summaries);
+        metrics->Add("ack.antichain_sets", run_.antichain_sets);
+        metrics->SetGauge("ack.kinds", run_.kinds);
+      }
+    }
+    if (stats_ == nullptr) return;
+    stats_->combos += run_.combos;
+    stats_->game_states += run_.game_states;
+    stats_->ack_level = std::max(stats_->ack_level, run_.ack_level);
+    if (summarized_) {
+      stats_->kinds = run_.kinds;
+      stats_->summaries += run_.summaries;
+      stats_->antichain_sets += run_.antichain_sets;
+    }
+  }
+
   // Same reachability fixpoint shape as the general engine, over summaries.
   Status Fixpoint() {
     std::uint64_t total = 0;
+    std::uint64_t round = 0;
     bool changed = true;
     while (changed) {
       changed = false;
+      ObsSpan round_span(limits_.obs, "ack/round", "core");
+      round_span.AddArg("round", round++);
       for (std::size_t k = 0; k < kinds_.NumKinds(); ++k) {
         const std::vector<InstRule>& rules = kinds_.RulesOf(static_cast<int>(k));
         for (std::size_t rp = 0; rp < rules.size(); ++rp) {
@@ -307,7 +341,7 @@ class AckEngine {
                 std::to_string(k) + "/" + std::to_string(rp);
             for (int c : combo) combo_key += "," + std::to_string(c);
             if (processed_.insert(combo_key).second) {
-              if (stats_ != nullptr) ++stats_->combos;
+              ++run_.combos;
               if (processed_.size() > limits_.max_combos) {
                 return ResourceExhaustedError(
                     "ACk-engine combination budget exceeded");
@@ -357,7 +391,7 @@ class AckEngine {
     auto discover = [&](const WState& s) {
       if (table.emplace(s, Antichain{}).second) {
         order.push_back(s);
-        if (stats_ != nullptr) ++stats_->game_states;
+        ++run_.game_states;
       }
     };
 
@@ -630,6 +664,8 @@ class AckEngine {
   const UnionQuery& ucq_;
   AckEngineStats* stats_;
   AckEngineLimits limits_;
+  AckEngineStats run_;      // this run's deltas; flushed once by Run
+  bool summarized_ = false; // post-fixpoint snapshot fields are valid
 
   std::vector<AckDisjunct> disjuncts_;
   KindSpace kinds_;

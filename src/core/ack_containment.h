@@ -10,19 +10,38 @@
 
 namespace qcont {
 
-/// Cost counters of the ACk engine (experiments E4/E5).
+/// Cost counters of the ACk engine (experiments E4/E5). Mixed reuse
+/// semantics across calls, kept for compatibility (and mirrored exactly by
+/// the registry metrics):
 struct AckEngineStats {
+  /// (predicate, equality-pattern) pairs instantiated. Assigned (snapshot)
+  /// by each successful run; untouched when the run errors out. Registry
+  /// mirror: gauge `ack.kinds`.
   std::uint64_t kinds = 0;
-  std::uint64_t summaries = 0;       // distinct reachable subtree summaries
-  std::uint64_t combos = 0;          // (rule, child-summary...) combinations
-  std::uint64_t game_states = 0;     // local-game states expanded
-  std::uint64_t antichain_sets = 0;  // exit sets stored across all summaries
-  int ack_level = 0;                 // the k of the input (max shared vars)
+  /// Distinct reachable subtree summaries. Accumulates across successful
+  /// runs; counter `ack.summaries`.
+  std::uint64_t summaries = 0;
+  /// (rule, child-summary...) combinations processed. Accumulates across
+  /// calls, including runs that trip a budget; counter `ack.combos`.
+  std::uint64_t combos = 0;
+  /// Local acceptance-game states expanded. Accumulates across calls;
+  /// counter `ack.game_states`.
+  std::uint64_t game_states = 0;
+  /// Exit sets stored across all summary antichains. Accumulates across
+  /// successful runs; counter `ack.antichain_sets`.
+  std::uint64_t antichain_sets = 0;
+  /// The k of the input (max variables a join-tree edge shares; at least 1
+  /// by convention). Max-assigned across calls; gauge `ack.level`.
+  int ack_level = 0;
 };
 
 struct AckEngineLimits {
   std::uint64_t max_summaries = 500'000;
   std::uint64_t max_combos = 5'000'000;
+  /// Optional observability sinks, borrowed from the caller. Each run emits
+  /// `ack/run` and `ack/round` spans and publishes the `ack.*` metrics
+  /// listed on AckEngineStats.
+  const ObsContext* obs = nullptr;
 };
 
 /// Decides CONT(Datalog, ACk): is Π ⊆ Θ for an *acyclic* UCQ Θ?

@@ -266,15 +266,28 @@ class AcrkEngine {
         limits_(limits),
         kinds_(program) {}
 
+  // Engine runs accumulate into the run-local `run_`; `Run` flushes it to
+  // the caller's legacy sink and the registry in one place at the end.
   Result<ContainmentAnswer> Run() {
+    Result<ContainmentAnswer> result = RunImpl();
+    Flush();
+    return result;
+  }
+
+ private:
+  Result<ContainmentAnswer> RunImpl() {
+    ObsSpan run_span(limits_.obs, "acrk/run", "core");
     QCONT_ASSIGN_OR_RETURN(bool acyclic, IsAcyclicUC2rpq(gamma_));
     if (!acyclic) {
       return FailedPreconditionError(
           "the ACRk engine requires an acyclic UC2RPQ");
     }
-    if (stats_ != nullptr) {
+    // Matches the legacy behaviour of only computing the level when someone
+    // will read it (AcrkLevel can itself fail).
+    if (stats_ != nullptr || ObsMetrics(limits_.obs) != nullptr) {
       QCONT_ASSIGN_OR_RETURN(int level, AcrkLevel(gamma_));
-      stats_->acrk_level = level;
+      run_.acrk_level = level;
+      level_set_ = true;
     }
     for (const C2rpq& g : gamma_.disjuncts()) {
       QCONT_ASSIGN_OR_RETURN(GammaInfo info, BuildGammaInfo(g));
@@ -283,15 +296,14 @@ class AcrkEngine {
     std::vector<int> root_kinds = kinds_.RootKinds();
     state_.resize(kinds_.NumKinds());
     QCONT_RETURN_IF_ERROR(Fixpoint());
-    if (stats_ != nullptr) {
-      stats_->kinds = kinds_.NumKinds();
-      for (const KindState& k : state_) {
-        stats_->summaries += k.summaries.size();
-        for (const Summary& s : k.summaries) {
-          for (const auto& [entry, ac] : s.at) stats_->antichain_sets += ac.size();
-        }
+    run_.kinds = kinds_.NumKinds();
+    for (const KindState& k : state_) {
+      run_.summaries += k.summaries.size();
+      for (const Summary& s : k.summaries) {
+        for (const auto& [entry, ac] : s.at) run_.antichain_sets += ac.size();
       }
     }
+    summarized_ = true;
     for (int kind_id : root_kinds) {
       const std::vector<int>& pattern = kinds_.KeyOf(kind_id).pattern;
       const KindState& kind = state_[kind_id];
@@ -318,12 +330,41 @@ class AcrkEngine {
     return answer;
   }
 
- private:
+  // Reproduces the legacy sink's mixed semantics (see AcrkEngineStats) and
+  // publishes the same run-local values to the registry.
+  void Flush() {
+    if (MetricRegistry* metrics = ObsMetrics(limits_.obs)) {
+      metrics->Add("acrk.combos", run_.combos);
+      metrics->Add("acrk.game_states", run_.game_states);
+      if (level_set_) {
+        metrics->SetGauge("acrk.level",
+                          static_cast<std::uint64_t>(run_.acrk_level));
+      }
+      if (summarized_) {
+        metrics->Add("acrk.summaries", run_.summaries);
+        metrics->Add("acrk.antichain_sets", run_.antichain_sets);
+        metrics->SetGauge("acrk.kinds", run_.kinds);
+      }
+    }
+    if (stats_ == nullptr) return;
+    stats_->combos += run_.combos;
+    stats_->game_states += run_.game_states;
+    if (level_set_) stats_->acrk_level = run_.acrk_level;
+    if (summarized_) {
+      stats_->kinds = run_.kinds;
+      stats_->summaries += run_.summaries;
+      stats_->antichain_sets += run_.antichain_sets;
+    }
+  }
+
   Status Fixpoint() {
     std::uint64_t total = 0;
+    std::uint64_t round = 0;
     bool changed = true;
     while (changed) {
       changed = false;
+      ObsSpan round_span(limits_.obs, "acrk/round", "core");
+      round_span.AddArg("round", round++);
       for (std::size_t k = 0; k < kinds_.NumKinds(); ++k) {
         const std::vector<InstRule>& rules = kinds_.RulesOf(static_cast<int>(k));
         for (std::size_t rp = 0; rp < rules.size(); ++rp) {
@@ -343,7 +384,7 @@ class AcrkEngine {
                 std::to_string(k) + "/" + std::to_string(rp);
             for (int c : combo) combo_key += "," + std::to_string(c);
             if (processed_.insert(combo_key).second) {
-              if (stats_ != nullptr) ++stats_->combos;
+              ++run_.combos;
               if (processed_.size() > limits_.max_combos) {
                 return ResourceExhaustedError(
                     "ACRk-engine combination budget exceeded");
@@ -385,7 +426,7 @@ class AcrkEngine {
     auto discover = [&](const WState& s) {
       if (table.emplace(s, Antichain{}).second) {
         order.push_back(s);
-        if (stats_ != nullptr) ++stats_->game_states;
+        ++run_.game_states;
       }
     };
     std::vector<PState> entries = EntrySpace(rule);
@@ -722,6 +763,9 @@ class AcrkEngine {
   const UC2rpq& gamma_;
   AcrkEngineStats* stats_;
   AcrkEngineLimits limits_;
+  AcrkEngineStats run_;      // this run's deltas; flushed once by Run
+  bool summarized_ = false;  // post-fixpoint snapshot fields are valid
+  bool level_set_ = false;   // run_.acrk_level was computed
 
   std::vector<GammaInfo> gammas_;
   KindSpace kinds_;

@@ -10,19 +10,37 @@
 
 namespace qcont {
 
-/// Cost counters of the ACRk engine (experiments E7/E8).
+/// Cost counters of the ACRk engine (experiments E7/E8). Same reuse
+/// semantics as `AckEngineStats`, and the same registry mirroring under the
+/// `acrk.*` prefix:
 struct AcrkEngineStats {
+  /// (predicate, equality-pattern) pairs instantiated. Assigned (snapshot)
+  /// by each successful run; gauge `acrk.kinds`.
   std::uint64_t kinds = 0;
+  /// Distinct reachable subtree summaries. Accumulates across successful
+  /// runs; counter `acrk.summaries`.
   std::uint64_t summaries = 0;
+  /// (rule, child-summary...) combinations processed. Accumulates across
+  /// calls, including runs that trip a budget; counter `acrk.combos`.
   std::uint64_t combos = 0;
+  /// Local acceptance-game states expanded. Accumulates across calls;
+  /// counter `acrk.game_states`.
   std::uint64_t game_states = 0;
+  /// Exit sets stored across all summary antichains. Accumulates across
+  /// successful runs; counter `acrk.antichain_sets`.
   std::uint64_t antichain_sets = 0;
-  int acrk_level = 0;  // max #atoms connecting a pair of distinct variables
+  /// Max number of atoms connecting a pair of distinct variables (the k of
+  /// ACRk). Assigned per run; gauge `acrk.level`.
+  int acrk_level = 0;
 };
 
 struct AcrkEngineLimits {
   std::uint64_t max_summaries = 500'000;
   std::uint64_t max_combos = 5'000'000;
+  /// Optional observability sinks, borrowed from the caller. Each run emits
+  /// `acrk/run` and `acrk/round` spans and publishes the `acrk.*` metrics
+  /// listed on AcrkEngineStats.
+  const ObsContext* obs = nullptr;
 };
 
 /// Decides CONT(Datalog, ACRk): is Π ⊆ Γ for an *acyclic* UC2RPQ Γ over a

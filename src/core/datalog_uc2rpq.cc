@@ -12,8 +12,11 @@ Result<Uc2rpqAnswer> DatalogContainedInUC2rpq(
   Uc2rpqAnswer out;
   QCONT_ASSIGN_OR_RETURN(bool acyclic, IsAcyclicUC2rpq(gamma));
   if (acyclic) {
-    QCONT_ASSIGN_OR_RETURN(ContainmentAnswer answer,
-                           DatalogContainedInAcyclicUC2rpq(program, gamma));
+    AcrkEngineLimits limits;
+    limits.obs = options.obs;
+    QCONT_ASSIGN_OR_RETURN(
+        ContainmentAnswer answer,
+        DatalogContainedInAcyclicUC2rpq(program, gamma, nullptr, limits));
     out.used_exact_engine = true;
     out.verdict = answer.contained ? Uc2rpqVerdict::kContained
                                    : Uc2rpqVerdict::kNotContained;

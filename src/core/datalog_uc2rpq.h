@@ -28,6 +28,9 @@ struct Uc2rpqAnswer {
 struct Uc2rpqSearchOptions {
   int max_depth = 5;
   std::size_t max_expansions = 5000;
+  /// Observability sink (optional, borrowed). Forwarded into the ACRk
+  /// engine's limits when Γ is acyclic.
+  const ObsContext* obs = nullptr;
 };
 
 /// CONT(Datalog, UC2RPQ), Theorem 7's problem. Exact when Γ is acyclic

@@ -148,6 +148,7 @@ class TypeEngine {
         kinds_(program) {}
 
   Result<ContainmentAnswer> Run() {
+    ObsSpan run_span(options_.obs, "typeengine/run", "core");
     for (const ConjunctiveQuery& cq : ucq_.disjuncts()) {
       QCONT_ASSIGN_OR_RETURN(DisjunctInfo info, BuildDisjunctInfo(cq));
       disjuncts_.push_back(std::move(info));
@@ -200,6 +201,17 @@ class TypeEngine {
   // semantics); combos/enumeration_steps keep accumulating across calls,
   // matching DatalogEvalStats.
   void FlushStats() {
+    // Registry mirror of the same run-local deltas/snapshots: counters for
+    // the accumulating fields, gauges for the per-run snapshot fields. Runs
+    // on every exit path (Run flushes before returning fixpoint errors), so
+    // legacy-vs-registry parity holds even when a budget trips.
+    if (MetricRegistry* metrics = ObsMetrics(options_.obs)) {
+      metrics->Add("typeengine.combos", run_.combos);
+      metrics->Add("typeengine.enumeration_steps", run_.enumeration_steps);
+      metrics->SetGauge("typeengine.kinds", run_.kinds);
+      metrics->SetGauge("typeengine.types", run_.types);
+      metrics->SetGauge("typeengine.elements", run_.elements);
+    }
     if (stats_ == nullptr) return;
     stats_->kinds = 0;
     stats_->types = 0;
@@ -246,7 +258,10 @@ class TypeEngine {
   // and its per-combo key allocations.
   Status Fixpoint() {
     std::uint64_t total_types = 0;
+    std::uint64_t round = 0;
     while (true) {
+      ObsSpan round_span(options_.obs, "typeengine/round", "core");
+      round_span.AddArg("round", round++);
       std::vector<ComboTask> tasks;
       for (std::size_t k = 0; k < kinds_.NumKinds(); ++k) {
         const std::vector<InstRule>& rules =
@@ -283,8 +298,11 @@ class TypeEngine {
       const std::uint64_t combo_budget =
           options_.max_combos > run_.combos ? options_.max_combos - run_.combos
                                             : 0;
+      round_span.AddArg("tasks", tasks.size());
       std::vector<TaskOutput> outputs = ParallelMap<TaskOutput>(
           options_.exec, tasks.size(), [&](std::size_t t) {
+            ObsSpan batch_span(options_.obs, "typeengine/combo_batch", "core");
+            batch_span.AddArg("task", t);
             return RunComboTask(tasks[t], combo_budget);
           });
 

@@ -9,6 +9,7 @@
 #include "base/thread_pool.h"
 #include "cq/query.h"
 #include "datalog/program.h"
+#include "obs/obs.h"
 
 namespace qcont {
 
@@ -34,11 +35,22 @@ struct ContainmentAnswer {
 /// accumulate (matching `DatalogEvalStats`), while the snapshot fields
 /// `kinds`/`types`/`elements` are overwritten with the last run's values.
 struct TypeEngineStats {
-  std::uint64_t kinds = 0;           // (predicate, equality-pattern) pairs
-  std::uint64_t types = 0;           // distinct reachable subtree types
-  std::uint64_t elements = 0;        // partial-match elements over all types
-  std::uint64_t combos = 0;          // (rule, child-type...) combinations run
-  std::uint64_t enumeration_steps = 0;  // DFS steps in element enumeration
+  /// (predicate, equality-pattern) pairs instantiated. Per-run *snapshot*:
+  /// overwritten (not accumulated) by each call. Registry mirror: gauge
+  /// `typeengine.kinds`.
+  std::uint64_t kinds = 0;
+  /// Distinct reachable subtree types over all kinds. Per-run snapshot;
+  /// gauge `typeengine.types`.
+  std::uint64_t types = 0;
+  /// Partial-match elements summed over all types. Per-run snapshot; gauge
+  /// `typeengine.elements`.
+  std::uint64_t elements = 0;
+  /// (rule, child-type...) combinations enumerated. *Accumulates* across
+  /// calls (matching `DatalogEvalStats`); counter `typeengine.combos`.
+  std::uint64_t combos = 0;
+  /// DFS steps in element enumeration. Accumulates across calls; counter
+  /// `typeengine.enumeration_steps`.
+  std::uint64_t enumeration_steps = 0;
 
   void Merge(const TypeEngineStats& other) {
     kinds += other.kinds;
@@ -60,6 +72,12 @@ struct TypeEngineOptions {
   std::uint64_t max_types = 2'000'000;
   std::uint64_t max_combos = 50'000'000;
   ExecContext exec;
+  /// Optional observability sinks, borrowed from the caller. Each run emits
+  /// `typeengine/run`, `typeengine/round` and `typeengine/combo_batch`
+  /// spans and publishes `typeengine.{combos,enumeration_steps}` counters
+  /// plus `typeengine.{kinds,types,elements}` gauges — on every exit path,
+  /// including budget errors, mirroring the legacy stats flush.
+  const ObsContext* obs = nullptr;
 };
 
 /// Backwards-compatible name from when the struct carried only budgets.

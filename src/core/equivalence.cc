@@ -7,8 +7,16 @@ namespace qcont {
 
 Result<EquivalenceAnswer> DatalogEquivalentToUcq(const DatalogProgram& program,
                                                  const UnionQuery& ucq) {
+  return DatalogEquivalentToUcq(program, ucq, RouterOptions(), EvalOptions());
+}
+
+Result<EquivalenceAnswer> DatalogEquivalentToUcq(const DatalogProgram& program,
+                                                 const UnionQuery& ucq,
+                                                 const RouterOptions& router,
+                                                 const EvalOptions& eval) {
   EquivalenceAnswer out;
-  QCONT_ASSIGN_OR_RETURN(RoutedAnswer routed, DecideContainment(program, ucq));
+  QCONT_ASSIGN_OR_RETURN(RoutedAnswer routed,
+                         DecideContainment(program, ucq, router));
   out.route = routed.route;
   out.program_in_ucq = routed.answer.contained;
   if (!out.program_in_ucq) {
@@ -16,9 +24,12 @@ Result<EquivalenceAnswer> DatalogEquivalentToUcq(const DatalogProgram& program,
     // Still report the other direction; it is cheap by comparison.
   }
   out.ucq_in_program = true;
+  EvalOptions eval_options = eval;
+  if (eval_options.obs == nullptr) eval_options.obs = router.obs;
   for (const ConjunctiveQuery& disjunct : ucq.disjuncts()) {
     Database canonical = CanonicalDatabase(disjunct);
-    QCONT_ASSIGN_OR_RETURN(Database derived, EvaluateProgram(program, canonical));
+    QCONT_ASSIGN_OR_RETURN(Database derived,
+                           EvaluateProgram(program, canonical, eval_options));
     if (!derived.HasFact(program.goal_predicate(), CanonicalHead(disjunct))) {
       out.ucq_in_program = false;
       if (!out.witness.has_value()) out.witness = disjunct;

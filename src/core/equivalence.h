@@ -6,6 +6,7 @@
 #include "base/status.h"
 #include "core/router.h"
 #include "cq/query.h"
+#include "datalog/eval.h"
 #include "datalog/program.h"
 
 namespace qcont {
@@ -30,6 +31,15 @@ struct EquivalenceAnswer {
 /// replaced by the non-recursive query Θ.
 Result<EquivalenceAnswer> DatalogEquivalentToUcq(const DatalogProgram& program,
                                                  const UnionQuery& ucq);
+
+/// As above, with explicit engine options: `router` governs the Π ⊆ Θ
+/// direction (and carries the observability sink), `eval` governs the
+/// per-disjunct Datalog evaluations of the Θ ⊆ Π direction. When
+/// `eval.obs` is unset it inherits `router.obs`.
+Result<EquivalenceAnswer> DatalogEquivalentToUcq(const DatalogProgram& program,
+                                                 const UnionQuery& ucq,
+                                                 const RouterOptions& router,
+                                                 const EvalOptions& eval);
 
 }  // namespace qcont
 

@@ -15,20 +15,33 @@ const char* RouteName(ContainmentRoute route) {
 }
 
 Result<RoutedAnswer> DecideContainment(const DatalogProgram& program,
-                                       const UnionQuery& ucq) {
+                                       const UnionQuery& ucq,
+                                       const RouterOptions& options) {
+  ObsSpan decide_span(options.obs, "router/decide", "core");
   QCONT_ASSIGN_OR_RETURN(bool acyclic, IsAcyclicUcq(ucq));
   RoutedAnswer out;
   if (acyclic) {
+    AckEngineLimits limits = options.ack;
+    if (limits.obs == nullptr) limits.obs = options.obs;
     AckEngineStats stats;
-    QCONT_ASSIGN_OR_RETURN(out.answer,
-                           DatalogContainedInAcyclicUcq(program, ucq, &stats));
+    QCONT_ASSIGN_OR_RETURN(
+        out.answer, DatalogContainedInAcyclicUcq(program, ucq, &stats, limits));
     out.route = ContainmentRoute::kAckEngine;
     out.ack_level = stats.ack_level;
   } else {
-    QCONT_ASSIGN_OR_RETURN(out.answer, DatalogContainedInUcq(program, ucq));
+    TypeEngineOptions general = options.general;
+    if (general.obs == nullptr) general.obs = options.obs;
+    QCONT_ASSIGN_OR_RETURN(
+        out.answer, DatalogContainedInUcq(program, ucq, nullptr, general));
     out.route = ContainmentRoute::kGeneralEngine;
   }
+  decide_span.AddArg("acyclic", acyclic ? 1 : 0);
   return out;
+}
+
+Result<RoutedAnswer> DecideContainment(const DatalogProgram& program,
+                                       const UnionQuery& ucq) {
+  return DecideContainment(program, ucq, RouterOptions());
 }
 
 }  // namespace qcont

@@ -7,6 +7,7 @@
 #include "core/ack_containment.h"
 #include "core/datalog_ucq.h"
 #include "datalog/program.h"
+#include "obs/obs.h"
 
 namespace qcont {
 
@@ -24,11 +25,27 @@ struct RoutedAnswer {
 
 const char* RouteName(ContainmentRoute route);
 
+/// Options for a routed containment call. Engine sub-options ride along so
+/// callers can tune either engine without knowing which one will run.
+struct RouterOptions {
+  /// Observability sink (optional, borrowed). Copied into `general.obs` /
+  /// `ack.obs` when those are unset, so one pointer instruments whichever
+  /// engine the router picks, plus the router's own `router/decide` span.
+  const ObsContext* obs = nullptr;
+  /// Options for the general 2EXPTIME type engine route.
+  TypeEngineOptions general;
+  /// Limits for the single-exponential ACk engine route.
+  AckEngineLimits ack;
+};
+
 /// Decides Π ⊆ Θ picking the best engine per the paper's classification
 /// (Corollary 1): if Θ is acyclic — which covers every acyclic UCQ over an
 /// arity-c schema (then Θ ∈ ACc) and every TW(1) UCQ (then Θ ∈ AC2) — use
 /// the single-exponential ACk engine; otherwise fall back to the general
 /// doubly-exponential engine.
+Result<RoutedAnswer> DecideContainment(const DatalogProgram& program,
+                                       const UnionQuery& ucq,
+                                       const RouterOptions& options);
 Result<RoutedAnswer> DecideContainment(const DatalogProgram& program,
                                        const UnionQuery& ucq);
 

@@ -7,6 +7,7 @@
 #include "base/check.h"
 #include "base/thread_pool.h"
 #include "cq/database.h"
+#include "obs/obs.h"
 
 namespace qcont {
 
@@ -93,6 +94,10 @@ Result<bool> GridContained(const ConjunctiveQuery* lefts, std::size_t nl,
   const std::vector<ConjunctiveQuery>& rights = theta_prime.disjuncts();
   const std::size_t nr = rights.size();
 
+  ObsSpan grid_span(options.obs, "ucq/grid");
+  grid_span.AddArg("rows", nl);
+  grid_span.AddArg("cols", nr);
+
   // Canonical databases are built up front: all pairs of one row share one
   // database (and its lazily built indexes — safe under concurrent const
   // probes, see Database).
@@ -129,6 +134,9 @@ Result<bool> GridContained(const ConjunctiveQuery* lefts, std::size_t nl,
     const std::size_t hit = first_hit[i].load(std::memory_order_relaxed);
     const std::size_t err = first_err[i].load(std::memory_order_relaxed);
     if (j > hit || j > err) return;
+    ObsSpan cell_span(options.obs, "ucq/grid_cell");
+    cell_span.AddArg("row", i);
+    cell_span.AddArg("col", j);
     PairOutcome& out = grid[idx];
     out.ran = true;
     if (lefts[i].arity() != rights[j].arity()) {
@@ -178,13 +186,15 @@ Result<bool> GridContained(const ConjunctiveQuery* lefts, std::size_t nl,
 
 // Dispatches between the serial walk and the pair grid. `lefts` spans the
 // already-validated left-hand disjuncts.
-Result<bool> ContainedPrevalidated(const ConjunctiveQuery* lefts,
-                                   std::size_t nl,
-                                   const UnionQuery& theta_prime,
-                                   HomSearchStats* stats,
-                                   const HomSearchOptions& options) {
+Result<bool> ContainedPrevalidatedImpl(const ConjunctiveQuery* lefts,
+                                       std::size_t nl,
+                                       const UnionQuery& theta_prime,
+                                       HomSearchStats* stats,
+                                       const HomSearchOptions& options) {
   if (options.exec.threads <= 1 || nl * theta_prime.disjuncts().size() <= 1) {
     for (std::size_t i = 0; i < nl; ++i) {
+      ObsSpan pair_span(options.obs, "ucq/pair");
+      pair_span.AddArg("row", i);
       QCONT_ASSIGN_OR_RETURN(
           bool contained,
           CqInUcqPrevalidated(lefts[i], theta_prime, stats, options));
@@ -193,6 +203,27 @@ Result<bool> ContainedPrevalidated(const ConjunctiveQuery* lefts,
     return true;
   }
   return GridContained(lefts, nl, theta_prime, stats, options);
+}
+
+// Publish funnel for the UCQ entry points: when a metric sink is attached,
+// the run's hom-search counters are gathered into a run-local struct and
+// published once at the end — the same deltas that merge into the caller's
+// legacy sink, which is what keeps the two views equal.
+Result<bool> ContainedPrevalidated(const ConjunctiveQuery* lefts,
+                                   std::size_t nl,
+                                   const UnionQuery& theta_prime,
+                                   HomSearchStats* stats,
+                                   const HomSearchOptions& options) {
+  MetricRegistry* metrics = ObsMetrics(options.obs);
+  if (metrics == nullptr) {
+    return ContainedPrevalidatedImpl(lefts, nl, theta_prime, stats, options);
+  }
+  HomSearchStats run;
+  Result<bool> result =
+      ContainedPrevalidatedImpl(lefts, nl, theta_prime, &run, options);
+  run.PublishTo(metrics, "cq.contain.hom");
+  if (stats != nullptr) stats->Merge(run);
+  return result;
 }
 
 }  // namespace
@@ -209,8 +240,18 @@ Result<bool> CqContained(const ConjunctiveQuery& theta,
                                 std::to_string(theta_prime.arity()));
   }
   Database canonical = CanonicalDatabase(theta);
-  return ContainedInDisjunct(theta_prime, canonical, CanonicalHead(theta),
-                             stats, options);
+  ObsSpan pair_span(options.obs, "ucq/pair");
+  MetricRegistry* metrics = ObsMetrics(options.obs);
+  if (metrics == nullptr) {
+    return ContainedInDisjunct(theta_prime, canonical, CanonicalHead(theta),
+                               stats, options);
+  }
+  HomSearchStats run;
+  Result<bool> result = ContainedInDisjunct(
+      theta_prime, canonical, CanonicalHead(theta), &run, options);
+  run.PublishTo(metrics, "cq.contain.hom");
+  if (stats != nullptr) stats->Merge(run);
+  return result;
 }
 
 Result<bool> CqContainedInUcq(const ConjunctiveQuery& theta,

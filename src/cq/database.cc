@@ -5,6 +5,8 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "obs/obs.h"
+
 namespace qcont {
 
 namespace {
@@ -109,6 +111,9 @@ const std::vector<std::uint32_t>& Database::Probe(
   RelIndex& index = idx_it->second;
   if (built) index_stats_.indexes_built.fetch_add(1, std::memory_order_relaxed);
   if (index.rows_indexed < data.rows.size()) {
+    ObsSpan build_span(obs_, "db/index_build", "db");
+    build_span.AddArg("mask", mask);
+    build_span.AddArg("rows", data.rows.size() - index.rows_indexed);
     // Lazy build and incremental maintenance are the same loop: fold in
     // every row added since the last probe of this (relation, mask).
     const std::uint32_t top = HighestBit(mask);

@@ -18,6 +18,8 @@
 
 namespace qcont {
 
+struct ObsContext;
+
 /// A database value. Canonical databases use variable names as values
 /// ("frozen" variables), so values are plain strings.
 using Value = std::string;
@@ -27,11 +29,18 @@ using Tuple = std::vector<Value>;
 using ValueId = SymbolId;
 inline constexpr ValueId kNoValue = Interner::kMissing;
 
-/// Counters for the per-relation hash indexes (benchmark signal).
+/// Counters for the per-relation hash indexes (benchmark signal). Obtained
+/// as a snapshot via `Database::index_stats()`; the registry mirror
+/// (`db.*` gauges) is published from such snapshots by the engines/CLI,
+/// never inline per probe.
 struct DatabaseIndexStats {
-  std::uint64_t indexes_built = 0;  // distinct (relation, mask) indexes
-  std::uint64_t probes = 0;         // Probe() calls
-  std::uint64_t rows_indexed = 0;   // rows incorporated into some index
+  /// Distinct (relation, mask) indexes built so far. Monotonic per database.
+  std::uint64_t indexes_built = 0;
+  /// `Probe()` calls issued (hot: bumped on every index lookup). Monotonic.
+  std::uint64_t probes = 0;
+  /// Rows folded into some index (a row indexed under k masks counts k
+  /// times). Monotonic per database.
+  std::uint64_t rows_indexed = 0;
 };
 
 /// A finite relational database: a set of facts R(v1,...,vn).
@@ -106,6 +115,15 @@ class Database {
     s.rows_indexed = index_stats_.rows_indexed.load(std::memory_order_relaxed);
     return s;
   }
+
+  /// Attaches observability sinks: each lazily built (relation, mask) index
+  /// then emits a `db/index_build` span (args: mask, rows). Borrowed
+  /// pointer, copied along with the database; set it before a parallel
+  /// region probes this database (AddFact-vs-probe rules apply to it too).
+  /// Null (the default) disables tracing. Index *counters* are not routed
+  /// through here — snapshot `index_stats()` instead.
+  void set_obs(const ObsContext* obs) { obs_ = obs; }
+  const ObsContext* obs() const { return obs_; }
 
   /// Relation names that have at least one fact, sorted. Cached: the vector
   /// is only rebuilt when a fact of a new relation arrives, and the
@@ -183,6 +201,7 @@ class Database {
   mutable bool relations_dirty_ = true;
   mutable AtomicIndexStats index_stats_;
   mutable UncopiedMutex memo_mu_;
+  const ObsContext* obs_ = nullptr;  // borrowed; see set_obs
   std::size_t num_facts_ = 0;
 };
 

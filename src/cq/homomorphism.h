@@ -11,6 +11,7 @@
 #include "base/thread_pool.h"
 #include "cq/database.h"
 #include "cq/query.h"
+#include "obs/obs.h"
 
 namespace qcont {
 
@@ -23,11 +24,21 @@ using Assignment = std::unordered_map<std::string, Value>;
 /// are combined with `Merge` at the join, so no counter is ever shared
 /// between threads and totals are identical for every thread count.
 struct HomSearchStats {
-  std::uint64_t atom_attempts = 0;     // candidate tuples tried
+  /// Candidate tuples tried against an atom (one per extension attempt of
+  /// the partial assignment, successful or not). Accumulates across runs.
+  std::uint64_t atom_attempts = 0;
+  /// Times the search retracted an atom binding after exhausting its
+  /// candidates. Accumulates across runs.
   std::uint64_t backtracks = 0;
-  std::uint64_t index_probes = 0;      // hash-index lookups issued
-  std::uint64_t index_candidates = 0;  // candidates enumerated via an index
-  std::uint64_t scan_candidates = 0;   // candidates enumerated via full scan
+  /// Hash-index lookups issued by the indexed engine (one per atom
+  /// expansion that went through an index). Accumulates across runs.
+  std::uint64_t index_probes = 0;
+  /// Candidates enumerated via an index (sum of probe result sizes).
+  /// Accumulates across runs.
+  std::uint64_t index_candidates = 0;
+  /// Candidates enumerated via a full relation scan (the pre-index path,
+  /// or atoms with no bound position). Accumulates across runs.
+  std::uint64_t scan_candidates = 0;
 
   void Merge(const HomSearchStats& other) {
     atom_attempts += other.atom_attempts;
@@ -35,6 +46,18 @@ struct HomSearchStats {
     index_probes += other.index_probes;
     index_candidates += other.index_candidates;
     scan_candidates += other.scan_candidates;
+  }
+
+  /// Publishes every field as a counter `<prefix>.<field>` (for example
+  /// `cq.contain.hom.atom_attempts`). Call exactly once per run with the
+  /// run-local deltas — never with an accumulating sink — so registry
+  /// totals stay equal to the legacy stats totals.
+  void PublishTo(MetricRegistry* metrics, const std::string& prefix) const {
+    metrics->Add(prefix + ".atom_attempts", atom_attempts);
+    metrics->Add(prefix + ".backtracks", backtracks);
+    metrics->Add(prefix + ".index_probes", index_probes);
+    metrics->Add(prefix + ".index_candidates", index_candidates);
+    metrics->Add(prefix + ".scan_candidates", scan_candidates);
   }
 };
 
@@ -47,6 +70,12 @@ struct HomSearchStats {
 struct HomSearchOptions {
   bool use_index = true;
   ExecContext exec;
+  /// Optional observability sinks (spans + metrics), carried next to `exec`
+  /// and borrowed from the caller. The UCQ containment entry points publish
+  /// their run's stats under `cq.contain.hom.*` and emit `ucq/*` spans;
+  /// plain evaluation entry points do not publish (their callers own the
+  /// run boundary). See DESIGN.md §12.
+  const ObsContext* obs = nullptr;
 };
 
 /// Searches for a homomorphism from the body of `cq` into `db` that extends

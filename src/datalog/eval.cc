@@ -48,16 +48,18 @@ FiredRule FireRule(const Rule& rule, const Database& db, const Database* delta,
   return out;
 }
 
-}  // namespace
-
-Result<Database> EvaluateProgram(const DatalogProgram& program,
-                                 const Database& edb,
-                                 const EvalOptions& options,
-                                 DatalogEvalStats* stats) {
+Result<Database> EvaluateProgramImpl(const DatalogProgram& program,
+                                     const Database& edb,
+                                     const EvalOptions& options,
+                                     DatalogEvalStats* stats) {
   QCONT_RETURN_IF_ERROR(program.Validate());
+  ObsSpan eval_span(options.obs, "datalog/eval", "datalog");
+  eval_span.AddArg("rules", program.rules().size());
   Database all = edb;
+  all.set_obs(options.obs);
   HomSearchOptions hom_options;
   hom_options.use_index = options.use_index;
+  std::uint64_t round = 0;
 
   if (options.strategy == EvalStrategy::kNaive) {
     // The naive reference strategy is deliberately serial: each rule in a
@@ -66,6 +68,8 @@ Result<Database> EvaluateProgram(const DatalogProgram& program,
     bool changed = true;
     while (changed) {
       changed = false;
+      ObsSpan round_span(options.obs, "datalog/round", "datalog");
+      round_span.AddArg("round", round++);
       if (stats != nullptr) ++stats->iterations;
       for (const Rule& rule : program.rules()) {
         FiredRule fired = FireRule(rule, all, nullptr, -1, hom_options);
@@ -87,20 +91,29 @@ Result<Database> EvaluateProgram(const DatalogProgram& program,
   // Round 0 stays serial: like the naive rounds, each rule sees the facts
   // added by the rules before it.
   Database delta(all.pool());
-  if (stats != nullptr) ++stats->iterations;
-  for (const Rule& rule : program.rules()) {
-    FiredRule fired = FireRule(rule, all, nullptr, -1, hom_options);
-    if (stats != nullptr) stats->Merge(fired.stats);
-    for (Tuple& t : fired.tuples) {
-      if (all.AddFact(rule.head.predicate(), t)) {
-        delta.AddFact(rule.head.predicate(), std::move(t));
-        if (stats != nullptr) ++stats->derived_facts;
+  delta.set_obs(options.obs);
+  {
+    ObsSpan round_span(options.obs, "datalog/round", "datalog");
+    round_span.AddArg("round", round++);
+    if (stats != nullptr) ++stats->iterations;
+    for (const Rule& rule : program.rules()) {
+      FiredRule fired = FireRule(rule, all, nullptr, -1, hom_options);
+      if (stats != nullptr) stats->Merge(fired.stats);
+      for (Tuple& t : fired.tuples) {
+        if (all.AddFact(rule.head.predicate(), t)) {
+          delta.AddFact(rule.head.predicate(), std::move(t));
+          if (stats != nullptr) ++stats->derived_facts;
+        }
       }
     }
+    round_span.AddArg("delta_facts", delta.NumFacts());
   }
   while (delta.NumFacts() > 0) {
+    ObsSpan round_span(options.obs, "datalog/round", "datalog");
+    round_span.AddArg("round", round++);
     if (stats != nullptr) ++stats->iterations;
     Database next_delta(all.pool());
+    next_delta.set_obs(options.obs);
     // The (rule, delta position) joins of a round are independent: they
     // only read `all` and `delta`, which are frozen until the barrier. Each
     // runs as its own pool task into a private FiredRule; the buffers are
@@ -119,8 +132,11 @@ Result<Database> EvaluateProgram(const DatalogProgram& program,
         joins.push_back(DeltaJoin{&rule, static_cast<int>(i)});
       }
     }
+    round_span.AddArg("joins", joins.size());
     std::vector<FiredRule> fired = ParallelMap<FiredRule>(
         options.exec, joins.size(), [&](std::size_t t) {
+          ObsSpan join_span(options.obs, "datalog/delta_join", "datalog");
+          join_span.AddArg("task", t);
           return FireRule(*joins[t].rule, all, &delta, joins[t].position,
                           hom_options);
         });
@@ -138,9 +154,37 @@ Result<Database> EvaluateProgram(const DatalogProgram& program,
         if (all.AddFact(rel, t) && stats != nullptr) ++stats->derived_facts;
       }
     }
+    round_span.AddArg("delta_facts", next_delta.NumFacts());
     delta = std::move(next_delta);
   }
   return all;
+}
+
+}  // namespace
+
+// Publish funnel: with a metric sink attached, gather the run's counters
+// into a run-local struct, publish once at the end (the same deltas that
+// merge into the caller's legacy sink), and mirror the working database's
+// index counters as `db.*` gauges.
+Result<Database> EvaluateProgram(const DatalogProgram& program,
+                                 const Database& edb,
+                                 const EvalOptions& options,
+                                 DatalogEvalStats* stats) {
+  MetricRegistry* metrics = ObsMetrics(options.obs);
+  if (metrics == nullptr) {
+    return EvaluateProgramImpl(program, edb, options, stats);
+  }
+  DatalogEvalStats run;
+  Result<Database> result = EvaluateProgramImpl(program, edb, options, &run);
+  run.PublishTo(metrics, "datalog.eval");
+  if (result.ok()) {
+    const DatabaseIndexStats idx = (*result).index_stats();
+    metrics->SetGauge("db.indexes_built", idx.indexes_built);
+    metrics->SetGauge("db.probes", idx.probes);
+    metrics->SetGauge("db.rows_indexed", idx.rows_indexed);
+  }
+  if (stats != nullptr) stats->Merge(run);
+  return result;
 }
 
 Result<Database> EvaluateProgram(const DatalogProgram& program,

@@ -20,16 +20,35 @@ namespace qcont {
 /// barrier under parallel evaluation), never through a pointer shared
 /// across firings — totals are identical for every thread count.
 struct DatalogEvalStats {
+  /// Fixpoint rounds executed (naive sweeps, or semi-naive round 0 plus one
+  /// per non-empty delta). Accumulates across runs.
   std::uint64_t iterations = 0;
-  std::uint64_t rule_firings = 0;      // rule body matches found
-  std::uint64_t derived_facts = 0;     // new facts added over the run
-  HomSearchStats hom;                  // aggregated join-search counters
+  /// Rule body matches found (head tuples produced, before dedup against
+  /// the database). Accumulates across runs.
+  std::uint64_t rule_firings = 0;
+  /// Facts actually added to the database over the run (after dedup).
+  /// Accumulates across runs.
+  std::uint64_t derived_facts = 0;
+  /// Join-substrate counters aggregated over every rule firing, so index
+  /// effectiveness (index_candidates vs scan_candidates) is visible per
+  /// run. Accumulates across runs.
+  HomSearchStats hom;
 
   void Merge(const DatalogEvalStats& other) {
     iterations += other.iterations;
     rule_firings += other.rule_firings;
     derived_facts += other.derived_facts;
     hom.Merge(other.hom);
+  }
+
+  /// Publishes every field as a counter `<prefix>.<field>` (hom counters
+  /// under `<prefix>.hom.*`). Call once per run with run-local deltas so
+  /// registry totals stay equal to the legacy stats totals.
+  void PublishTo(MetricRegistry* metrics, const std::string& prefix) const {
+    metrics->Add(prefix + ".iterations", iterations);
+    metrics->Add(prefix + ".rule_firings", rule_firings);
+    metrics->Add(prefix + ".derived_facts", derived_facts);
+    hom.PublishTo(metrics, prefix + ".hom");
   }
 };
 
@@ -50,6 +69,12 @@ struct EvalOptions {
   EvalStrategy strategy = EvalStrategy::kSemiNaive;
   bool use_index = true;
   ExecContext exec;
+  /// Optional observability sinks, borrowed from the caller. Each
+  /// EvaluateProgram run emits `datalog/eval`, `datalog/round` and
+  /// `datalog/delta_join` spans plus `db/index_build` spans from the
+  /// working database, publishes its stats under `datalog.eval.*`, and
+  /// snapshots the working database's index counters into `db.*` gauges.
+  const ObsContext* obs = nullptr;
 };
 
 /// Computes F^∞(D): the database `edb` extended with all derived

@@ -6,9 +6,11 @@ namespace qcont {
 
 std::set<std::string> RpqReachableFrom(const Nfa& nfa, const GraphDatabase& g,
                                        const std::string& source,
-                                       RpqEvalStats* stats) {
+                                       RpqEvalStats* stats,
+                                       const ObsContext* obs) {
   std::set<std::string> result;
   if (nfa.num_states() == 0) return result;
+  std::uint64_t run_product_states = 0;
   std::set<std::pair<std::string, int>> visited;
   std::queue<std::pair<std::string, int>> frontier;
   for (int s : nfa.EpsilonClosure({nfa.initial()})) {
@@ -17,7 +19,7 @@ std::set<std::string> RpqReachableFrom(const Nfa& nfa, const GraphDatabase& g,
   while (!frontier.empty()) {
     auto [node, state] = frontier.front();
     frontier.pop();
-    if (stats != nullptr) ++stats->product_states;
+    ++run_product_states;
     if (nfa.IsAccepting(state)) result.insert(node);
     for (const auto& [symbol, next_state] : nfa.TransitionsFrom(state)) {
       for (const std::string& next_node : g.Successors(node, symbol)) {
@@ -29,17 +31,25 @@ std::set<std::string> RpqReachableFrom(const Nfa& nfa, const GraphDatabase& g,
       }
     }
   }
+  // product_states is bumped per BFS pop (hot), so the registry gets one
+  // publish per BFS — the same delta the legacy sink receives.
+  if (stats != nullptr) stats->product_states += run_product_states;
+  ObsCount(obs, "rpq.product_states", run_product_states);
   return result;
 }
 
 std::vector<std::pair<std::string, std::string>> EvaluateRpq(
-    const Nfa& nfa, const GraphDatabase& g, RpqEvalStats* stats) {
+    const Nfa& nfa, const GraphDatabase& g, RpqEvalStats* stats,
+    const ObsContext* obs) {
+  ObsSpan eval_span(obs, "rpq/eval", "graphdb");
   std::vector<std::pair<std::string, std::string>> out;
   for (const std::string& source : g.Nodes()) {
-    for (const std::string& target : RpqReachableFrom(nfa, g, source, stats)) {
+    for (const std::string& target :
+         RpqReachableFrom(nfa, g, source, stats, obs)) {
       out.emplace_back(source, target);
     }
   }
+  eval_span.AddArg("pairs", out.size());
   return out;
 }
 

@@ -9,12 +9,16 @@
 
 #include "automata/nfa.h"
 #include "graphdb/graph_db.h"
+#include "obs/obs.h"
 
 namespace qcont {
 
 /// Counters for the product-BFS evaluation.
 struct RpqEvalStats {
-  std::uint64_t product_states = 0;  // (node, nfa-state) pairs visited
+  /// (node, nfa-state) product pairs visited (hot: one per BFS pop).
+  /// Accumulates across runs; registry mirror: counter
+  /// `rpq.product_states`, published once per BFS at the end.
+  std::uint64_t product_states = 0;
 };
 
 /// Nodes reachable from `source` by a path of G± whose label is accepted by
@@ -22,12 +26,14 @@ struct RpqEvalStats {
 /// product of the graph completion and the NFA.
 std::set<std::string> RpqReachableFrom(const Nfa& nfa, const GraphDatabase& g,
                                        const std::string& source,
-                                       RpqEvalStats* stats = nullptr);
+                                       RpqEvalStats* stats = nullptr,
+                                       const ObsContext* obs = nullptr);
 
 /// Full 2RPQ evaluation L(G): all node pairs (v, v') connected by an
 /// accepted path. Quadratic-ish: one product BFS per source node.
 std::vector<std::pair<std::string, std::string>> EvaluateRpq(
-    const Nfa& nfa, const GraphDatabase& g, RpqEvalStats* stats = nullptr);
+    const Nfa& nfa, const GraphDatabase& g, RpqEvalStats* stats = nullptr,
+    const ObsContext* obs = nullptr);
 
 }  // namespace qcont
 

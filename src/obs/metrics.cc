@@ -1,0 +1,100 @@
+#include "obs/metrics.h"
+
+#include "base/check.h"
+
+namespace qcont {
+
+namespace {
+// Registry serials validate the one-entry thread-local shard cache: a new
+// registry constructed at a recycled address gets a fresh serial, so a
+// stale cache entry can never alias it.
+std::atomic<std::uint64_t> g_registry_serial{1};
+}  // namespace
+
+MetricRegistry::MetricRegistry()
+    : serial_(g_registry_serial.fetch_add(1, std::memory_order_relaxed)) {}
+
+MetricRegistry::~MetricRegistry() = default;
+
+int MetricRegistry::Id(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  QCONT_CHECK_MSG(gauges_.find(name) == gauges_.end(),
+                  "metric name already used as a gauge");
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  QCONT_CHECK_MSG(names_.size() < static_cast<std::size_t>(kMaxMetrics),
+                  "MetricRegistry counter name space exhausted");
+  const int id = static_cast<int>(names_.size());
+  names_.push_back(name);
+  ids_.emplace(name, id);
+  return id;
+}
+
+MetricRegistry::Shard* MetricRegistry::ShardForThisThread() {
+  struct TlsCache {
+    const MetricRegistry* reg = nullptr;
+    std::uint64_t serial = 0;
+    Shard* shard = nullptr;
+  };
+  static thread_local TlsCache cache;
+  if (cache.reg == this && cache.serial == serial_) return cache.shard;
+  std::lock_guard<std::mutex> lock(mu_);
+  Shard*& slot = shard_of_[std::this_thread::get_id()];
+  if (slot == nullptr) {
+    shards_.push_back(std::make_unique<Shard>());
+    slot = shards_.back().get();
+  }
+  cache = TlsCache{this, serial_, slot};
+  return slot;
+}
+
+void MetricRegistry::Add(int id, std::uint64_t delta) {
+  QCONT_CHECK_MSG(id >= 0 && id < kMaxMetrics, "metric id out of range");
+  ShardForThisThread()->slots[id].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void MetricRegistry::Add(const std::string& name, std::uint64_t delta) {
+  Add(Id(name), delta);
+}
+
+void MetricRegistry::SetGauge(const std::string& name, std::uint64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  QCONT_CHECK_MSG(ids_.find(name) == ids_.end(),
+                  "metric name already used as a counter");
+  gauges_[name] = value;
+}
+
+std::map<std::string, std::uint64_t> MetricRegistry::Snapshot() const {
+  std::map<std::string, std::uint64_t> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    std::uint64_t sum = 0;
+    for (const auto& shard : shards_) {
+      sum += shard->slots[i].load(std::memory_order_relaxed);
+    }
+    out[names_[i]] = sum;
+  }
+  for (const auto& [name, value] : gauges_) out[name] = value;
+  return out;
+}
+
+std::uint64_t MetricRegistry::Value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ids_.find(name);
+  if (it != ids_.end()) {
+    std::uint64_t sum = 0;
+    for (const auto& shard : shards_) {
+      sum += shard->slots[it->second].load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+  auto gauge = gauges_.find(name);
+  return gauge != gauges_.end() ? gauge->second : 0;
+}
+
+std::size_t MetricRegistry::num_shards() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shards_.size();
+}
+
+}  // namespace qcont

@@ -1,0 +1,101 @@
+#ifndef QCONT_OBS_METRICS_H_
+#define QCONT_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace qcont {
+
+/// A registry of named metrics, designed so that the engine hot paths can
+/// bump counters from pool workers without ever contending on a lock.
+///
+/// Two metric families, in disjoint name spaces (a name must not be used as
+/// both — `SetGauge` on a counter name, or `Add` on a gauge name, trips a
+/// check):
+///
+///  - **Counters** are monotonic accumulators. Each thread that calls
+///    `Add` gets its own *shard* (a fixed array of relaxed atomics, created
+///    once per thread under the registry mutex and cached thread-locally),
+///    so concurrent `Add`s never share a cache line with a lock and never
+///    wait on each other; `Snapshot`/`Value` sum the shards. Counter totals
+///    inherit the engines' determinism contract: the per-thread split is
+///    schedule-dependent, the sum is not.
+///  - **Gauges** are last-write-wins snapshot values (`SetGauge`), for
+///    quantities with assignment semantics such as `typeengine.kinds` or
+///    `decomp.width_used`. Gauges are rare and mutex-guarded.
+///
+/// The canonical metric names emitted by the engines are catalogued in
+/// DESIGN.md §12. The registry itself is name-agnostic.
+///
+/// Lifetime: shards are owned by the registry; a thread that exits simply
+/// leaves its shard behind (counters are never lost). A thread id reused by
+/// the OS after a thread exit may alias the old thread's shard, which is
+/// harmless for monotonic sums. Destroying a registry while another thread
+/// is still adding to it is a caller bug, as with any object.
+class MetricRegistry {
+ public:
+  /// Capacity of a shard: at most this many distinct counter names per
+  /// registry. The engines define ~50 canonical names; the rest is user
+  /// headroom. Exceeding it is a programming error (checked).
+  static constexpr int kMaxMetrics = 256;
+
+  MetricRegistry();
+  ~MetricRegistry();
+
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Interns `name` as a counter and returns its dense id (stable for the
+  /// registry's lifetime). Idempotent; mutex-guarded — resolve once and
+  /// reuse the id on genuinely hot paths.
+  int Id(const std::string& name);
+
+  /// Adds `delta` to the counter `id` via the calling thread's shard.
+  /// Lock-free after the thread's first call into this registry.
+  void Add(int id, std::uint64_t delta);
+
+  /// Convenience: `Add(Id(name), delta)`. Pays the id-lookup mutex; meant
+  /// for merge points and flush paths, not per-tuple loops.
+  void Add(const std::string& name, std::uint64_t delta);
+
+  /// Sets the gauge `name` to `value` (last write wins).
+  void SetGauge(const std::string& name, std::uint64_t value);
+
+  /// All metrics by name: counters summed over the shards, gauges at their
+  /// last set value. Safe to call concurrently with `Add` (in-flight adds
+  /// land in this snapshot or the next one, never nowhere).
+  std::map<std::string, std::uint64_t> Snapshot() const;
+
+  /// Value of one metric (counter sum or gauge); 0 if never touched.
+  std::uint64_t Value(const std::string& name) const;
+
+  /// Number of per-thread shards created so far (diagnostics/tests).
+  std::size_t num_shards() const;
+
+ private:
+  struct Shard {
+    std::array<std::atomic<std::uint64_t>, kMaxMetrics> slots{};
+  };
+
+  Shard* ShardForThisThread();
+
+  const std::uint64_t serial_;  // process-unique; validates the TLS cache
+  mutable std::mutex mu_;       // names, gauges, shard registration
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, int> ids_;
+  std::map<std::string, std::uint64_t> gauges_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unordered_map<std::thread::id, Shard*> shard_of_;
+};
+
+}  // namespace qcont
+
+#endif  // QCONT_OBS_METRICS_H_

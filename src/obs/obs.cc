@@ -1,0 +1,31 @@
+#include "obs/obs.h"
+
+#ifndef QCONT_OBS_NOOP
+
+#include "base/thread_pool.h"
+
+namespace qcont {
+
+ObsSpan::ObsSpan(const ObsContext* obs, const char* name, const char* cat) {
+  if (obs == nullptr || obs->trace == nullptr) return;
+  session_ = obs->trace;
+  event_.name = name;
+  event_.cat = cat;
+  event_.tid = ThreadPool::CurrentWorkerId() + 1;
+  event_.ts_us = session_->NowUs();
+}
+
+ObsSpan::~ObsSpan() {
+  if (session_ == nullptr) return;
+  event_.dur_us = session_->NowUs() - event_.ts_us;
+  session_->Record(std::move(event_));
+}
+
+void ObsSpan::AddArg(const char* key, std::uint64_t value) {
+  if (session_ == nullptr) return;
+  event_.args.emplace_back(key, value);
+}
+
+}  // namespace qcont
+
+#endif  // QCONT_OBS_NOOP

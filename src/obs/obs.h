@@ -1,0 +1,108 @@
+#ifndef QCONT_OBS_OBS_H_
+#define QCONT_OBS_OBS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+// QCONT_OBS_NOOP compiles the observability hooks out entirely: ObsSpan
+// becomes an empty object and ObsCount/ObsGauge empty inline functions, so
+// the engines carry zero instrumentation cost (not even the null-pointer
+// branch). Configure with -DQCONT_OBS_NOOP=ON. Without it, an engine run
+// with `obs == nullptr` (the default everywhere) pays one predictable
+// branch per span/counter site — measured in DESIGN.md §12.
+
+namespace qcont {
+
+/// The observability context threaded through the engine option structs
+/// (`HomSearchOptions`, `EvalOptions`, `TypeEngineOptions`, the ACk/ACRk
+/// limits, ...), carried next to `ExecContext`. Both sinks are optional and
+/// caller-owned; a null sink disables that half independently. The engines
+/// never block on either: counters go through per-thread registry shards,
+/// spans close at phase granularity.
+struct ObsContext {
+  MetricRegistry* metrics = nullptr;  // counter/gauge sink
+  TraceSession* trace = nullptr;      // span sink
+};
+
+/// Adds `delta` to counter `name` if `obs` carries a metric sink.
+inline void ObsCount(const ObsContext* obs, const std::string& name,
+                     std::uint64_t delta) {
+#ifndef QCONT_OBS_NOOP
+  if (obs != nullptr && obs->metrics != nullptr) obs->metrics->Add(name, delta);
+#else
+  (void)obs;
+  (void)name;
+  (void)delta;
+#endif
+}
+
+/// The metric sink of `obs`, or null if absent (always null under
+/// QCONT_OBS_NOOP, so publication code guarded by this folds away). The
+/// engines use this as the single gate for their run-local publish step.
+inline MetricRegistry* ObsMetrics(const ObsContext* obs) {
+#ifndef QCONT_OBS_NOOP
+  return obs != nullptr ? obs->metrics : nullptr;
+#else
+  (void)obs;
+  return nullptr;
+#endif
+}
+
+/// Sets gauge `name` to `value` if `obs` carries a metric sink.
+inline void ObsGauge(const ObsContext* obs, const std::string& name,
+                     std::uint64_t value) {
+#ifndef QCONT_OBS_NOOP
+  if (obs != nullptr && obs->metrics != nullptr) {
+    obs->metrics->SetGauge(name, value);
+  }
+#else
+  (void)obs;
+  (void)name;
+  (void)value;
+#endif
+}
+
+#ifndef QCONT_OBS_NOOP
+
+/// RAII span: opens on construction, records a complete TraceEvent into the
+/// context's TraceSession on destruction. A null `obs` (or null trace sink)
+/// makes every member a cheap no-op, so spans can be placed unconditionally.
+/// The event's `tid` is the pool worker id + 1 when constructed on a
+/// `ThreadPool` worker, 0 otherwise — parallel phases render as one lane
+/// per worker in Perfetto.
+class ObsSpan {
+ public:
+  ObsSpan(const ObsContext* obs, const char* name, const char* cat = "qcont");
+  ~ObsSpan();
+
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+  /// Attaches an integer argument (rendered by the trace viewers). Callable
+  /// any time before destruction, so results computed inside the span can
+  /// be attached on the way out.
+  void AddArg(const char* key, std::uint64_t value);
+
+ private:
+  TraceSession* session_ = nullptr;
+  TraceEvent event_;
+};
+
+#else  // QCONT_OBS_NOOP
+
+class ObsSpan {
+ public:
+  ObsSpan(const ObsContext*, const char*, const char* = "qcont") {}
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+  void AddArg(const char*, std::uint64_t) {}
+};
+
+#endif  // QCONT_OBS_NOOP
+
+}  // namespace qcont
+
+#endif  // QCONT_OBS_OBS_H_

@@ -1,0 +1,106 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace qcont {
+
+namespace {
+
+// Escapes a string for a JSON string literal. Span names are code-chosen
+// ([a-z0-9_/.] by convention), but arg keys and categories flow through
+// here too, so stay correct for arbitrary input.
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendNumber(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  *out += buf;
+}
+
+}  // namespace
+
+void TraceSession::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+std::size_t TraceSession::NumEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceSession::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::map<std::string, double> TraceSession::DurationTotalsUs() const {
+  std::map<std::string, double> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const TraceEvent& e : events_) out[e.name] += e.dur_us;
+  return out;
+}
+
+std::string TraceSession::ToJson() const {
+  const std::vector<TraceEvent> events = Events();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":\"";
+    AppendEscaped(&out, e.name);
+    out += "\",\"cat\":\"";
+    AppendEscaped(&out, e.cat);
+    out += "\",\"ph\":\"X\",\"ts\":";
+    AppendNumber(&out, e.ts_us);
+    out += ",\"dur\":";
+    AppendNumber(&out, e.dur_us);
+    out += ",\"pid\":1,\"tid\":" + std::to_string(e.tid);
+    if (!e.args.empty()) {
+      out += ",\"args\":{";
+      bool first_arg = true;
+      for (const auto& [key, value] : e.args) {
+        if (!first_arg) out += ",";
+        first_arg = false;
+        out += "\"";
+        AppendEscaped(&out, key);
+        out += "\":" + std::to_string(value);
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+Status TraceSession::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return InvalidArgumentError("cannot open trace file: " + path);
+  out << ToJson();
+  out.flush();
+  if (!out) return InternalError("failed writing trace file: " + path);
+  return Status::Ok();
+}
+
+}  // namespace qcont

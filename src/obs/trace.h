@@ -1,0 +1,81 @@
+#ifndef QCONT_OBS_TRACE_H_
+#define QCONT_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+
+namespace qcont {
+
+/// One completed span, Chrome trace_event flavoured: a "complete" event
+/// (`"ph":"X"`) with a wall-clock interval and integer args. Timestamps are
+/// microseconds since the owning session's construction (steady clock).
+struct TraceEvent {
+  std::string name;  // span name, `<engine>/<phase>` (DESIGN.md §12)
+  std::string cat;   // coarse category, e.g. "qcont", "cli", "db"
+  double ts_us = 0;  // start, µs since session start
+  double dur_us = 0; // duration, µs
+  int tid = 0;       // 0 = calling thread, w+1 = pool worker w
+  std::vector<std::pair<std::string, std::uint64_t>> args;
+};
+
+/// Collects TraceEvents and serializes them as Chrome trace_event JSON
+/// (the JSON-array-of-objects form under "traceEvents"), loadable in
+/// Perfetto / chrome://tracing. Recording is mutex-guarded: spans close at
+/// phase granularity (fixpoint rounds, grid cells, index builds), far below
+/// any contention-relevant frequency.
+///
+/// Wall-clock times are machine- and schedule-dependent by nature; a trace
+/// is a profile, never a benchmark-shape signal (counters are — see the
+/// determinism contract in DESIGN.md §11/§12).
+class TraceSession {
+ public:
+  TraceSession() : start_(std::chrono::steady_clock::now()) {}
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Microseconds elapsed since the session was constructed.
+  double NowUs() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  /// Appends one completed event. Thread-safe.
+  void Record(TraceEvent event);
+
+  std::size_t NumEvents() const;
+
+  /// Copy of all events recorded so far, in recording order.
+  std::vector<TraceEvent> Events() const;
+
+  /// Total recorded duration (µs) per span name — the per-phase wall-time
+  /// aggregation used by the benchmark JSON columns. Nested spans are *not*
+  /// de-overlapped: a parent's total includes time also attributed to its
+  /// children (exactly as chrome://tracing renders it).
+  std::map<std::string, double> DurationTotalsUs() const;
+
+  /// The full trace as Chrome trace_event JSON:
+  /// `{"traceEvents":[...], "displayTimeUnit":"ms"}`. Schema documented in
+  /// DESIGN.md §12 and machine-checked by tools/check_trace.py.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  const std::chrono::steady_clock::time_point start_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace qcont
+
+#endif  // QCONT_OBS_TRACE_H_

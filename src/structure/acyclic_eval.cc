@@ -26,8 +26,8 @@ struct AtomRelation {
 // positions bound by constants or fixed variables are served through the
 // database's position-mask hash index instead of a full relation scan.
 AtomRelation BuildAtomRelation(const Atom& atom, const Database& db,
-                               const Assignment& fixed,
-                               YannakakisStats* stats) {
+                               const Assignment& fixed, YannakakisStats* stats,
+                               const ObsContext* obs) {
   AtomRelation rel;
   for (const Term& t : atom.Variables()) rel.vars.push_back(t.name());
   const std::size_t arity = atom.arity();
@@ -63,6 +63,7 @@ AtomRelation BuildAtomRelation(const Atom& atom, const Database& db,
   if (mask != 0) {
     bucket = &db.Probe(atom.predicate(), mask, probe_key);
     if (stats != nullptr) ++stats->index_probes;
+    ObsCount(obs, "yannakakis.index_probes", 1);
   }
   auto try_row = [&](const std::vector<ValueId>& row) {
     if (row.size() != arity) return;
@@ -103,13 +104,16 @@ void SharedPositions(const AtomRelation& a, const AtomRelation& b,
 // target := target ⋉ source (keep target rows whose shared-variable
 // projection appears in source).
 void Semijoin(AtomRelation* target, const AtomRelation& source,
-              YannakakisStats* stats) {
+              YannakakisStats* stats, const ObsContext* obs) {
   std::vector<int> pos_t, pos_s;
   SharedPositions(*target, source, &pos_t, &pos_s);
   if (stats != nullptr) {
     ++stats->semijoins;
     stats->tuples_scanned += target->rows.size() + source.rows.size();
   }
+  ObsCount(obs, "yannakakis.semijoins", 1);
+  ObsCount(obs, "yannakakis.tuples_scanned",
+           target->rows.size() + source.rows.size());
   if (pos_t.empty()) {
     // No shared variables: the semijoin only empties target if source is
     // empty (no supporting tuple at all).
@@ -159,19 +163,22 @@ struct ReducedQuery {
 
 Result<ReducedQuery> UpwardReduce(const ConjunctiveQuery& cq,
                                   const Database& db, const Assignment& fixed,
-                                  YannakakisStats* stats) {
+                                  YannakakisStats* stats,
+                                  const ObsContext* obs) {
   QCONT_RETURN_IF_ERROR(cq.Validate());
   QCONT_ASSIGN_OR_RETURN(JoinTree jt, BuildJoinTree(cq));
+  ObsSpan reduce_span(obs, "yannakakis/upward_reduce", "structure");
+  reduce_span.AddArg("atoms", cq.atoms().size());
   ReducedQuery out;
   out.jt = std::move(jt);
   out.relations.reserve(cq.atoms().size());
   for (const Atom& a : cq.atoms()) {
-    out.relations.push_back(BuildAtomRelation(a, db, fixed, stats));
+    out.relations.push_back(BuildAtomRelation(a, db, fixed, stats, obs));
   }
   for (int v : PostOrder(out.jt)) {
     int p = out.jt.parent[v];
     if (p >= 0) {
-      Semijoin(&out.relations[p], out.relations[v], stats);
+      Semijoin(&out.relations[p], out.relations[v], stats, obs);
     } else if (out.relations[v].rows.empty()) {
       out.empty_component = true;
     }
@@ -182,25 +189,28 @@ Result<ReducedQuery> UpwardReduce(const ConjunctiveQuery& cq,
 }  // namespace
 
 Result<bool> AcyclicSatisfiable(const ConjunctiveQuery& cq, const Database& db,
-                                const Assignment& fixed,
-                                YannakakisStats* stats) {
+                                const Assignment& fixed, YannakakisStats* stats,
+                                const ObsContext* obs) {
   if (cq.atoms().empty()) return true;
   QCONT_ASSIGN_OR_RETURN(ReducedQuery reduced,
-                         UpwardReduce(cq, db, fixed, stats));
+                         UpwardReduce(cq, db, fixed, stats, obs));
   return !reduced.empty_component;
 }
 
 Result<std::vector<Tuple>> EvaluateAcyclicCq(const ConjunctiveQuery& cq,
                                              const Database& db,
-                                             YannakakisStats* stats) {
+                                             YannakakisStats* stats,
+                                             const ObsContext* obs) {
   if (cq.atoms().empty()) {
     return std::vector<Tuple>{Tuple{}};
   }
   if (cq.IsBoolean()) {
-    QCONT_ASSIGN_OR_RETURN(bool sat, AcyclicSatisfiable(cq, db, {}, stats));
+    QCONT_ASSIGN_OR_RETURN(bool sat,
+                           AcyclicSatisfiable(cq, db, {}, stats, obs));
     return sat ? std::vector<Tuple>{Tuple{}} : std::vector<Tuple>{};
   }
   QCONT_RETURN_IF_ERROR(cq.Validate());
+  ObsSpan enum_span(obs, "yannakakis/enumerate", "structure");
   // Candidate values per head variable: the intersection, over the atoms
   // containing it, of the values the atom's candidate tuples allow. The
   // answer set is then computed with one Yannakakis satisfiability check
@@ -215,7 +225,7 @@ Result<std::vector<Tuple>> EvaluateAcyclicCq(const ConjunctiveQuery& cq,
   }
   std::unordered_map<std::string, std::set<ValueId>> candidates;
   for (const Atom& atom : cq.atoms()) {
-    AtomRelation rel = BuildAtomRelation(atom, db, /*fixed=*/{}, stats);
+    AtomRelation rel = BuildAtomRelation(atom, db, /*fixed=*/{}, stats, obs);
     for (std::size_t i = 0; i < rel.vars.size(); ++i) {
       if (std::find(head_vars.begin(), head_vars.end(), rel.vars[i]) ==
           head_vars.end()) {
@@ -238,7 +248,8 @@ Result<std::vector<Tuple>> EvaluateAcyclicCq(const ConjunctiveQuery& cq,
   std::function<Status(std::size_t)> try_assign =
       [&](std::size_t i) -> Status {
     if (i == head_vars.size()) {
-      QCONT_ASSIGN_OR_RETURN(bool sat, AcyclicSatisfiable(cq, db, fixed, stats));
+      QCONT_ASSIGN_OR_RETURN(bool sat,
+                             AcyclicSatisfiable(cq, db, fixed, stats, obs));
       if (sat) {
         Tuple head;
         head.reserve(cq.head().size());
@@ -260,13 +271,15 @@ Result<std::vector<Tuple>> EvaluateAcyclicCq(const ConjunctiveQuery& cq,
 
 Result<bool> CqContainedAcyclicRhs(const ConjunctiveQuery& theta,
                                    const ConjunctiveQuery& theta_prime,
-                                   YannakakisStats* stats) {
+                                   YannakakisStats* stats,
+                                   const ObsContext* obs) {
   QCONT_RETURN_IF_ERROR(theta.Validate());
   QCONT_RETURN_IF_ERROR(theta_prime.Validate());
   if (theta.arity() != theta_prime.arity()) {
     return InvalidArgumentError("arity mismatch in containment test");
   }
   Database canonical = CanonicalDatabase(theta);
+  canonical.set_obs(obs);
   Tuple frozen = CanonicalHead(theta);
   Assignment fixed;
   for (std::size_t i = 0; i < theta_prime.head().size(); ++i) {
@@ -278,18 +291,20 @@ Result<bool> CqContainedAcyclicRhs(const ConjunctiveQuery& theta,
       fixed.emplace(var, frozen[i]);
     }
   }
-  return AcyclicSatisfiable(theta_prime, canonical, fixed, stats);
+  return AcyclicSatisfiable(theta_prime, canonical, fixed, stats, obs);
 }
 
 Result<bool> UcqContainedAcyclicRhs(const UnionQuery& theta,
                                     const UnionQuery& theta_prime,
-                                    YannakakisStats* stats) {
+                                    YannakakisStats* stats,
+                                    const ObsContext* obs) {
   QCONT_RETURN_IF_ERROR(theta.Validate());
   QCONT_RETURN_IF_ERROR(theta_prime.Validate());
   for (const ConjunctiveQuery& disjunct : theta.disjuncts()) {
     bool contained = false;
     for (const ConjunctiveQuery& rhs : theta_prime.disjuncts()) {
-      QCONT_ASSIGN_OR_RETURN(bool c, CqContainedAcyclicRhs(disjunct, rhs, stats));
+      QCONT_ASSIGN_OR_RETURN(
+          bool c, CqContainedAcyclicRhs(disjunct, rhs, stats, obs));
       if (c) {
         contained = true;
         break;

@@ -8,44 +8,60 @@
 #include "cq/database.h"
 #include "cq/homomorphism.h"
 #include "cq/query.h"
+#include "obs/obs.h"
 
 namespace qcont {
 
-/// Counters for the semijoin passes (benchmark signal).
+/// Counters for the semijoin passes (benchmark signal). The registry
+/// mirror (`yannakakis.*` counters) is written at the same bump sites as
+/// these fields — the sites fire at join-tree-edge/atom frequency, far
+/// below metric-overhead relevance — so the two views always agree.
 struct YannakakisStats {
+  /// Semijoin passes executed (one per join-tree edge per reduction pass).
+  /// Accumulates across runs; counter `yannakakis.semijoins`.
   std::uint64_t semijoins = 0;
+  /// Tuples inspected by semijoins (target + source sizes summed per pass).
+  /// Accumulates across runs; counter `yannakakis.tuples_scanned`.
   std::uint64_t tuples_scanned = 0;
-  std::uint64_t index_probes = 0;  // candidate lists served by a hash index
+  /// Candidate lists served by a database hash index instead of a full
+  /// relation scan. Accumulates; counter `yannakakis.index_probes`.
+  std::uint64_t index_probes = 0;
 };
 
 /// Decides whether the (acyclic) CQ has a homomorphism into `db` extending
 /// `fixed`, by Yannakakis' algorithm: per-atom candidate lists filtered by
 /// an upward semijoin pass over a join tree. Polynomial time.
 ///
-/// Returns kFailedPrecondition if `cq` is cyclic.
+/// Returns kFailedPrecondition if `cq` is cyclic. `obs` (optional,
+/// borrowed) receives `yannakakis/upward_reduce` spans and the
+/// `yannakakis.*` counters.
 Result<bool> AcyclicSatisfiable(const ConjunctiveQuery& cq, const Database& db,
                                 const Assignment& fixed = {},
-                                YannakakisStats* stats = nullptr);
+                                YannakakisStats* stats = nullptr,
+                                const ObsContext* obs = nullptr);
 
 /// Full evaluation of an acyclic CQ: full reduction (upward + downward
 /// semijoins) followed by join-tree enumeration. Returns the distinct head
 /// tuples. Returns kFailedPrecondition if `cq` is cyclic.
 Result<std::vector<Tuple>> EvaluateAcyclicCq(const ConjunctiveQuery& cq,
                                              const Database& db,
-                                             YannakakisStats* stats = nullptr);
+                                             YannakakisStats* stats = nullptr,
+                                             const ObsContext* obs = nullptr);
 
 /// CQ containment test theta ⊆ theta' where theta' is acyclic: the
 /// Chandra-Merlin test run with AcyclicSatisfiable — polynomial time, as in
 /// Theorem 4 / Proposition 1 of the paper for the class AC = HW(1).
 Result<bool> CqContainedAcyclicRhs(const ConjunctiveQuery& theta,
                                    const ConjunctiveQuery& theta_prime,
-                                   YannakakisStats* stats = nullptr);
+                                   YannakakisStats* stats = nullptr,
+                                   const ObsContext* obs = nullptr);
 
 /// UCQ containment with acyclic right-hand side (Sagiv-Yannakakis over
 /// CqContainedAcyclicRhs). Polynomial time.
 Result<bool> UcqContainedAcyclicRhs(const UnionQuery& theta,
                                     const UnionQuery& theta_prime,
-                                    YannakakisStats* stats = nullptr);
+                                    YannakakisStats* stats = nullptr,
+                                    const ObsContext* obs = nullptr);
 
 }  // namespace qcont
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "base/hash.h"
+#include "obs/obs.h"
 #include "structure/graph.h"
 
 namespace qcont {
@@ -57,10 +58,13 @@ RootedForest Root(std::size_t n, const std::vector<std::pair<int, int>>& edges) 
 
 }  // namespace
 
-Result<bool> BoundedWidthSatisfiable(const ConjunctiveQuery& cq,
-                                     const Database& db,
-                                     const Assignment& fixed,
-                                     DecompEvalStats* stats) {
+namespace {
+
+Result<bool> BoundedWidthSatisfiableImpl(const ConjunctiveQuery& cq,
+                                         const Database& db,
+                                         const Assignment& fixed,
+                                         DecompEvalStats* stats,
+                                         const ObsContext* obs) {
   QCONT_RETURN_IF_ERROR(cq.Validate());
   if (cq.atoms().empty()) return true;
 
@@ -68,6 +72,9 @@ Result<bool> BoundedWidthSatisfiable(const ConjunctiveQuery& cq,
   UndirectedGraph gaifman = GaifmanGraph(cq, &vars);
   TreeDecomposition td = DecompositionFromOrder(gaifman, MinFillOrder(gaifman));
   if (stats != nullptr) stats->width_used = td.Width();
+  ObsSpan dp_span(obs, "decomp/dp", "structure");
+  dp_span.AddArg("bags", td.bags.size());
+  dp_span.AddArg("width", static_cast<std::uint64_t>(td.Width()));
   RootedForest forest = Root(td.bags.size(), td.edges);
 
   // Assign every atom to a bag containing all of its variables; the
@@ -194,9 +201,38 @@ Result<bool> BoundedWidthSatisfiable(const ConjunctiveQuery& cq,
   return true;
 }
 
+}  // namespace
+
+// Publish funnel: `bag_assignments` is bumped per enumerated bag tuple (far
+// too hot for inline registry writes), so gather the run's deltas locally
+// and publish once at the end — the same deltas the legacy sink receives.
+Result<bool> BoundedWidthSatisfiable(const ConjunctiveQuery& cq,
+                                     const Database& db,
+                                     const Assignment& fixed,
+                                     DecompEvalStats* stats,
+                                     const ObsContext* obs) {
+  MetricRegistry* metrics = ObsMetrics(obs);
+  if (metrics == nullptr) {
+    return BoundedWidthSatisfiableImpl(cq, db, fixed, stats, obs);
+  }
+  DecompEvalStats run;
+  Result<bool> result = BoundedWidthSatisfiableImpl(cq, db, fixed, &run, obs);
+  metrics->Add("decomp.bag_assignments", run.bag_assignments);
+  if (run.width_used >= 0) {
+    metrics->SetGauge("decomp.width_used",
+                      static_cast<std::uint64_t>(run.width_used));
+  }
+  if (stats != nullptr) {
+    stats->bag_assignments += run.bag_assignments;
+    if (run.width_used >= 0) stats->width_used = run.width_used;
+  }
+  return result;
+}
+
 Result<bool> CqContainedBoundedTwRhs(const ConjunctiveQuery& theta,
                                      const ConjunctiveQuery& theta_prime,
-                                     DecompEvalStats* stats) {
+                                     DecompEvalStats* stats,
+                                     const ObsContext* obs) {
   QCONT_RETURN_IF_ERROR(theta.Validate());
   QCONT_RETURN_IF_ERROR(theta_prime.Validate());
   if (theta.arity() != theta_prime.arity()) {
@@ -214,7 +250,7 @@ Result<bool> CqContainedBoundedTwRhs(const ConjunctiveQuery& theta,
       fixed.emplace(var, frozen[i]);
     }
   }
-  return BoundedWidthSatisfiable(theta_prime, canonical, fixed, stats);
+  return BoundedWidthSatisfiable(theta_prime, canonical, fixed, stats, obs);
 }
 
 }  // namespace qcont

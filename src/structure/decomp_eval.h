@@ -7,13 +7,19 @@
 #include "cq/database.h"
 #include "cq/homomorphism.h"
 #include "cq/query.h"
+#include "obs/obs.h"
 #include "structure/tree_decomposition.h"
 
 namespace qcont {
 
 /// Counters for the bounded-treewidth dynamic program.
 struct DecompEvalStats {
-  std::uint64_t bag_assignments = 0;  // candidate bag tuples enumerated
+  /// Candidate bag tuples enumerated by the DP (hot: one per full bag
+  /// assignment tried). Accumulates across runs; registry mirror: counter
+  /// `decomp.bag_assignments`, published once per run at the end.
+  std::uint64_t bag_assignments = 0;
+  /// Width of the decomposition the last run used (-1 before any run).
+  /// Assigned per run; gauge `decomp.width_used`.
   int width_used = -1;
 };
 
@@ -28,13 +34,15 @@ struct DecompEvalStats {
 Result<bool> BoundedWidthSatisfiable(const ConjunctiveQuery& cq,
                                      const Database& db,
                                      const Assignment& fixed = {},
-                                     DecompEvalStats* stats = nullptr);
+                                     DecompEvalStats* stats = nullptr,
+                                     const ObsContext* obs = nullptr);
 
 /// CQ containment theta ⊆ theta' where theta' has bounded treewidth:
 /// Chandra-Merlin via BoundedWidthSatisfiable (Theorem 3 of the paper).
 Result<bool> CqContainedBoundedTwRhs(const ConjunctiveQuery& theta,
                                      const ConjunctiveQuery& theta_prime,
-                                     DecompEvalStats* stats = nullptr);
+                                     DecompEvalStats* stats = nullptr,
+                                     const ObsContext* obs = nullptr);
 
 }  // namespace qcont
 

@@ -18,6 +18,7 @@
 #include "cq/database.h"
 #include "cq/homomorphism.h"
 #include "datalog/eval.h"
+#include "obs/obs.h"
 #include "tests/generators.h"
 
 namespace qcont {
@@ -281,6 +282,38 @@ TEST(ParallelDeterminismTest, SemiNaiveEvalIsBitIdenticalAcrossThreadCounts) {
     EXPECT_EQ(*scan, *naive) << "trial " << trial;
   }
 }
+
+#ifndef QCONT_OBS_NOOP
+TEST(ParallelDeterminismTest, MetricRegistryTotalsAreThreadCountInvariant) {
+  // The registry mirrors inherit the determinism contract checked above:
+  // per-shard splits are schedule-dependent, the summed snapshot is not.
+  std::mt19937 rng(99);
+  const testgen::SchemaSpec schema = testgen::SmallSchema();
+  for (int trial = 0; trial < 5; ++trial) {
+    Database edb = testgen::RandomDatabase(&rng, schema, 4, 12);
+    DatalogProgram program = testgen::RandomLinearProgram(&rng, schema, 2);
+    if (!program.Validate().ok()) continue;
+    std::map<std::string, std::uint64_t> reference;
+    for (int threads : kThreadCounts) {
+      MetricRegistry registry;
+      ObsContext obs{&registry, nullptr};
+      EvalOptions options;
+      options.exec.threads = threads;
+      options.obs = &obs;
+      ASSERT_TRUE(EvaluateProgram(program, edb, options).ok())
+          << "trial " << trial;
+      auto snapshot = registry.Snapshot();
+      ASSERT_FALSE(snapshot.empty()) << "trial " << trial;
+      if (reference.empty()) {
+        reference = std::move(snapshot);
+      } else {
+        EXPECT_EQ(snapshot, reference)
+            << "trial " << trial << " threads " << threads;
+      }
+    }
+  }
+}
+#endif  // QCONT_OBS_NOOP
 
 TEST(ParallelDeterminismTest, UcqInDatalogContainmentThreadCountInvariant) {
   std::mt19937 rng(2718);

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Validates a qcont Chrome trace_event JSON file.
+
+Usage: check_trace.py TRACE.json [TRACE2.json ...]
+
+Checks, per file:
+  - parses as JSON, top level has "traceEvents" (list) and
+    "displayTimeUnit" == "ms";
+  - every event is a complete-phase ("ph": "X") record with string "name"
+    and "cat", numeric "ts" and "dur" >= 0, integer "pid" == 1 and
+    "tid" >= 0;
+  - span names use the "<component>/<operation>" taxonomy of DESIGN.md
+    §12 (one '/', non-empty halves);
+  - "args", when present, maps string keys to integers;
+  - events on the same tid nest properly: spans overlap only by full
+    containment, never partially (Perfetto renders partial overlap as
+    corrupt tracks).
+
+Exit code 0 when every file passes, 1 otherwise. Non-trace problems
+(missing file, unreadable) also exit 1, with the reason on stderr.
+"""
+
+import json
+import sys
+
+REQUIRED_TOP = ("traceEvents", "displayTimeUnit")
+
+
+def fail(path, msg):
+    print(f"check_trace: {path}: {msg}", file=sys.stderr)
+    return False
+
+
+def check_event(path, i, ev):
+    where = f"traceEvents[{i}]"
+    if not isinstance(ev, dict):
+        return fail(path, f"{where}: not an object")
+    for key in ("name", "cat"):
+        if not isinstance(ev.get(key), str) or not ev[key]:
+            return fail(path, f"{where}: missing/empty string '{key}'")
+    if ev.get("ph") != "X":
+        return fail(path, f"{where}: ph is {ev.get('ph')!r}, want 'X'")
+    for key in ("ts", "dur"):
+        v = ev.get(key)
+        if not isinstance(v, (int, float)) or isinstance(v, bool) or v < 0:
+            return fail(path, f"{where}: '{key}' is {v!r}, want number >= 0")
+    if ev.get("pid") != 1:
+        return fail(path, f"{where}: pid is {ev.get('pid')!r}, want 1")
+    tid = ev.get("tid")
+    if not isinstance(tid, int) or isinstance(tid, bool) or tid < 0:
+        return fail(path, f"{where}: tid is {tid!r}, want int >= 0")
+    name = ev["name"]
+    parts = name.split("/")
+    if len(parts) != 2 or not parts[0] or not parts[1]:
+        return fail(path, f"{where}: name {name!r} not '<component>/<op>'")
+    args = ev.get("args")
+    if args is not None:
+        if not isinstance(args, dict):
+            return fail(path, f"{where}: args is not an object")
+        for k, v in args.items():
+            if not isinstance(v, int) or isinstance(v, bool):
+                return fail(path, f"{where}: args[{k!r}] is {v!r}, want int")
+    return True
+
+
+def check_nesting(path, events):
+    """Spans on one tid must nest: no partial overlap."""
+    by_tid = {}
+    for ev in events:
+        by_tid.setdefault(ev["tid"], []).append((ev["ts"], ev["ts"] + ev["dur"], ev["name"]))
+    ok = True
+    for tid, spans in by_tid.items():
+        spans.sort()
+        stack = []
+        for start, end, name in spans:
+            while stack and stack[-1][1] <= start:
+                stack.pop()
+            if stack and end > stack[-1][1]:
+                ok = fail(
+                    path,
+                    f"tid {tid}: span {name!r} [{start}, {end}) partially "
+                    f"overlaps {stack[-1][2]!r} [{stack[-1][0]}, {stack[-1][1]})",
+                )
+                continue
+            stack.append((start, end, name))
+    return ok
+
+
+def check_file(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        return fail(path, f"cannot read: {e}")
+    except json.JSONDecodeError as e:
+        return fail(path, f"invalid JSON: {e}")
+    if not isinstance(doc, dict):
+        return fail(path, "top level is not an object")
+    for key in REQUIRED_TOP:
+        if key not in doc:
+            return fail(path, f"missing top-level key '{key}'")
+    if doc["displayTimeUnit"] != "ms":
+        return fail(path, f"displayTimeUnit is {doc['displayTimeUnit']!r}, want 'ms'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return fail(path, "traceEvents is not a list")
+    ok = all(check_event(path, i, ev) for i, ev in enumerate(events))
+    if ok:
+        ok = check_nesting(path, events)
+    if ok:
+        print(f"check_trace: {path}: OK ({len(events)} events)")
+    return ok
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    return 0 if all([check_file(p) for p in argv[1:]]) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
