@@ -14,6 +14,16 @@ inline void HashCombine(std::size_t* seed, std::size_t value) {
   *seed ^= value + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
 }
 
+/// splitmix64 finalizer: a cheap, well-mixed 64-bit hash for integer keys.
+/// Used by the open-addressing probe tables, where the table capacity is a
+/// power of two and the low bits of the hash pick the bucket.
+inline std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 /// Hash for vectors of hashable elements, usable as an unordered_map hasher.
 template <typename T>
 struct VectorHash {

@@ -9,6 +9,7 @@
 
 #include "analysis/analyzer.h"
 #include "base/check.h"
+#include "base/interner.h"
 #include "base/thread_pool.h"
 #include "core/instantiate.h"
 
@@ -126,11 +127,14 @@ struct Provenance {
   std::vector<int> child_types;  // type index per idb atom
 };
 
-// Per-kind engine state (parallel to KindSpace ids).
+// Per-kind engine state (parallel to KindSpace ids). Canonical forms are
+// interned: membership plus id assignment in one hash probe, with the
+// strings stored once in the interner's arena instead of node-per-string
+// in a std::set.
 struct KindState {
   std::vector<SubtreeType> types;
   std::vector<Provenance> provenance;
-  std::set<std::string> canon;
+  Interner canon;
 };
 
 // ---------------------------------------------------------------------------
@@ -317,7 +321,8 @@ class TypeEngine {
         }
         KindState& kind = state_[task.kind];
         for (ComboResult& r : outputs[t].results) {
-          if (!kind.canon.insert(r.canon).second) continue;
+          const std::size_t before = kind.canon.size();
+          if (kind.canon.Intern(r.canon) != before) continue;  // seen before
           kind.types.push_back(std::move(r.type));
           Provenance prov;
           prov.rule_pos = task.rule_pos;

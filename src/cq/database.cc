@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <mutex>
 #include <shared_mutex>
+#include <utility>
 
+#include "base/check.h"
 #include "obs/obs.h"
 
 namespace qcont {
@@ -19,7 +22,8 @@ inline std::uint32_t HighestBit(std::uint32_t mask) {
 }
 
 // Key of `row` under `mask`: values at masked positions, ascending. Returns
-// false if the row is too short to be constrained by every masked position.
+// false if the row is too short to be constrained by every masked position
+// (legacy layout only; flat relations have uniform arity).
 inline bool KeyOf(const std::vector<ValueId>& row, std::uint32_t mask,
                   std::vector<ValueId>* key) {
   key->clear();
@@ -31,81 +35,234 @@ inline bool KeyOf(const std::vector<ValueId>& row, std::uint32_t mask,
   return true;
 }
 
+// Inline slot key for key widths <= 2: each value shifted up by one so the
+// result is always nonzero (0 is the empty-slot sentinel; kNoValue never
+// occurs in a row, so v+1 never wraps). Returns 0 for wide keys, which are
+// stored out of line.
+inline std::uint64_t PackedKey(std::uint32_t width,
+                               std::span<const ValueId> key) {
+  if (width == 1) return (static_cast<std::uint64_t>(key[0]) + 1) << 32;
+  if (width == 2) {
+    return ((static_cast<std::uint64_t>(key[0]) + 1) << 32) |
+           (static_cast<std::uint64_t>(key[1]) + 1);
+  }
+  if (width == 0) return 1;  // the single possible (empty) key
+  return 0;
+}
+
 }  // namespace
 
-bool Database::AddFact(const std::string& relation, Tuple tuple) {
-  auto [rel_it, new_relation] = relations_.try_emplace(relation);
-  if (new_relation) relations_dirty_ = true;
-  RelationData& data = rel_it->second;
-  std::vector<ValueId> row;
-  row.reserve(tuple.size());
-  for (const Value& v : tuple) row.push_back(pool_->Intern(v));
-  if (!data.set.insert(row).second) return false;
-  for (std::size_t i = 0; i < row.size(); ++i) {
-    if (domain_ids_.insert(row[i]).second) domain_.push_back(tuple[i]);
+// ---------------------------------------------------------------------------
+// Flat probe tables (open addressing, linear probing, pow2 capacity).
+// ---------------------------------------------------------------------------
+
+std::uint64_t Database::HashKey(const FlatIndex& idx,
+                                std::span<const ValueId> key,
+                                std::uint64_t packed) const {
+  if (idx.key_width <= 2) return Mix64(packed);
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL * (idx.key_width + 1);
+  for (ValueId v : key) h = Mix64(h ^ (static_cast<std::uint64_t>(v) + 1));
+  return h;
+}
+
+// Linear-probe scan for `key`: returns the slot holding it, or the empty
+// slot where it would be inserted. `steps` accumulates the probe length
+// past the home bucket (the collision signal). Requires nonempty `slots`.
+std::size_t Database::FindSlot(const FlatIndex& idx,
+                               std::span<const ValueId> key,
+                               std::uint64_t packed,
+                               std::uint64_t* steps) const {
+  const std::size_t cap_mask = idx.slots.size() - 1;
+  std::size_t i = HashKey(idx, key, packed) & cap_mask;
+  std::uint64_t local = 0;
+  while (true) {
+    const FlatIndex::Slot& s = idx.slots[i];
+    if (s.key == 0) break;
+    if (idx.key_width <= 2) {
+      if (s.key == packed) break;
+    } else {
+      const ValueId* stored =
+          idx.wide_keys.data() + (s.key - 1) * idx.key_width;
+      if (std::equal(key.begin(), key.end(), stored)) break;
+    }
+    ++local;
+    i = (i + 1) & cap_mask;
   }
-  data.rows.push_back(std::move(row));
-  data.tuples.push_back(std::move(tuple));
-  ++num_facts_;
-  return true;
+  *steps += local;
+  return i;
 }
 
-bool Database::HasFact(const std::string& relation, const Tuple& tuple) const {
-  auto it = relations_.find(relation);
-  if (it == relations_.end()) return false;
-  std::vector<ValueId> row;
-  row.reserve(tuple.size());
-  for (const Value& v : tuple) {
-    ValueId id = pool_->Find(v);
-    if (id == kNoValue) return false;  // value never interned: no such fact
-    row.push_back(id);
+// Grows `idx` so that `keys` occupied slots stay under 3/4 load. Growing
+// rehashes the slots only — the postings arena and wide-key storage are
+// untouched, so a resize moves 16 bytes per distinct key.
+void Database::EnsureFlatCapacity(FlatIndex* idx, std::size_t keys) const {
+  const std::size_t cap = idx->slots.size();
+  if (cap != 0 && keys * 4 <= cap * 3) return;
+  std::size_t new_cap = cap == 0 ? 16 : cap;
+  while (keys * 4 > new_cap * 3) new_cap <<= 1;
+  std::vector<FlatIndex::Slot> old = std::move(idx->slots);
+  idx->slots.assign(new_cap, FlatIndex::Slot{});
+  const std::size_t cap_mask = new_cap - 1;
+  for (const FlatIndex::Slot& s : old) {
+    if (s.key == 0) continue;
+    std::uint64_t h;
+    if (idx->key_width <= 2) {
+      h = Mix64(s.key);
+    } else {
+      const ValueId* stored =
+          idx->wide_keys.data() + (s.key - 1) * idx->key_width;
+      h = HashKey(*idx, std::span<const ValueId>(stored, idx->key_width), 0);
+    }
+    std::size_t i = h & cap_mask;
+    while (idx->slots[i].key != 0) i = (i + 1) & cap_mask;
+    idx->slots[i] = s;
   }
-  return it->second.set.count(row) > 0;
+  if (cap != 0) {
+    index_stats_.probe_resizes.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
-const std::vector<Tuple>& Database::Facts(const std::string& relation) const {
-  static const std::vector<Tuple>* const kEmpty = new std::vector<Tuple>();
-  auto it = relations_.find(relation);
-  return it == relations_.end() ? *kEmpty : it->second.tuples;
+// Finds `key`'s slot, claiming an empty one for it if absent. The caller
+// must have ensured capacity for the insert (no growth happens here, so
+// slot indices handed out earlier in a batch stay valid).
+std::size_t Database::InsertSlot(FlatIndex* idx, std::span<const ValueId> key,
+                                 std::uint64_t packed) const {
+  std::uint64_t steps = 0;
+  const std::size_t i = FindSlot(*idx, key, packed, &steps);
+  FlatIndex::Slot& s = idx->slots[i];
+  if (s.key == 0) {
+    if (idx->key_width <= 2) {
+      s.key = packed;
+    } else {
+      const std::uint64_t off = idx->wide_keys.size() / idx->key_width;
+      idx->wide_keys.insert(idx->wide_keys.end(), key.begin(), key.end());
+      s.key = off + 1;
+    }
+    ++idx->used;
+  }
+  return i;
 }
 
-const std::vector<std::vector<ValueId>>& Database::Rows(
-    const std::string& relation) const {
-  static const std::vector<std::vector<ValueId>>* const kEmpty =
-      new std::vector<std::vector<ValueId>>();
-  auto it = relations_.find(relation);
-  return it == relations_.end() ? *kEmpty : it->second.rows;
+std::span<const std::uint32_t> Database::LookupFlat(
+    const FlatIndex& idx, std::span<const ValueId> key) const {
+  if (idx.slots.empty()) return {};
+  const std::uint64_t packed = PackedKey(idx.key_width, key);
+  std::uint64_t steps = 0;
+  const std::size_t i = FindSlot(idx, key, packed, &steps);
+  if (steps != 0) {
+    index_stats_.probe_collisions.fetch_add(steps, std::memory_order_relaxed);
+  }
+  const FlatIndex::Slot& s = idx.slots[i];
+  if (s.key == 0 || s.len == 0) return {};
+  return {idx.postings.data() + s.start, s.len};
 }
 
-const std::vector<std::uint32_t>& Database::Probe(
-    const std::string& relation, std::uint32_t mask,
-    const std::vector<ValueId>& key) const {
-  static const std::vector<std::uint32_t>* const kEmptyBucket =
-      new std::vector<std::uint32_t>();
-  index_stats_.probes.fetch_add(1, std::memory_order_relaxed);
-  // `relations_` (and each relation's `rows`) is only mutated by AddFact /
-  // UnionWith, which the thread-safety contract forbids concurrently with
-  // probes, so it is read without the memo lock. Only the `indexes` memo
-  // is mutated under concurrent const probes and needs guarding.
-  auto it = relations_.find(relation);
-  if (it == relations_.end()) return *kEmptyBucket;
-  const RelationData& data = it->second;
+// Folds every row added since the last probe of (relation, mask) into the
+// table. Runs under the exclusive memo lock. Batch shape: assign each new
+// row its slot first (capacity pre-grown, so slot indices are stable),
+// sort the (slot, row) pairs, then rebuild the postings arena in one walk
+// that keeps each bucket's rows in row order — amortized O(capacity + new
+// rows) regardless of how the batch scatters over buckets.
+void Database::CatchUpFlat(const RelationData& data, std::uint32_t mask,
+                           FlatIndex* idx) const {
+  const std::size_t total = data.num_rows;
+  if (idx->rows_indexed >= total) return;
+  ObsSpan build_span(obs_, "db/index_build", "db");
+  build_span.AddArg("mask", mask);
+  build_span.AddArg("rows", total - idx->rows_indexed);
+  const std::uint32_t top = HighestBit(mask);
+  if (data.arity == 0 || top >= data.arity) {
+    // No row is long enough to be constrained by every masked position
+    // (flat relations have uniform arity), so the table stays empty.
+    idx->rows_indexed = total;
+    return;
+  }
+  const std::uint32_t w = idx->key_width;
+  const std::size_t new_rows = total - idx->rows_indexed;
+  EnsureFlatCapacity(idx, idx->used + new_rows);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> adds;  // (slot, row)
+  adds.reserve(new_rows);
+  ValueId key_buf[32];
+  for (std::size_t r = idx->rows_indexed; r < total; ++r) {
+    const ValueId* row = data.arena.data() + r * data.arity;
+    std::uint32_t k = 0;
+    for (std::uint32_t p = 0; mask >> p != 0; ++p) {
+      if (mask >> p & 1u) key_buf[k++] = row[p];
+    }
+    const std::span<const ValueId> key(key_buf, w);
+    adds.emplace_back(
+        static_cast<std::uint32_t>(InsertSlot(idx, key, PackedKey(w, key))),
+        static_cast<std::uint32_t>(r));
+  }
+  std::sort(adds.begin(), adds.end());
+  std::vector<std::uint32_t> merged;
+  merged.reserve(idx->postings.size() + adds.size());
+  std::size_t ai = 0;
+  for (std::size_t s = 0; s < idx->slots.size(); ++s) {
+    FlatIndex::Slot& slot = idx->slots[s];
+    if (slot.key == 0) continue;
+    const auto start = static_cast<std::uint32_t>(merged.size());
+    merged.insert(merged.end(), idx->postings.begin() + slot.start,
+                  idx->postings.begin() + slot.start + slot.len);
+    while (ai < adds.size() && adds[ai].first == s) {
+      merged.push_back(adds[ai].second);
+      ++ai;
+    }
+    slot.start = start;
+    slot.len = static_cast<std::uint32_t>(merged.size()) - start;
+  }
+  idx->postings = std::move(merged);
+  idx->rows_indexed = total;
+  index_stats_.rows_indexed.fetch_add(adds.size(), std::memory_order_relaxed);
+}
+
+const Database::FlatIndex* Database::EnsureFlatIndex(const RelationData& data,
+                                                     std::uint32_t mask) const {
   {
-    // Fast path: the (relation, mask) index exists and is up to date.
+    // Fast path: the (relation, mask) table exists and is up to date.
     // Shared lock only, so parallel hom searches probing the same frozen
     // database never serialize on the join hot path.
+    std::shared_lock<std::shared_mutex> lock(memo_mu_.mu);
+    auto it = data.flat_indexes.find(mask);
+    if (it != data.flat_indexes.end() &&
+        it->second.rows_indexed == data.num_rows) {
+      return &it->second;
+    }
+  }
+  // Slow path: build the table (or fold in rows added since the last
+  // probe) under the exclusive lock. Re-check the build state after
+  // acquiring it — another thread may have finished the build in between.
+  std::unique_lock<std::shared_mutex> lock(memo_mu_.mu);
+  auto [it, built] = data.flat_indexes.try_emplace(mask);
+  if (built) {
+    it->second.key_width =
+        static_cast<std::uint32_t>(std::popcount(mask));
+    index_stats_.indexes_built.fetch_add(1, std::memory_order_relaxed);
+  }
+  CatchUpFlat(data, mask, &it->second);
+  return &it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Legacy probe path (the original unordered_map implementation, kept as a
+// differential reference behind DatabaseLayout::kLegacy).
+// ---------------------------------------------------------------------------
+
+std::span<const std::uint32_t> Database::ProbeLegacy(
+    const RelationData& data, std::uint32_t mask,
+    std::span<const ValueId> key) const {
+  const std::vector<ValueId> key_v(key.begin(), key.end());
+  {
     std::shared_lock<std::shared_mutex> lock(memo_mu_.mu);
     auto idx_it = data.indexes.find(mask);
     if (idx_it != data.indexes.end() &&
         idx_it->second.rows_indexed == data.rows.size()) {
       const RelIndex& index = idx_it->second;
-      auto bucket = index.buckets.find(key);
-      return bucket == index.buckets.end() ? *kEmptyBucket : bucket->second;
+      auto bucket = index.buckets.find(key_v);
+      if (bucket == index.buckets.end()) return {};
+      return {bucket->second.data(), bucket->second.size()};
     }
   }
-  // Slow path: build the index (or fold in rows added since the last
-  // probe) under the exclusive lock. Re-check the build state after
-  // acquiring it — another thread may have finished the build in between.
   std::unique_lock<std::shared_mutex> lock(memo_mu_.mu);
   auto [idx_it, built] = data.indexes.try_emplace(mask);
   RelIndex& index = idx_it->second;
@@ -114,8 +271,6 @@ const std::vector<std::uint32_t>& Database::Probe(
     ObsSpan build_span(obs_, "db/index_build", "db");
     build_span.AddArg("mask", mask);
     build_span.AddArg("rows", data.rows.size() - index.rows_indexed);
-    // Lazy build and incremental maintenance are the same loop: fold in
-    // every row added since the last probe of this (relation, mask).
     const std::uint32_t top = HighestBit(mask);
     std::vector<ValueId> row_key;
     row_key.reserve(static_cast<std::size_t>(top) + 1);
@@ -126,8 +281,236 @@ const std::vector<std::uint32_t>& Database::Probe(
     }
     index.rows_indexed = data.rows.size();
   }
-  auto bucket = index.buckets.find(key);
-  return bucket == index.buckets.end() ? *kEmptyBucket : bucket->second;
+  auto bucket = index.buckets.find(key_v);
+  if (bucket == index.buckets.end()) return {};
+  return {bucket->second.data(), bucket->second.size()};
+}
+
+// ---------------------------------------------------------------------------
+// Storage.
+// ---------------------------------------------------------------------------
+
+const Database::RelationData* Database::FindRelation(RelationId rel) const {
+  if (rel >= rel_slot_.size()) return nullptr;
+  const std::int32_t slot = rel_slot_[rel];
+  return slot < 0 ? nullptr : &rels_[slot];
+}
+
+Database::RelationData& Database::EnsureRelation(RelationId rel) {
+  if (rel >= rel_slot_.size()) rel_slot_.resize(rel + 1, -1);
+  std::int32_t slot = rel_slot_[rel];
+  if (slot < 0) {
+    slot = static_cast<std::int32_t>(rels_.size());
+    rel_slot_[rel] = slot;
+    rels_.emplace_back();
+    rels_.back().name = pool_->NameOf(rel);
+    rels_.back().id = rel;
+    rel_ids_.push_back(rel);
+    relations_dirty_ = true;
+  }
+  return rels_[slot];
+}
+
+bool Database::AddRowInternal(RelationData& data, std::span<const ValueId> row,
+                              Tuple* tuple) {
+  if (layout_ == DatabaseLayout::kFlat) {
+    if (data.num_rows == 0) {
+      data.arity = row.size();
+      data.primary.key_width = static_cast<std::uint32_t>(row.size());
+    } else {
+      QCONT_CHECK_MSG(row.size() == data.arity,
+                      "flat relations have uniform arity");
+    }
+    // Duplicate detection through the eager full-row table; a hit means
+    // the fact exists and nothing below runs.
+    EnsureFlatCapacity(&data.primary, data.primary.used + 1);
+    const std::uint64_t packed = PackedKey(data.primary.key_width, row);
+    std::uint64_t steps = 0;
+    const std::size_t i = FindSlot(data.primary, row, packed, &steps);
+    FlatIndex::Slot& s = data.primary.slots[i];
+    if (s.key != 0) return false;
+    if (data.primary.key_width <= 2) {
+      s.key = packed;
+    } else {
+      const std::uint64_t off =
+          data.primary.wide_keys.size() / data.primary.key_width;
+      data.primary.wide_keys.insert(data.primary.wide_keys.end(), row.begin(),
+                                    row.end());
+      s.key = off + 1;
+    }
+    ++data.primary.used;
+    s.start = static_cast<std::uint32_t>(data.primary.postings.size());
+    s.len = 1;
+    data.primary.postings.push_back(static_cast<std::uint32_t>(data.num_rows));
+  } else {
+    if (data.num_rows == 0) data.arity = row.size();
+    std::vector<ValueId> row_v(row.begin(), row.end());
+    if (!data.set.insert(row_v).second) return false;
+    data.rows.push_back(std::move(row_v));
+  }
+  Tuple out;
+  if (tuple != nullptr) {
+    out = std::move(*tuple);
+  } else {
+    out.reserve(row.size());
+    for (ValueId id : row) out.push_back(pool_->NameOf(id));
+  }
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (domain_ids_.insert(row[i]).second) {
+      domain_.push_back(out[i]);
+      domain_ids_list_.push_back(row[i]);
+    }
+  }
+  if (layout_ == DatabaseLayout::kFlat) {
+    data.arena.insert(data.arena.end(), row.begin(), row.end());
+    data.primary.rows_indexed = data.num_rows + 1;
+  }
+  data.tuples.push_back(std::move(out));
+  ++data.num_rows;
+  ++num_facts_;
+  return true;
+}
+
+bool Database::AddFact(const std::string& relation, Tuple tuple) {
+  RelationData& data = EnsureRelation(pool_->Intern(relation));
+  std::vector<ValueId> row;
+  row.reserve(tuple.size());
+  for (const Value& v : tuple) row.push_back(pool_->Intern(v));
+  return AddRowInternal(data, row, &tuple);
+}
+
+bool Database::AddRow(RelationId rel, std::span<const ValueId> row) {
+  return AddRowInternal(EnsureRelation(rel), row, nullptr);
+}
+
+bool Database::HasRow(RelationId rel, std::span<const ValueId> row) const {
+  const RelationData* data = FindRelation(rel);
+  if (data == nullptr) return false;
+  if (layout_ == DatabaseLayout::kFlat) {
+    if (row.size() != data->arity) return false;
+    return !LookupFlat(data->primary, row).empty();
+  }
+  return data->set.count(std::vector<ValueId>(row.begin(), row.end())) > 0;
+}
+
+bool Database::HasFact(const std::string& relation, const Tuple& tuple) const {
+  const RelationId rel = pool_->Find(relation);
+  if (rel == kNoRelation) return false;
+  std::vector<ValueId> row;
+  row.reserve(tuple.size());
+  for (const Value& v : tuple) {
+    const ValueId id = pool_->Find(v);
+    if (id == kNoValue) return false;  // value never interned: no such fact
+    row.push_back(id);
+  }
+  return HasRow(rel, row);
+}
+
+const std::vector<Tuple>& Database::Facts(const std::string& relation) const {
+  static const std::vector<Tuple>* const kEmpty = new std::vector<Tuple>();
+  const RelationData* data = FindRelation(pool_->Find(relation));
+  return data == nullptr ? *kEmpty : data->tuples;
+}
+
+std::size_t Database::NumRows(RelationId rel) const {
+  const RelationData* data = FindRelation(rel);
+  return data == nullptr ? 0 : data->num_rows;
+}
+
+std::size_t Database::Arity(RelationId rel) const {
+  const RelationData* data = FindRelation(rel);
+  return data == nullptr ? 0 : data->arity;
+}
+
+std::span<const ValueId> Database::Row(RelationId rel, std::size_t r) const {
+  const RelationData* data = FindRelation(rel);
+  QCONT_CHECK(data != nullptr && r < data->num_rows);
+  if (layout_ == DatabaseLayout::kFlat) {
+    return {data->arena.data() + r * data->arity, data->arity};
+  }
+  return {data->rows[r].data(), data->rows[r].size()};
+}
+
+std::span<const ValueId> Database::Arena(RelationId rel) const {
+  const RelationData* data = FindRelation(rel);
+  if (data == nullptr || layout_ != DatabaseLayout::kFlat) return {};
+  return {data->arena.data(), data->arena.size()};
+}
+
+std::span<const std::uint32_t> Database::Probe(
+    RelationId rel, std::uint32_t mask, std::span<const ValueId> key) const {
+  index_stats_.probes.fetch_add(1, std::memory_order_relaxed);
+  const RelationData* data = FindRelation(rel);
+  if (data == nullptr) return {};
+  if (layout_ == DatabaseLayout::kLegacy) return ProbeLegacy(*data, mask, key);
+  // Fully-bound probes are served by the eagerly maintained full-row
+  // table: no lazy build, no lock.
+  if (data->arity > 0 && data->arity <= 32 &&
+      mask == (data->arity == 32 ? ~0u : (1u << data->arity) - 1)) {
+    return LookupFlat(data->primary, key);
+  }
+  return LookupFlat(*EnsureFlatIndex(*data, mask), key);
+}
+
+std::span<const std::uint32_t> Database::Probe(
+    const std::string& relation, std::uint32_t mask,
+    std::span<const ValueId> key) const {
+  return Probe(pool_->Find(relation), mask, key);
+}
+
+void Database::ProbeMany(RelationId rel, std::uint32_t mask,
+                         std::span<const ValueId> keys,
+                         std::span<std::span<const std::uint32_t>> out) const {
+  const std::size_t n = out.size();
+  if (n == 0) return;
+  index_stats_.probes.fetch_add(n, std::memory_order_relaxed);
+  const auto w = static_cast<std::uint32_t>(std::popcount(mask));
+  const RelationData* data = FindRelation(rel);
+  if (data == nullptr) {
+    std::fill(out.begin(), out.end(), std::span<const std::uint32_t>());
+    return;
+  }
+  if (layout_ == DatabaseLayout::kLegacy) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = ProbeLegacy(*data, mask, keys.subspan(i * w, w));
+    }
+    return;
+  }
+  const FlatIndex* idx;
+  if (data->arity > 0 && data->arity <= 32 &&
+      mask == (data->arity == 32 ? ~0u : (1u << data->arity) - 1)) {
+    idx = &data->primary;
+  } else {
+    idx = EnsureFlatIndex(*data, mask);
+  }
+  if (idx->slots.empty()) {
+    std::fill(out.begin(), out.end(), std::span<const std::uint32_t>());
+    return;
+  }
+  // Resolve the block in home-bucket order so consecutive lookups touch
+  // adjacent cache lines instead of hopping around the table.
+  const std::size_t cap_mask = idx->slots.size() - 1;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> order(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::span<const ValueId> key = keys.subspan(i * w, w);
+    order[i] = {static_cast<std::uint32_t>(
+                    HashKey(*idx, key, PackedKey(w, key)) & cap_mask),
+                static_cast<std::uint32_t>(i)};
+  }
+  std::sort(order.begin(), order.end());
+  std::uint64_t steps = 0;
+  for (const auto& [bucket, i] : order) {
+    const std::span<const ValueId> key = keys.subspan(i * w, w);
+    const std::size_t s = FindSlot(*idx, key, PackedKey(w, key), &steps);
+    const FlatIndex::Slot& slot = idx->slots[s];
+    out[i] = (slot.key == 0 || slot.len == 0)
+                 ? std::span<const std::uint32_t>()
+                 : std::span<const std::uint32_t>(
+                       idx->postings.data() + slot.start, slot.len);
+  }
+  if (steps != 0) {
+    index_stats_.probe_collisions.fetch_add(steps, std::memory_order_relaxed);
+  }
 }
 
 const std::vector<std::string>& Database::Relations() const {
@@ -138,9 +521,9 @@ const std::vector<std::string>& Database::Relations() const {
   std::unique_lock<std::shared_mutex> lock(memo_mu_.mu);
   if (relations_dirty_) {
     relations_cache_.clear();
-    relations_cache_.reserve(relations_.size());
-    for (const auto& [name, data] : relations_) {
-      if (!data.tuples.empty()) relations_cache_.push_back(name);
+    relations_cache_.reserve(rels_.size());
+    for (const RelationData& data : rels_) {
+      if (data.num_rows > 0) relations_cache_.push_back(data.name);
     }
     std::sort(relations_cache_.begin(), relations_cache_.end());
     relations_dirty_ = false;
@@ -149,8 +532,8 @@ const std::vector<std::string>& Database::Relations() const {
 }
 
 void Database::UnionWith(const Database& other) {
-  for (const auto& [name, data] : other.relations_) {
-    for (const Tuple& t : data.tuples) AddFact(name, t);
+  for (const RelationData& data : other.rels_) {
+    for (const Tuple& t : data.tuples) AddFact(data.name, t);
   }
 }
 
@@ -169,8 +552,8 @@ std::string Database::ToString() const {
   return out;
 }
 
-Database CanonicalDatabase(const ConjunctiveQuery& cq) {
-  Database db;
+Database CanonicalDatabase(const ConjunctiveQuery& cq, DatabaseLayout layout) {
+  Database db(layout);
   for (const Atom& a : cq.atoms()) {
     Tuple t;
     t.reserve(a.arity());

@@ -4,8 +4,10 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <shared_mutex>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -29,6 +31,20 @@ using Tuple = std::vector<Value>;
 using ValueId = SymbolId;
 inline constexpr ValueId kNoValue = Interner::kMissing;
 
+/// Interned relation id. Relation names are interned into the same shared
+/// pool as values, so relation ids — like value ids — are comparable across
+/// databases that share a pool (the semi-naive deltas rely on this).
+/// `kNoRelation` means "name never interned in the pool".
+using RelationId = SymbolId;
+inline constexpr RelationId kNoRelation = Interner::kMissing;
+
+/// Storage layout of a Database. `kFlat` (the default) stores each
+/// relation's rows in one contiguous ValueId arena with arity stride and
+/// probes through open-addressing tables; `kLegacy` is the original
+/// nested-vector + unordered_map layout, kept reachable as a differential
+/// reference (mirroring the `use_index=false` pattern of the search engine).
+enum class DatabaseLayout { kFlat, kLegacy };
+
 /// Counters for the per-relation hash indexes (benchmark signal). Obtained
 /// as a snapshot via `Database::index_stats()`; the registry mirror
 /// (`db.*` gauges) is published from such snapshots by the engines/CLI,
@@ -36,56 +52,84 @@ inline constexpr ValueId kNoValue = Interner::kMissing;
 struct DatabaseIndexStats {
   /// Distinct (relation, mask) indexes built so far. Monotonic per database.
   std::uint64_t indexes_built = 0;
-  /// `Probe()` calls issued (hot: bumped on every index lookup). Monotonic.
+  /// `Probe()` calls issued (hot: bumped on every index lookup; a ProbeMany
+  /// of k keys counts k). Monotonic.
   std::uint64_t probes = 0;
   /// Rows folded into some index (a row indexed under k masks counts k
   /// times). Monotonic per database.
   std::uint64_t rows_indexed = 0;
+  /// Linear-probing steps past the home bucket across all probe-table
+  /// lookups (flat layout only; legacy indexes report 0). Monotonic.
+  std::uint64_t probe_collisions = 0;
+  /// Probe-table capacity rehashes (flat layout only). Monotonic.
+  std::uint64_t probe_resizes = 0;
 };
 
 /// A finite relational database: a set of facts R(v1,...,vn).
 ///
 /// Values are interned into a shared `Interner` pool, so the join substrate
-/// works on dense integer ids instead of strings. Databases created with the
+/// works on dense integer ids instead of strings. Relation names are
+/// interned into the same pool (`RelationIdOf`). Databases created with the
 /// default constructor own a fresh pool; databases meant to be joined
 /// against each other (e.g. a semi-naive delta against the full database)
 /// should share one pool via the `Database(pool)` constructor so that value
-/// ids are comparable across them.
+/// and relation ids are comparable across them.
 ///
-/// Per relation, hash indexes keyed on subsets of bound positions (a
-/// position bitmask) are built lazily on first probe, memoized per
-/// (relation, mask), and maintained incrementally as facts are added —
-/// `AddFact` never invalidates an index.
+/// In the flat layout a relation's rows live in one contiguous ValueId
+/// arena with arity stride: row i is the slice [i*arity, (i+1)*arity), and
+/// every row of a relation has the same arity (checked). Per relation, hash
+/// indexes keyed on subsets of bound positions (a position bitmask) are
+/// built lazily on first probe, memoized per (relation, mask), and
+/// maintained incrementally as facts are added — `AddFact` never
+/// invalidates an index. Flat indexes are open-addressing tables (linear
+/// probing, power-of-two capacity, packed inline keys for masks covering
+/// ≤2 positions) whose buckets are slices of a shared postings arena, so a
+/// probe is hash → one cache line → postings slice with no allocation.
 ///
-/// Thread safety: all const probing entry points (`Probe`, `Facts`,
-/// `Rows`, `HasFact`, `Relations`, `ValueIdOf`, ...) may be called
-/// concurrently from multiple threads *as long as no thread mutates the
-/// database* (`AddFact`, `UnionWith`) at the same time — the memoized lazy
-/// index builds behind `Probe` are guarded by an internal shared mutex
-/// (shared lock on the probe hot path, exclusive lock only while a missing
-/// or stale index is built) and the index statistics are atomic, so probes
-/// of an already-built index never serialize against each other. This is
-/// the contract the parallel engines rely on: databases are frozen for the
-/// duration of a parallel region and merged at the barrier on one thread.
+/// Thread safety: all const probing entry points (`Probe`, `ProbeMany`,
+/// `Facts`, `Row`, `HasFact`, `HasRow`, `Relations`, `ValueIdOf`, ...) may
+/// be called concurrently from multiple threads *as long as no thread
+/// mutates the database* (`AddFact`, `AddRow`, `UnionWith`) at the same
+/// time — the memoized lazy index builds behind `Probe` are guarded by an
+/// internal shared mutex (shared lock on the probe hot path, exclusive
+/// lock only while a missing or stale index is built) and the index
+/// statistics are atomic, so probes of an already-built index never
+/// serialize against each other. This is the contract the parallel engines
+/// rely on: databases are frozen for the duration of a parallel region and
+/// merged at the barrier on one thread.
 class Database {
  public:
-  Database() : pool_(std::make_shared<Interner>()) {}
-  explicit Database(std::shared_ptr<Interner> pool) : pool_(std::move(pool)) {}
+  explicit Database(DatabaseLayout layout = DatabaseLayout::kFlat)
+      : pool_(std::make_shared<Interner>()), layout_(layout) {}
+  explicit Database(std::shared_ptr<Interner> pool,
+                    DatabaseLayout layout = DatabaseLayout::kFlat)
+      : pool_(std::move(pool)), layout_(layout) {}
 
   /// The value pool; share it across databases that will be joined together.
   const std::shared_ptr<Interner>& pool() const { return pool_; }
 
-  /// Adds a fact; duplicate facts are ignored. Returns true if new.
+  DatabaseLayout layout() const { return layout_; }
+
+  /// Adds a fact; duplicate facts are ignored. Returns true if new. In the
+  /// flat layout every fact of a relation must have the same arity.
   bool AddFact(const std::string& relation, Tuple tuple);
+
+  /// Adds a fact given as pool ids: `rel` must be the pool id of the
+  /// relation name and every value of `row` a valid pool id. Returns true
+  /// if new. This is the allocation-free twin of AddFact used by the
+  /// semi-naive merge (the string tuple is materialized internally so
+  /// `Facts` stays consistent).
+  bool AddRow(RelationId rel, std::span<const ValueId> row);
 
   bool HasFact(const std::string& relation, const Tuple& tuple) const;
 
+  /// Row-level membership: true iff `row` is a fact of `rel`. Served by the
+  /// relation's eagerly maintained full-row table in the flat layout (no
+  /// lock, no allocation).
+  bool HasRow(RelationId rel, std::span<const ValueId> row) const;
+
   /// Tuples of `relation` (empty if the relation has no facts).
   const std::vector<Tuple>& Facts(const std::string& relation) const;
-
-  /// Interned rows of `relation`, parallel to `Facts(relation)`.
-  const std::vector<std::vector<ValueId>>& Rows(
-      const std::string& relation) const;
 
   /// Pool id of `v`, or `kNoValue` if `v` was never interned in the pool.
   /// (A value interned by another database sharing the pool resolves too;
@@ -95,16 +139,57 @@ class Database {
   /// Value string for a pool id.
   const Value& ValueName(ValueId id) const { return pool_->NameOf(id); }
 
-  /// Indices into `Rows(relation)` of the rows whose values at the
-  /// positions set in `mask` equal `key` (key values listed in ascending
-  /// position order). Builds and memoizes the (relation, mask) index on
-  /// first use; later `AddFact`s are folded in incrementally on the next
-  /// probe. Only the first 32 positions of a relation are indexable.
-  /// `mask` must be nonzero. Safe for concurrent const callers (see class
-  /// comment); the returned reference stays valid until the next AddFact.
-  const std::vector<std::uint32_t>& Probe(const std::string& relation,
-                                          std::uint32_t mask,
-                                          const std::vector<ValueId>& key) const;
+  /// Pool id of `relation`, or `kNoRelation`. Resolve once at query compile
+  /// time and probe by id — never per evaluation round.
+  RelationId RelationIdOf(std::string_view relation) const {
+    return pool_->Find(relation);
+  }
+
+  /// Number of rows of `rel` (0 if absent or never given a fact here).
+  std::size_t NumRows(RelationId rel) const;
+
+  /// Arity of `rel` (0 if absent). In the legacy layout: arity of the first
+  /// row.
+  std::size_t Arity(RelationId rel) const;
+
+  /// Row `r` of `rel` as a ValueId slice into the arena. `r < NumRows(rel)`.
+  std::span<const ValueId> Row(RelationId rel, std::size_t r) const;
+
+  /// The whole row arena of `rel` in the flat layout — row i is the slice
+  /// [i*Arity(rel), (i+1)*Arity(rel)) — so hot loops can slice rows without
+  /// a per-row relation lookup. Empty in the legacy layout (use `Row`).
+  /// Stays valid until the next AddFact.
+  std::span<const ValueId> Arena(RelationId rel) const;
+
+  /// Indices of the rows of `rel` whose values at the positions set in
+  /// `mask` equal `key` (key values listed in ascending position order,
+  /// `popcount(mask)` of them). Builds and memoizes the (relation, mask)
+  /// index on first use; later `AddFact`s are folded in incrementally on
+  /// the next probe. Only the first 32 positions of a relation are
+  /// indexable. `mask` must be nonzero. Safe for concurrent const callers
+  /// (see class comment); the returned span stays valid until the next
+  /// AddFact.
+  std::span<const std::uint32_t> Probe(RelationId rel, std::uint32_t mask,
+                                       std::span<const ValueId> key) const;
+
+  /// Name-level Probe; prefer the RelationId overload on hot paths.
+  std::span<const std::uint32_t> Probe(const std::string& relation,
+                                       std::uint32_t mask,
+                                       std::span<const ValueId> key) const;
+  std::span<const std::uint32_t> Probe(const std::string& relation,
+                                       std::uint32_t mask,
+                                       const std::vector<ValueId>& key) const {
+    return Probe(relation, mask, std::span<const ValueId>(key));
+  }
+
+  /// Batched probe: `out.size()` keys laid out consecutively in `keys`
+  /// (`popcount(mask)` values each); `out[i]` receives the bucket of key i,
+  /// exactly as `Probe(rel, mask, key_i)` would return it. In the flat
+  /// layout the block is sorted by home bucket before touching the table,
+  /// so a batch walks the table cache-friendly instead of hopping randomly.
+  void ProbeMany(RelationId rel, std::uint32_t mask,
+                 std::span<const ValueId> keys,
+                 std::span<std::span<const std::uint32_t>> out) const;
 
   /// Snapshot of the index counters. (Stored atomically so concurrent
   /// probes can bump them without locking; hence a by-value snapshot.)
@@ -113,6 +198,10 @@ class Database {
     s.indexes_built = index_stats_.indexes_built.load(std::memory_order_relaxed);
     s.probes = index_stats_.probes.load(std::memory_order_relaxed);
     s.rows_indexed = index_stats_.rows_indexed.load(std::memory_order_relaxed);
+    s.probe_collisions =
+        index_stats_.probe_collisions.load(std::memory_order_relaxed);
+    s.probe_resizes =
+        index_stats_.probe_resizes.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -130,9 +219,17 @@ class Database {
   /// returned reference stays valid until then.
   const std::vector<std::string>& Relations() const;
 
+  /// Relation ids in first-fact order (the deterministic iteration order
+  /// the engines use when merging deltas). Stays valid until the next
+  /// AddFact of a new relation.
+  const std::vector<RelationId>& RelationIds() const { return rel_ids_; }
+
   /// All values occurring in any fact (the active domain), in first-
   /// occurrence order. Maintained incrementally by AddFact; never rebuilt.
   const std::vector<Value>& ActiveDomain() const { return domain_; }
+
+  /// Pool ids of `ActiveDomain()`, parallel to it.
+  const std::vector<ValueId>& ActiveDomainIds() const { return domain_ids_list_; }
 
   std::size_t NumFacts() const { return num_facts_; }
 
@@ -142,20 +239,49 @@ class Database {
   std::string ToString() const;
 
  private:
-  // One lazily built hash index: rows keyed by their values at the masked
-  // positions. `rows_indexed` tracks how many of the relation's rows have
-  // been folded in, so Probe can catch up incrementally after AddFact.
+  // One open-addressing probe table (flat layout). Slots hold a nonzero
+  // 64-bit key — the +1-packed values for key widths ≤ 2, or 1 + an index
+  // into `wide_keys` otherwise — plus a (start, len) slice of the shared
+  // `postings` arena listing the matching row indices in row order.
+  // key == 0 marks an empty slot; packed keys are nonzero by construction
+  // because kNoValue never occurs in a row, so v+1 ≥ 1 for every value.
+  struct FlatIndex {
+    struct Slot {
+      std::uint64_t key = 0;
+      std::uint32_t start = 0;
+      std::uint32_t len = 0;
+    };
+    std::vector<Slot> slots;              // power-of-two capacity, or empty
+    std::vector<ValueId> wide_keys;       // key_width values per wide key
+    std::vector<std::uint32_t> postings;  // shared bucket arena
+    std::uint32_t key_width = 0;
+    std::size_t used = 0;          // occupied slots
+    std::size_t rows_indexed = 0;  // rows folded in (catch-up watermark)
+  };
+
+  // One lazily built hash index of the legacy layout: rows keyed by their
+  // values at the masked positions.
   struct RelIndex {
     std::unordered_map<std::vector<ValueId>, std::vector<std::uint32_t>,
                        VectorHash<ValueId>>
         buckets;
     std::size_t rows_indexed = 0;
   };
+
   struct RelationData {
+    std::string name;
+    RelationId id = kNoRelation;
+    std::size_t arity = 0;
+    std::size_t num_rows = 0;
     std::vector<Tuple> tuples;
+    // Flat layout: the arena (stride = arity), the eagerly maintained
+    // full-row table (duplicate detection + HasRow; every key has exactly
+    // one posting), and the lazy per-mask probe tables.
+    std::vector<ValueId> arena;
+    FlatIndex primary;
+    mutable std::unordered_map<std::uint32_t, FlatIndex> flat_indexes;
+    // Legacy layout: nested rows + hash-set dedup + unordered_map indexes.
     std::vector<std::vector<ValueId>> rows;  // parallel to `tuples`
-    // Duplicate detection over interned rows: one string hash per value at
-    // interning time instead of re-hashing whole string tuples.
     std::unordered_set<std::vector<ValueId>, VectorHash<ValueId>> set;
     mutable std::unordered_map<std::uint32_t, RelIndex> indexes;
   };
@@ -177,11 +303,10 @@ class Database {
     std::atomic<std::uint64_t> indexes_built{0};
     std::atomic<std::uint64_t> probes{0};
     std::atomic<std::uint64_t> rows_indexed{0};
+    std::atomic<std::uint64_t> probe_collisions{0};
+    std::atomic<std::uint64_t> probe_resizes{0};
     AtomicIndexStats() = default;
-    AtomicIndexStats(const AtomicIndexStats& o)
-        : indexes_built(o.indexes_built.load(std::memory_order_relaxed)),
-          probes(o.probes.load(std::memory_order_relaxed)),
-          rows_indexed(o.rows_indexed.load(std::memory_order_relaxed)) {}
+    AtomicIndexStats(const AtomicIndexStats& o) { *this = o; }
     AtomicIndexStats& operator=(const AtomicIndexStats& o) {
       indexes_built.store(o.indexes_built.load(std::memory_order_relaxed),
                           std::memory_order_relaxed);
@@ -189,14 +314,53 @@ class Database {
                    std::memory_order_relaxed);
       rows_indexed.store(o.rows_indexed.load(std::memory_order_relaxed),
                          std::memory_order_relaxed);
+      probe_collisions.store(
+          o.probe_collisions.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      probe_resizes.store(o.probe_resizes.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
       return *this;
     }
   };
 
+  // Relation lookup / creation by pool id. Returns nullptr if `rel` names
+  // no relation of this database.
+  const RelationData* FindRelation(RelationId rel) const;
+  RelationData& EnsureRelation(RelationId rel);
+
+  // Shared AddFact/AddRow core; `tuple` (optional) donates the string
+  // tuple, otherwise it is materialized from the pool.
+  bool AddRowInternal(RelationData& data, std::span<const ValueId> row,
+                      Tuple* tuple);
+
+  // Flat probe-table machinery (definitions in database.cc).
+  std::uint64_t HashKey(const FlatIndex& idx, std::span<const ValueId> key,
+                        std::uint64_t packed) const;
+  std::size_t FindSlot(const FlatIndex& idx, std::span<const ValueId> key,
+                       std::uint64_t packed, std::uint64_t* steps) const;
+  void EnsureFlatCapacity(FlatIndex* idx, std::size_t keys) const;
+  std::size_t InsertSlot(FlatIndex* idx, std::span<const ValueId> key,
+                         std::uint64_t packed) const;
+  void CatchUpFlat(const RelationData& data, std::uint32_t mask,
+                   FlatIndex* idx) const;
+  const FlatIndex* EnsureFlatIndex(const RelationData& data,
+                                   std::uint32_t mask) const;
+  std::span<const std::uint32_t> LookupFlat(const FlatIndex& idx,
+                                            std::span<const ValueId> key) const;
+
+  // Legacy probe path (the original unordered_map implementation).
+  std::span<const std::uint32_t> ProbeLegacy(const RelationData& data,
+                                             std::uint32_t mask,
+                                             std::span<const ValueId> key) const;
+
   std::shared_ptr<Interner> pool_;
-  std::unordered_map<std::string, RelationData> relations_;
-  std::vector<Value> domain_;               // first-occurrence order
-  std::unordered_set<ValueId> domain_ids_;  // membership for domain_
+  DatabaseLayout layout_;
+  std::deque<RelationData> rels_;          // stable refs; first-fact order
+  std::vector<std::int32_t> rel_slot_;     // pool id -> index in rels_, or -1
+  std::vector<RelationId> rel_ids_;        // parallel to rels_
+  std::vector<Value> domain_;              // first-occurrence order
+  std::vector<ValueId> domain_ids_list_;   // parallel to domain_
+  std::unordered_set<ValueId> domain_ids_; // membership for domain_
   mutable std::vector<std::string> relations_cache_;
   mutable bool relations_dirty_ = true;
   mutable AtomicIndexStats index_stats_;
@@ -207,7 +371,8 @@ class Database {
 
 /// The canonical database D_theta of a CQ: one fact per atom, with each
 /// variable frozen to a value named after it. Constants keep their name.
-Database CanonicalDatabase(const ConjunctiveQuery& cq);
+Database CanonicalDatabase(const ConjunctiveQuery& cq,
+                           DatabaseLayout layout = DatabaseLayout::kFlat);
 
 /// The tuple of frozen head variables of `cq` (the tuple to look for in the
 /// Chandra-Merlin containment test).

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cstddef>
 #include <limits>
+#include <optional>
 #include <set>
+#include <span>
+#include <string>
 
 #include "base/check.h"
 
@@ -118,9 +121,12 @@ struct ScanSearcher {
 };
 
 // ---------------------------------------------------------------------------
-// Indexed engine: interned value ids, per-relation hash indexes on the
+// Indexed engine: interned value ids, per-relation probe tables on the
 // bound-position subset, and dynamic atom selection by estimated candidate
-// count. All databases must share one value pool.
+// count. All databases must share one value pool. Candidate rows are read
+// as slices of the relation's flat arena (per-row fallback for the legacy
+// layout); probe keys live in a stack buffer, so an atom expansion does
+// not allocate.
 // ---------------------------------------------------------------------------
 struct IndexedSearcher {
   // One atom position: either a pool-interned constant or a dense-local
@@ -132,7 +138,10 @@ struct IndexedSearcher {
   };
   struct AtomInfo {
     const Database* db;
-    const std::string* predicate;
+    RelationId rel;  // pool id of the predicate; kNoRelation matches nothing
+    std::size_t num_rows;               // frozen-region snapshot
+    std::size_t arity;                  // of the stored relation (0 if absent)
+    std::span<const ValueId> arena;     // flat layout only; empty otherwise
     std::vector<Slot> slots;
   };
 
@@ -140,24 +149,30 @@ struct IndexedSearcher {
   std::vector<bool> used;
   std::vector<ValueId> binding;        // var slot -> id, kNoValue if unbound
   std::vector<std::string> var_names;  // var slot -> name
+  std::unordered_map<std::string, int> var_slots;
   const Interner* pool;
   const Assignment* fixed;
   HomSearchStats* stats;
   const std::function<bool(const Assignment&)>* visit = nullptr;
+  const std::function<bool(std::span<const ValueId>)>* visit_ids = nullptr;
   bool stopped = false;
   bool impossible = false;  // a constant or fixed value matches no fact
 
   IndexedSearcher(const std::vector<Atom>& atoms_in,
                   const std::vector<const Database*>& dbs_in,
+                  std::span<const RelationId> rel_ids,
                   const Assignment& fixed_in, HomSearchStats* stats_in)
       : fixed(&fixed_in), stats(stats_in) {
     pool = dbs_in.empty() ? nullptr : dbs_in[0]->pool().get();
-    std::unordered_map<std::string, int> var_slots;
     atoms.reserve(atoms_in.size());
     for (std::size_t i = 0; i < atoms_in.size(); ++i) {
       AtomInfo info;
       info.db = dbs_in[i];
-      info.predicate = &atoms_in[i].predicate();
+      info.rel = rel_ids.empty() ? pool->Find(atoms_in[i].predicate())
+                                 : rel_ids[i];
+      info.num_rows = info.db->NumRows(info.rel);
+      info.arity = info.db->Arity(info.rel);
+      info.arena = info.db->Arena(info.rel);
       info.slots.reserve(atoms_in[i].arity());
       for (const Term& t : atoms_in[i].terms()) {
         Slot slot;
@@ -195,6 +210,10 @@ struct IndexedSearcher {
   }
 
   void Emit() {
+    if (visit_ids != nullptr) {
+      if (!(*visit_ids)(std::span<const ValueId>(binding))) stopped = true;
+      return;
+    }
     Assignment out = *fixed;
     for (std::size_t v = 0; v < binding.size(); ++v) {
       if (binding[v] != kNoValue) out.emplace(var_names[v], pool->NameOf(binding[v]));
@@ -202,21 +221,22 @@ struct IndexedSearcher {
     if (!(*visit)(out)) stopped = true;
   }
 
-  // Bound-position mask and key of `atom` under the current binding. A
+  // Bound-position mask of `atom` under the current binding, with the key
+  // values written into `key_buf` (caller-provided, ≥32 entries). A
   // position is bound if it holds a constant or an already-bound variable;
   // only the first 32 positions are indexable.
-  void BoundMask(const AtomInfo& atom, std::uint32_t* mask,
-                 std::vector<ValueId>* key) const {
-    *mask = 0;
-    key->clear();
+  std::uint32_t BoundMask(const AtomInfo& atom, ValueId* key_buf) const {
+    std::uint32_t mask = 0;
+    std::size_t k = 0;
     const std::size_t limit = std::min<std::size_t>(atom.slots.size(), 32);
     for (std::size_t p = 0; p < limit; ++p) {
       const Slot& s = atom.slots[p];
       ValueId id = s.is_const ? s.const_id : binding[s.var];
       if (id == kNoValue) continue;
-      *mask |= 1u << p;
-      key->push_back(id);
+      mask |= 1u << p;
+      key_buf[k++] = id;
     }
+    return mask;
   }
 
   int BoundCount(const AtomInfo& atom) const {
@@ -227,6 +247,16 @@ struct IndexedSearcher {
       if ((s.is_const ? s.const_id : binding[s.var]) != kNoValue) ++c;
     }
     return c;
+  }
+
+  // Row `r` of the atom's relation: an arena slice in the flat layout, the
+  // per-row accessor otherwise.
+  std::span<const ValueId> RowOf(const AtomInfo& atom, std::uint32_t r) const {
+    if (!atom.arena.empty() || atom.arity == 0) {
+      return atom.arena.subspan(static_cast<std::size_t>(r) * atom.arity,
+                                atom.arity);
+    }
+    return atom.db->Row(atom.rel, r);
   }
 
   void Recurse(std::size_t depth) {
@@ -248,27 +278,33 @@ struct IndexedSearcher {
     }
     int best = -1;
     std::size_t best_count = std::numeric_limits<std::size_t>::max();
-    const std::vector<std::uint32_t>* best_bucket = nullptr;
-    std::uint32_t mask = 0;
-    std::vector<ValueId> key;
+    bool best_indexed = false;
+    std::span<const std::uint32_t> best_bucket;
+    ValueId key_buf[32];
     for (std::size_t i = 0; i < atoms.size(); ++i) {
       if (used[i]) continue;
       const AtomInfo& atom = atoms[i];
       if (BoundCount(atom) != max_bound) continue;
-      const std::vector<std::uint32_t>* bucket = nullptr;
+      std::span<const std::uint32_t> bucket;
+      bool indexed = false;
       std::size_t count;
       if (max_bound > 0) {
-        BoundMask(atom, &mask, &key);
+        const std::uint32_t mask = BoundMask(atom, key_buf);
         if (stats != nullptr) ++stats->index_probes;
-        bucket = &atom.db->Probe(*atom.predicate, mask, key);
-        count = bucket->size();
+        bucket = atom.db->Probe(
+            atom.rel, mask,
+            std::span<const ValueId>(key_buf,
+                                     static_cast<std::size_t>(max_bound)));
+        count = bucket.size();
+        indexed = true;
       } else {
-        count = atom.db->Rows(*atom.predicate).size();
+        count = atom.num_rows;
       }
       if (count < best_count) {
         best = static_cast<int>(i);
         best_count = count;
         best_bucket = bucket;
+        best_indexed = indexed;
         if (count == 0) break;
       }
     }
@@ -277,14 +313,13 @@ struct IndexedSearcher {
       return;
     }
     const AtomInfo& atom = atoms[best];
-    const auto& rows = atom.db->Rows(*atom.predicate);
     used[best] = true;
     std::vector<int> newly_bound;
-    auto try_row = [&](const std::vector<ValueId>& row) {
+    auto try_row = [&](std::span<const ValueId> row) {
       if (row.size() != atom.slots.size()) return;
       if (stats != nullptr) {
         ++stats->atom_attempts;
-        if (best_bucket != nullptr) {
+        if (best_indexed) {
           ++stats->index_candidates;
         } else {
           ++stats->scan_candidates;
@@ -319,14 +354,14 @@ struct IndexedSearcher {
       }
       for (int v : newly_bound) binding[v] = kNoValue;
     };
-    if (best_bucket != nullptr) {
-      for (std::uint32_t r : *best_bucket) {
-        try_row(rows[r]);
+    if (best_indexed) {
+      for (std::uint32_t r : best_bucket) {
+        try_row(RowOf(atom, r));
         if (stopped) break;
       }
     } else {
-      for (const auto& row : rows) {
-        try_row(row);
+      for (std::uint32_t r = 0; r < atom.num_rows; ++r) {
+        try_row(RowOf(atom, r));
         if (stopped) break;
       }
     }
@@ -343,14 +378,60 @@ bool SharePool(const std::vector<const Database*>& dbs) {
 
 }  // namespace
 
+// Pimpl body of RowEnumerator: owns the fixed-assignment copy the searcher
+// borrows from.
+class RowEnumeratorImpl {
+ public:
+  Assignment fixed;
+  std::optional<IndexedSearcher> searcher;
+  bool valid = false;
+  static const std::vector<std::string> kNoVars;
+};
+const std::vector<std::string> RowEnumeratorImpl::kNoVars;
+
+RowEnumerator::RowEnumerator(const std::vector<Atom>& atoms,
+                             const std::vector<const Database*>& dbs,
+                             std::span<const RelationId> rel_ids,
+                             const Assignment& fixed, HomSearchStats* stats,
+                             const HomSearchOptions& options)
+    : impl_(std::make_unique<RowEnumeratorImpl>()) {
+  QCONT_CHECK(atoms.size() == dbs.size());
+  impl_->valid = options.use_index && !dbs.empty() && SharePool(dbs);
+  if (!impl_->valid) return;
+  impl_->fixed = fixed;
+  impl_->searcher.emplace(atoms, dbs, rel_ids, impl_->fixed, stats);
+}
+
+RowEnumerator::~RowEnumerator() = default;
+
+bool RowEnumerator::valid() const { return impl_->valid; }
+
+const std::vector<std::string>& RowEnumerator::var_names() const {
+  return impl_->searcher ? impl_->searcher->var_names
+                         : RowEnumeratorImpl::kNoVars;
+}
+
+int RowEnumerator::VarSlot(std::string_view name) const {
+  if (!impl_->searcher) return -1;
+  auto it = impl_->searcher->var_slots.find(std::string(name));
+  return it == impl_->searcher->var_slots.end() ? -1 : it->second;
+}
+
+void RowEnumerator::Enumerate(
+    const std::function<bool(std::span<const ValueId>)>& visit) {
+  if (!impl_->valid || impl_->searcher->impossible) return;
+  impl_->searcher->visit_ids = &visit;
+  impl_->searcher->Recurse(0);
+}
+
 void EnumerateHomomorphismsOver(
     const std::vector<Atom>& atoms, const std::vector<const Database*>& dbs,
-    const Assignment& fixed,
+    std::span<const RelationId> rel_ids, const Assignment& fixed,
     const std::function<bool(const Assignment&)>& visit,
     HomSearchStats* stats, const HomSearchOptions& options) {
   QCONT_CHECK(atoms.size() == dbs.size());
   if (options.use_index && SharePool(dbs)) {
-    IndexedSearcher searcher(atoms, dbs, fixed, stats);
+    IndexedSearcher searcher(atoms, dbs, rel_ids, fixed, stats);
     if (searcher.impossible) return;
     searcher.visit = &visit;
     searcher.Recurse(0);
@@ -359,6 +440,15 @@ void EnumerateHomomorphismsOver(
   ScanSearcher searcher(atoms, dbs, fixed, stats);
   searcher.visit = &visit;
   searcher.Recurse(0);
+}
+
+void EnumerateHomomorphismsOver(
+    const std::vector<Atom>& atoms, const std::vector<const Database*>& dbs,
+    const Assignment& fixed,
+    const std::function<bool(const Assignment&)>& visit,
+    HomSearchStats* stats, const HomSearchOptions& options) {
+  EnumerateHomomorphismsOver(atoms, dbs, /*rel_ids=*/{}, fixed, visit, stats,
+                             options);
 }
 
 void EnumerateHomomorphisms(const ConjunctiveQuery& cq, const Database& db,

@@ -3,8 +3,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -109,6 +112,56 @@ void EnumerateHomomorphismsOver(
     const Assignment& fixed,
     const std::function<bool(const Assignment&)>& visit,
     HomSearchStats* stats = nullptr, const HomSearchOptions& options = {});
+
+/// As above, with the atoms' relation ids pre-resolved by the caller
+/// (`rel_ids` parallel to `atoms`, `kNoRelation` for predicates without
+/// facts). Lets compiled queries skip the per-call name resolution; an
+/// empty `rel_ids` resolves the names through the pool as before.
+void EnumerateHomomorphismsOver(
+    const std::vector<Atom>& atoms, const std::vector<const Database*>& dbs,
+    std::span<const RelationId> rel_ids, const Assignment& fixed,
+    const std::function<bool(const Assignment&)>& visit,
+    HomSearchStats* stats = nullptr, const HomSearchOptions& options = {});
+
+/// Interned-row face of the indexed engine, for callers that consume
+/// ValueIds directly (the semi-naive join): enumerates the homomorphisms of
+/// `atoms` into `dbs` and hands each to `visit` as a var-slot → ValueId
+/// vector aligned with `var_names()`, never materializing strings.
+///
+/// Only the indexed engine is wrapped: `valid()` is false when the
+/// databases do not share a value pool or `options.use_index` is off, and
+/// the caller must fall back to the string-level entry points (`Enumerate`
+/// on an invalid enumerator is a no-op). `atoms`, `dbs` and `stats` are
+/// borrowed and must outlive the enumerator; `fixed` is copied.
+class RowEnumerator {
+ public:
+  /// `rel_ids` parallel to `atoms` (empty: resolve through the pool).
+  RowEnumerator(const std::vector<Atom>& atoms,
+                const std::vector<const Database*>& dbs,
+                std::span<const RelationId> rel_ids, const Assignment& fixed,
+                HomSearchStats* stats, const HomSearchOptions& options);
+  ~RowEnumerator();
+  RowEnumerator(const RowEnumerator&) = delete;
+  RowEnumerator& operator=(const RowEnumerator&) = delete;
+
+  bool valid() const;
+
+  /// Variable names in slot order (deterministic first-occurrence order
+  /// over the atoms as given). Available before Enumerate, so callers can
+  /// map output positions (e.g. Datalog head terms) to slots up front.
+  const std::vector<std::string>& var_names() const;
+
+  /// Slot of `name` in the visit span, or -1 if the variable occurs in no
+  /// atom.
+  int VarSlot(std::string_view name) const;
+
+  /// Runs the search; `visit` returns false to stop early. The span is
+  /// only valid during the call. May be called at most once.
+  void Enumerate(const std::function<bool(std::span<const ValueId>)>& visit);
+
+ private:
+  std::unique_ptr<class RowEnumeratorImpl> impl_;
+};
 
 /// Evaluates cq(db): the set of distinct head tuples h(x̄) over all
 /// homomorphisms h. For a Boolean query the result is {()} or {}.

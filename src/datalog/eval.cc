@@ -1,9 +1,13 @@
 #include "datalog/eval.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "base/check.h"
 #include "base/thread_pool.h"
 #include "cq/homomorphism.h"
 #include "cq/query.h"
@@ -12,28 +16,90 @@ namespace qcont {
 
 namespace {
 
+// A rule with its relation ids resolved once, before the fixpoint starts:
+// the head and every body predicate are interned into the working
+// database's pool up front (interning is idempotent and the compile pass is
+// serial, so the pool contents are deterministic), and every later firing
+// reuses the ids instead of re-resolving names per round. A body predicate
+// with no facts yet simply has no rows behind its id until a round derives
+// some.
+struct CompiledRule {
+  const Rule* rule = nullptr;
+  RelationId head_rel = kNoRelation;
+  std::size_t head_arity = 0;
+  std::vector<RelationId> body_rels;
+};
+
+std::vector<CompiledRule> CompileRules(const DatalogProgram& program,
+                                       Database& db) {
+  std::vector<CompiledRule> compiled;
+  compiled.reserve(program.rules().size());
+  for (const Rule& rule : program.rules()) {
+    CompiledRule cr;
+    cr.rule = &rule;
+    cr.head_rel = db.pool()->Intern(rule.head.predicate());
+    cr.head_arity = rule.head.arity();
+    cr.body_rels.reserve(rule.body.size());
+    for (const Atom& atom : rule.body) {
+      cr.body_rels.push_back(db.pool()->Intern(atom.predicate()));
+    }
+    compiled.push_back(std::move(cr));
+  }
+  return compiled;
+}
+
 // One rule firing: the derived head tuples plus this firing's counters.
 // Stats are task-local by construction — no pointer is shared between
 // concurrent firings; callers fold `stats` in with Merge at the join.
+//
+// The indexed engine fires through the interned-row face (`rows` holds the
+// head tuples flattened with stride head_arity, `num_rows` counts them so
+// arity-0 heads stay countable); the scan engine falls back to string
+// tuples in `tuples`. Exactly one of the two shapes is filled, flagged by
+// `id_path`.
 struct FiredRule {
   std::vector<Tuple> tuples;
+  std::vector<ValueId> rows;
+  std::size_t num_rows = 0;
+  bool id_path = false;
   DatalogEvalStats stats;
 };
 
-// Derives the head tuples produced by `rule` over `db`. If `delta_position`
+// Derives the head tuples produced by `cr` over `db`. If `delta_position`
 // is >= 0, the body atom at that index is matched against `delta` instead
 // of `db` (the semi-naive restriction "at least one new fact"), realized by
 // pointing that atom's search at the delta database — no copies, no
 // renaming; delta and db share a value pool so the indexed join applies
 // (index the delta, probe the full relation, and vice versa: the searcher
 // orders atoms by candidate count, so whichever side is smaller drives).
-FiredRule FireRule(const Rule& rule, const Database& db, const Database* delta,
-                   int delta_position, const HomSearchOptions& options) {
+FiredRule FireRule(const CompiledRule& cr, const Database& db,
+                   const Database* delta, int delta_position,
+                   const HomSearchOptions& options) {
+  const Rule& rule = *cr.rule;
   std::vector<const Database*> dbs(rule.body.size(), &db);
   if (delta_position >= 0) dbs[delta_position] = delta;
   FiredRule out;
+  RowEnumerator rows(rule.body, dbs, cr.body_rels, /*fixed=*/{},
+                     &out.stats.hom, options);
+  if (rows.valid()) {
+    out.id_path = true;
+    std::vector<int> head_slots;
+    head_slots.reserve(cr.head_arity);
+    for (const Term& v : rule.head.terms()) {
+      int slot = rows.VarSlot(v.name());
+      QCONT_CHECK_MSG(slot >= 0, "head variable not bound in rule body");
+      head_slots.push_back(slot);
+    }
+    rows.Enumerate([&](std::span<const ValueId> h) {
+      for (int slot : head_slots) out.rows.push_back(h[slot]);
+      ++out.num_rows;
+      ++out.stats.rule_firings;
+      return true;
+    });
+    return out;
+  }
   EnumerateHomomorphismsOver(
-      rule.body, dbs, /*fixed=*/{},
+      rule.body, dbs, cr.body_rels, /*fixed=*/{},
       [&](const Assignment& h) {
         Tuple t;
         t.reserve(rule.head.arity());
@@ -48,6 +114,39 @@ FiredRule FireRule(const Rule& rule, const Database& db, const Database* delta,
   return out;
 }
 
+// Serial merge used by the naive rounds and semi-naive round 0: insert the
+// firing's tuples into `all` (and `delta`, if given) immediately, so later
+// rules of the same round see them.
+void MergeSerial(const CompiledRule& cr, FiredRule& fired, Database& all,
+                 Database* delta, bool* changed, DatalogEvalStats* stats) {
+  if (fired.id_path) {
+    for (std::size_t i = 0; i < fired.num_rows; ++i) {
+      std::span<const ValueId> row(fired.rows.data() + i * cr.head_arity,
+                                   cr.head_arity);
+      if (all.AddRow(cr.head_rel, row)) {
+        if (delta != nullptr) delta->AddRow(cr.head_rel, row);
+        if (changed != nullptr) *changed = true;
+        if (stats != nullptr) ++stats->derived_facts;
+      }
+    }
+    return;
+  }
+  const std::string& head = cr.rule->head.predicate();
+  for (Tuple& t : fired.tuples) {
+    bool added;
+    if (delta != nullptr) {
+      added = all.AddFact(head, t);
+      if (added) delta->AddFact(head, std::move(t));
+    } else {
+      added = all.AddFact(head, std::move(t));
+    }
+    if (added) {
+      if (changed != nullptr) *changed = true;
+      if (stats != nullptr) ++stats->derived_facts;
+    }
+  }
+}
+
 Result<Database> EvaluateProgramImpl(const DatalogProgram& program,
                                      const Database& edb,
                                      const EvalOptions& options,
@@ -57,6 +156,7 @@ Result<Database> EvaluateProgramImpl(const DatalogProgram& program,
   eval_span.AddArg("rules", program.rules().size());
   Database all = edb;
   all.set_obs(options.obs);
+  const std::vector<CompiledRule> compiled = CompileRules(program, all);
   HomSearchOptions hom_options;
   hom_options.use_index = options.use_index;
   std::uint64_t round = 0;
@@ -71,15 +171,10 @@ Result<Database> EvaluateProgramImpl(const DatalogProgram& program,
       ObsSpan round_span(options.obs, "datalog/round", "datalog");
       round_span.AddArg("round", round++);
       if (stats != nullptr) ++stats->iterations;
-      for (const Rule& rule : program.rules()) {
-        FiredRule fired = FireRule(rule, all, nullptr, -1, hom_options);
+      for (const CompiledRule& cr : compiled) {
+        FiredRule fired = FireRule(cr, all, nullptr, -1, hom_options);
         if (stats != nullptr) stats->Merge(fired.stats);
-        for (Tuple& t : fired.tuples) {
-          if (all.AddFact(rule.head.predicate(), std::move(t))) {
-            changed = true;
-            if (stats != nullptr) ++stats->derived_facts;
-          }
-        }
+        MergeSerial(cr, fired, all, nullptr, &changed, stats);
       }
     }
     return all;
@@ -87,24 +182,20 @@ Result<Database> EvaluateProgramImpl(const DatalogProgram& program,
 
   // Semi-naive: round 0 fires all rules on the EDB; later rounds require at
   // least one body atom to match the previous round's delta. The deltas
-  // share `all`'s value pool so the indexed join spans both databases.
-  // Round 0 stays serial: like the naive rounds, each rule sees the facts
-  // added by the rules before it.
-  Database delta(all.pool());
+  // share `all`'s value pool (and layout, so differential runs exercise one
+  // layout end to end), so the indexed join spans both databases. Round 0
+  // stays serial: like the naive rounds, each rule sees the facts added by
+  // the rules before it.
+  Database delta(all.pool(), all.layout());
   delta.set_obs(options.obs);
   {
     ObsSpan round_span(options.obs, "datalog/round", "datalog");
     round_span.AddArg("round", round++);
     if (stats != nullptr) ++stats->iterations;
-    for (const Rule& rule : program.rules()) {
-      FiredRule fired = FireRule(rule, all, nullptr, -1, hom_options);
+    for (const CompiledRule& cr : compiled) {
+      FiredRule fired = FireRule(cr, all, nullptr, -1, hom_options);
       if (stats != nullptr) stats->Merge(fired.stats);
-      for (Tuple& t : fired.tuples) {
-        if (all.AddFact(rule.head.predicate(), t)) {
-          delta.AddFact(rule.head.predicate(), std::move(t));
-          if (stats != nullptr) ++stats->derived_facts;
-        }
-      }
+      MergeSerial(cr, fired, all, &delta, nullptr, stats);
     }
     round_span.AddArg("delta_facts", delta.NumFacts());
   }
@@ -112,7 +203,7 @@ Result<Database> EvaluateProgramImpl(const DatalogProgram& program,
     ObsSpan round_span(options.obs, "datalog/round", "datalog");
     round_span.AddArg("round", round++);
     if (stats != nullptr) ++stats->iterations;
-    Database next_delta(all.pool());
+    Database next_delta(all.pool(), all.layout());
     next_delta.set_obs(options.obs);
     // The (rule, delta position) joins of a round are independent: they
     // only read `all` and `delta`, which are frozen until the barrier. Each
@@ -121,15 +212,15 @@ Result<Database> EvaluateProgramImpl(const DatalogProgram& program,
     // serial loop for every thread count (including insertion order, which
     // fixes the interning order of new values).
     struct DeltaJoin {
-      const Rule* rule;
+      const CompiledRule* rule;
       int position;
     };
     std::vector<DeltaJoin> joins;
-    for (const Rule& rule : program.rules()) {
-      for (std::size_t i = 0; i < rule.body.size(); ++i) {
-        if (!program.IsIntensional(rule.body[i].predicate())) continue;
-        if (delta.Facts(rule.body[i].predicate()).empty()) continue;
-        joins.push_back(DeltaJoin{&rule, static_cast<int>(i)});
+    for (const CompiledRule& cr : compiled) {
+      for (std::size_t i = 0; i < cr.rule->body.size(); ++i) {
+        if (!program.IsIntensional(cr.rule->body[i].predicate())) continue;
+        if (delta.NumRows(cr.body_rels[i]) == 0) continue;
+        joins.push_back(DeltaJoin{&cr, static_cast<int>(i)});
       }
     }
     round_span.AddArg("joins", joins.size());
@@ -140,18 +231,53 @@ Result<Database> EvaluateProgramImpl(const DatalogProgram& program,
           return FireRule(*joins[t].rule, all, &delta, joins[t].position,
                           hom_options);
         });
+    std::vector<std::span<const std::uint32_t>> hits;
     for (std::size_t t = 0; t < joins.size(); ++t) {
       if (stats != nullptr) stats->Merge(fired[t].stats);
-      const std::string& head = joins[t].rule->head.predicate();
-      for (Tuple& tuple : fired[t].tuples) {
-        if (!all.HasFact(head, tuple)) {
-          next_delta.AddFact(head, std::move(tuple));
+      const CompiledRule& cr = *joins[t].rule;
+      if (fired[t].id_path) {
+        const std::size_t arity = cr.head_arity;
+        if (fired[t].num_rows > 0 && arity >= 1 && arity <= 32) {
+          // Batched dedup against `all`: one ProbeMany over the head
+          // relation's primary table resolves every candidate row of this
+          // firing in bucket order.
+          const std::uint32_t mask =
+              arity == 32 ? ~0u : ((1u << arity) - 1u);
+          hits.assign(fired[t].num_rows, {});
+          all.ProbeMany(cr.head_rel, mask, std::span<const ValueId>(fired[t].rows),
+                        std::span<std::span<const std::uint32_t>>(hits));
+          for (std::size_t i = 0; i < fired[t].num_rows; ++i) {
+            if (hits[i].empty()) {
+              next_delta.AddRow(
+                  cr.head_rel,
+                  std::span<const ValueId>(fired[t].rows.data() + i * arity,
+                                           arity));
+            }
+          }
+        } else {
+          for (std::size_t i = 0; i < fired[t].num_rows; ++i) {
+            std::span<const ValueId> row(fired[t].rows.data() + i * arity,
+                                         arity);
+            if (!all.HasRow(cr.head_rel, row)) {
+              next_delta.AddRow(cr.head_rel, row);
+            }
+          }
+        }
+      } else {
+        const std::string& head = cr.rule->head.predicate();
+        for (Tuple& tuple : fired[t].tuples) {
+          if (!all.HasFact(head, tuple)) {
+            next_delta.AddFact(head, std::move(tuple));
+          }
         }
       }
     }
-    for (const std::string& rel : next_delta.Relations()) {
-      for (const Tuple& t : next_delta.Facts(rel)) {
-        if (all.AddFact(rel, t) && stats != nullptr) ++stats->derived_facts;
+    for (RelationId rel : next_delta.RelationIds()) {
+      const std::size_t n = next_delta.NumRows(rel);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (all.AddRow(rel, next_delta.Row(rel, i)) && stats != nullptr) {
+          ++stats->derived_facts;
+        }
       }
     }
     round_span.AddArg("delta_facts", next_delta.NumFacts());
@@ -165,7 +291,8 @@ Result<Database> EvaluateProgramImpl(const DatalogProgram& program,
 // Publish funnel: with a metric sink attached, gather the run's counters
 // into a run-local struct, publish once at the end (the same deltas that
 // merge into the caller's legacy sink), and mirror the working database's
-// index counters as `db.*` gauges.
+// index counters as `db.*` gauges (including the open-addressing probe
+// table's collision and resize counters).
 Result<Database> EvaluateProgram(const DatalogProgram& program,
                                  const Database& edb,
                                  const EvalOptions& options,
@@ -182,6 +309,9 @@ Result<Database> EvaluateProgram(const DatalogProgram& program,
     metrics->SetGauge("db.indexes_built", idx.indexes_built);
     metrics->SetGauge("db.probes", idx.probes);
     metrics->SetGauge("db.rows_indexed", idx.rows_indexed);
+    metrics->SetGauge("db.probe_table.probes", idx.probes);
+    metrics->SetGauge("db.probe_table.collisions", idx.probe_collisions);
+    metrics->SetGauge("db.probe_table.resizes", idx.probe_resizes);
   }
   if (stats != nullptr) stats->Merge(run);
   return result;

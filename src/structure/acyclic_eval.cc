@@ -1,11 +1,15 @@
 #include "structure/acyclic_eval.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <set>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "base/hash.h"
 #include "structure/join_tree.h"
@@ -14,127 +18,79 @@ namespace qcont {
 
 namespace {
 
-// Candidate matches of one atom: variable list + rows of interned value ids
-// aligned to the variables.
-struct AtomRelation {
-  std::vector<std::string> vars;
-  std::vector<std::vector<ValueId>> rows;
+// Fixed assignment resolved to pool ids. A value of kNoValue means the
+// string was never interned, so any atom containing the variable matches
+// nothing (same outcome the string path produced per atom).
+using FixedIds = std::unordered_map<std::string, ValueId>;
+
+// One atom of the query, compiled against a database: relation id, constant
+// requirements and variable-position structure resolved once, so the
+// per-candidate satisfiability passes of full evaluation never touch
+// strings. Compiled per (query, database) pair.
+struct CompiledAtom {
+  RelationId rel = kNoRelation;
+  std::size_t arity = 0;                // of the query atom
+  std::vector<std::string> vars;        // distinct, first-occurrence order
+  std::vector<ValueId> const_required;  // per position: const id or kNoValue
+  std::vector<int> pos_var;             // per position: index in vars, or -1
+  std::vector<int> var_pos;             // per var: first position holding it
+  // (p1, p2) pairs a repeated variable must agree on.
+  std::vector<std::pair<int, int>> repeat_checks;
+  bool impossible = false;  // a constant was never interned: matches nothing
 };
 
-// Builds the per-atom candidate relation: database tuples unifying with the
-// atom under `fixed` (constants and repeated variables checked here). The
-// positions bound by constants or fixed variables are served through the
-// database's position-mask hash index instead of a full relation scan.
-AtomRelation BuildAtomRelation(const Atom& atom, const Database& db,
-                               const Assignment& fixed, YannakakisStats* stats,
-                               const ObsContext* obs) {
-  AtomRelation rel;
-  for (const Term& t : atom.Variables()) rel.vars.push_back(t.name());
-  const std::size_t arity = atom.arity();
-  // Per position: the required id (constant / fixed variable, kNoValue if
-  // free) and the index of the position's variable in rel.vars (-1 if
-  // constant).
-  std::vector<ValueId> required(arity, kNoValue);
-  std::vector<int> pos_var(arity, -1);
-  std::uint32_t mask = 0;
-  std::vector<ValueId> probe_key;
-  for (std::size_t i = 0; i < arity; ++i) {
+struct CompiledAcyclic {
+  JoinTree jt;
+  std::vector<CompiledAtom> atoms;
+  std::vector<int> post_order;
+  // Shared variable positions for the join-tree edge child v -> parent:
+  // edges[v] lists (var index in parent, var index in child).
+  std::vector<std::vector<std::pair<int, int>>> edges;
+};
+
+// Candidate matches of one atom at runtime: surviving row indices over the
+// relation's arena (never materialized projections).
+struct AtomState {
+  const CompiledAtom* ca = nullptr;
+  const Database* db = nullptr;
+  std::span<const ValueId> arena;  // flat layout; empty otherwise
+  std::vector<std::uint32_t> rows;
+
+  ValueId At(std::uint32_t r, int pos) const {
+    if (!arena.empty()) {
+      return arena[static_cast<std::size_t>(r) * ca->arity + pos];
+    }
+    return db->Row(ca->rel, r)[pos];
+  }
+};
+
+CompiledAtom CompileAtom(const Atom& atom, const Database& db) {
+  CompiledAtom ca;
+  ca.rel = db.RelationIdOf(atom.predicate());
+  ca.arity = atom.arity();
+  ca.const_required.assign(ca.arity, kNoValue);
+  ca.pos_var.assign(ca.arity, -1);
+  for (std::size_t i = 0; i < ca.arity; ++i) {
     const Term& t = atom.terms()[i];
     if (t.is_constant()) {
-      required[i] = db.ValueIdOf(t.name());
-      if (required[i] == kNoValue) return rel;  // matches no fact
+      ca.const_required[i] = db.ValueIdOf(t.name());
+      if (ca.const_required[i] == kNoValue) ca.impossible = true;
+      continue;
+    }
+    int v = -1;
+    for (std::size_t k = 0; k < ca.vars.size(); ++k) {
+      if (ca.vars[k] == t.name()) v = static_cast<int>(k);
+    }
+    if (v < 0) {
+      v = static_cast<int>(ca.vars.size());
+      ca.vars.push_back(t.name());
+      ca.var_pos.push_back(static_cast<int>(i));
     } else {
-      for (std::size_t v = 0; v < rel.vars.size(); ++v) {
-        if (rel.vars[v] == t.name()) pos_var[i] = static_cast<int>(v);
-      }
-      auto fixed_it = fixed.find(t.name());
-      if (fixed_it != fixed.end()) {
-        required[i] = db.ValueIdOf(fixed_it->second);
-        if (required[i] == kNoValue) return rel;
-      }
+      ca.repeat_checks.emplace_back(ca.var_pos[v], static_cast<int>(i));
     }
-    if (required[i] != kNoValue && i < 32) {
-      mask |= 1u << i;
-      probe_key.push_back(required[i]);
-    }
+    ca.pos_var[i] = v;
   }
-  const auto& rows = db.Rows(atom.predicate());
-  const std::vector<std::uint32_t>* bucket = nullptr;
-  if (mask != 0) {
-    bucket = &db.Probe(atom.predicate(), mask, probe_key);
-    if (stats != nullptr) ++stats->index_probes;
-    ObsCount(obs, "yannakakis.index_probes", 1);
-  }
-  auto try_row = [&](const std::vector<ValueId>& row) {
-    if (row.size() != arity) return;
-    std::vector<ValueId> out(rel.vars.size(), kNoValue);
-    for (std::size_t i = 0; i < arity; ++i) {
-      if (required[i] != kNoValue && row[i] != required[i]) return;
-      const int v = pos_var[i];
-      if (v < 0) continue;
-      if (out[v] == kNoValue) {
-        out[v] = row[i];
-      } else if (out[v] != row[i]) {
-        return;  // repeated variable bound inconsistently
-      }
-    }
-    rel.rows.push_back(std::move(out));
-  };
-  if (bucket != nullptr) {
-    for (std::uint32_t r : *bucket) try_row(rows[r]);
-  } else {
-    for (const auto& row : rows) try_row(row);
-  }
-  return rel;
-}
-
-// Positions of the variables shared between two atom relations.
-void SharedPositions(const AtomRelation& a, const AtomRelation& b,
-                     std::vector<int>* pos_a, std::vector<int>* pos_b) {
-  for (std::size_t i = 0; i < a.vars.size(); ++i) {
-    for (std::size_t j = 0; j < b.vars.size(); ++j) {
-      if (a.vars[i] == b.vars[j]) {
-        pos_a->push_back(static_cast<int>(i));
-        pos_b->push_back(static_cast<int>(j));
-      }
-    }
-  }
-}
-
-// target := target ⋉ source (keep target rows whose shared-variable
-// projection appears in source).
-void Semijoin(AtomRelation* target, const AtomRelation& source,
-              YannakakisStats* stats, const ObsContext* obs) {
-  std::vector<int> pos_t, pos_s;
-  SharedPositions(*target, source, &pos_t, &pos_s);
-  if (stats != nullptr) {
-    ++stats->semijoins;
-    stats->tuples_scanned += target->rows.size() + source.rows.size();
-  }
-  ObsCount(obs, "yannakakis.semijoins", 1);
-  ObsCount(obs, "yannakakis.tuples_scanned",
-           target->rows.size() + source.rows.size());
-  if (pos_t.empty()) {
-    // No shared variables: the semijoin only empties target if source is
-    // empty (no supporting tuple at all).
-    if (source.rows.empty()) target->rows.clear();
-    return;
-  }
-  std::unordered_set<std::vector<ValueId>, VectorHash<ValueId>> keys;
-  for (const auto& row : source.rows) {
-    std::vector<ValueId> key;
-    key.reserve(pos_s.size());
-    for (int p : pos_s) key.push_back(row[p]);
-    keys.insert(std::move(key));
-  }
-  std::vector<std::vector<ValueId>> kept;
-  for (auto& row : target->rows) {
-    std::vector<ValueId> key;
-    key.reserve(pos_t.size());
-    for (int p : pos_t) key.push_back(row[p]);
-    if (keys.count(key)) kept.push_back(std::move(row));
-  }
-  target->rows = std::move(kept);
+  return ca;
 }
 
 // Post-order over the join forest (children before parents).
@@ -155,35 +111,186 @@ std::vector<int> PostOrder(const JoinTree& jt) {
   return order;
 }
 
-struct ReducedQuery {
-  JoinTree jt;
-  std::vector<AtomRelation> relations;
-  bool empty_component = false;  // some root emptied out
-};
-
-Result<ReducedQuery> UpwardReduce(const ConjunctiveQuery& cq,
-                                  const Database& db, const Assignment& fixed,
-                                  YannakakisStats* stats,
-                                  const ObsContext* obs) {
+Result<CompiledAcyclic> Compile(const ConjunctiveQuery& cq,
+                                const Database& db) {
   QCONT_RETURN_IF_ERROR(cq.Validate());
-  QCONT_ASSIGN_OR_RETURN(JoinTree jt, BuildJoinTree(cq));
-  ObsSpan reduce_span(obs, "yannakakis/upward_reduce", "structure");
-  reduce_span.AddArg("atoms", cq.atoms().size());
-  ReducedQuery out;
-  out.jt = std::move(jt);
-  out.relations.reserve(cq.atoms().size());
-  for (const Atom& a : cq.atoms()) {
-    out.relations.push_back(BuildAtomRelation(a, db, fixed, stats, obs));
-  }
-  for (int v : PostOrder(out.jt)) {
-    int p = out.jt.parent[v];
-    if (p >= 0) {
-      Semijoin(&out.relations[p], out.relations[v], stats, obs);
-    } else if (out.relations[v].rows.empty()) {
-      out.empty_component = true;
+  CompiledAcyclic out;
+  QCONT_ASSIGN_OR_RETURN(out.jt, BuildJoinTree(cq));
+  out.atoms.reserve(cq.atoms().size());
+  for (const Atom& a : cq.atoms()) out.atoms.push_back(CompileAtom(a, db));
+  out.post_order = PostOrder(out.jt);
+  out.edges.resize(out.atoms.size());
+  for (std::size_t v = 0; v < out.atoms.size(); ++v) {
+    const int p = out.jt.parent[v];
+    if (p < 0) continue;
+    const CompiledAtom& child = out.atoms[v];
+    const CompiledAtom& parent = out.atoms[p];
+    for (std::size_t i = 0; i < parent.vars.size(); ++i) {
+      for (std::size_t j = 0; j < child.vars.size(); ++j) {
+        if (parent.vars[i] == child.vars[j]) {
+          out.edges[v].emplace_back(static_cast<int>(i), static_cast<int>(j));
+        }
+      }
     }
   }
   return out;
+}
+
+// Builds the per-atom candidate state: indices of the database rows
+// unifying with the atom under `fixed` (constants and repeated variables
+// checked here). The positions bound by constants or fixed variables are
+// served through the relation's probe table instead of a full scan.
+AtomState BuildAtomState(const CompiledAtom& ca, const Database& db,
+                         const FixedIds& fixed, YannakakisStats* stats,
+                         const ObsContext* obs) {
+  AtomState st;
+  st.ca = &ca;
+  st.db = &db;
+  if (ca.impossible) return st;
+  const std::size_t n = db.NumRows(ca.rel);
+  if (n == 0) return st;
+  st.arena = db.Arena(ca.rel);
+  const bool flat = !st.arena.empty() || ca.arity == 0;
+  if (flat && db.Arity(ca.rel) != ca.arity) return st;  // uniform arity
+  // Per position: the required id (constant / fixed variable, kNoValue if
+  // free).
+  ValueId required_buf[64];
+  std::span<ValueId> required(
+      required_buf, ca.arity <= 64 ? ca.arity : 0);
+  std::vector<ValueId> required_heap;
+  if (ca.arity > 64) {
+    required_heap.assign(ca.arity, kNoValue);
+    required = required_heap;
+  }
+  std::copy(ca.const_required.begin(), ca.const_required.end(),
+            required.begin());
+  for (std::size_t k = 0; k < ca.vars.size(); ++k) {
+    auto it = fixed.find(ca.vars[k]);
+    if (it == fixed.end()) continue;
+    if (it->second == kNoValue) return st;  // value never interned
+    for (std::size_t i = 0; i < ca.arity; ++i) {
+      if (ca.pos_var[i] == static_cast<int>(k)) required[i] = it->second;
+    }
+  }
+  std::uint32_t mask = 0;
+  ValueId key_buf[32];
+  std::size_t key_len = 0;
+  for (std::size_t i = 0; i < ca.arity && i < 32; ++i) {
+    if (required[i] == kNoValue) continue;
+    mask |= 1u << i;
+    key_buf[key_len++] = required[i];
+  }
+  std::span<const std::uint32_t> bucket;
+  bool indexed = false;
+  if (mask != 0) {
+    bucket = db.Probe(ca.rel, mask, std::span<const ValueId>(key_buf, key_len));
+    indexed = true;
+    if (stats != nullptr) ++stats->index_probes;
+    ObsCount(obs, "yannakakis.index_probes", 1);
+  }
+  auto try_row = [&](std::uint32_t r) {
+    std::span<const ValueId> row =
+        flat ? st.arena.subspan(static_cast<std::size_t>(r) * ca.arity,
+                                ca.arity)
+             : db.Row(ca.rel, r);
+    if (row.size() != ca.arity) return;
+    for (std::size_t i = 0; i < ca.arity; ++i) {
+      if (required[i] != kNoValue && row[i] != required[i]) return;
+    }
+    for (const auto& [p1, p2] : ca.repeat_checks) {
+      if (row[p1] != row[p2]) return;  // repeated variable bound inconsistently
+    }
+    st.rows.push_back(r);
+  };
+  if (indexed) {
+    for (std::uint32_t r : bucket) try_row(r);
+  } else {
+    for (std::uint32_t r = 0; r < n; ++r) try_row(r);
+  }
+  return st;
+}
+
+// target := target ⋉ source (keep target rows whose shared-variable
+// projection appears in source). `shared` lists (target var, source var)
+// pairs; keys of width ≤ 2 are packed into one 64-bit word, wider keys
+// fall back to vector keys.
+void Semijoin(AtomState* target, const AtomState& source,
+              const std::vector<std::pair<int, int>>& shared,
+              YannakakisStats* stats, const ObsContext* obs) {
+  if (stats != nullptr) {
+    ++stats->semijoins;
+    stats->tuples_scanned += target->rows.size() + source.rows.size();
+  }
+  ObsCount(obs, "yannakakis.semijoins", 1);
+  ObsCount(obs, "yannakakis.tuples_scanned",
+           target->rows.size() + source.rows.size());
+  if (shared.empty()) {
+    // No shared variables: the semijoin only empties target if source is
+    // empty (no supporting tuple at all).
+    if (source.rows.empty()) target->rows.clear();
+    return;
+  }
+  const std::size_t w = shared.size();
+  const CompiledAtom& tca = *target->ca;
+  const CompiledAtom& sca = *source.ca;
+  if (w <= 2) {
+    const int t0 = tca.var_pos[shared[0].first];
+    const int s0 = sca.var_pos[shared[0].second];
+    const int t1 = w == 2 ? tca.var_pos[shared[1].first] : -1;
+    const int s1 = w == 2 ? sca.var_pos[shared[1].second] : -1;
+    auto pack = [](ValueId a, ValueId b) {
+      return ((static_cast<std::uint64_t>(a) + 1) << 32) |
+             (static_cast<std::uint64_t>(b) + 1);
+    };
+    std::unordered_set<std::uint64_t> keys;
+    keys.reserve(source.rows.size());
+    for (std::uint32_t r : source.rows) {
+      keys.insert(pack(source.At(r, s0), w == 2 ? source.At(r, s1) : 0));
+    }
+    std::erase_if(target->rows, [&](std::uint32_t r) {
+      return keys.count(pack(target->At(r, t0),
+                             w == 2 ? target->At(r, t1) : 0)) == 0;
+    });
+    return;
+  }
+  std::unordered_set<std::vector<ValueId>, VectorHash<ValueId>> keys;
+  keys.reserve(source.rows.size());
+  std::vector<ValueId> key(w);
+  for (std::uint32_t r : source.rows) {
+    for (std::size_t i = 0; i < w; ++i) {
+      key[i] = source.At(r, sca.var_pos[shared[i].second]);
+    }
+    keys.insert(key);
+  }
+  std::erase_if(target->rows, [&](std::uint32_t r) {
+    for (std::size_t i = 0; i < w; ++i) {
+      key[i] = target->At(r, tca.var_pos[shared[i].first]);
+    }
+    return keys.count(key) == 0;
+  });
+}
+
+// Upward semijoin reduction over the compiled query: true iff no connected
+// component emptied out, i.e. the query is satisfiable under `fixed`.
+bool SatisfiableCompiled(const CompiledAcyclic& c, const Database& db,
+                         const FixedIds& fixed, YannakakisStats* stats,
+                         const ObsContext* obs) {
+  ObsSpan reduce_span(obs, "yannakakis/upward_reduce", "structure");
+  reduce_span.AddArg("atoms", c.atoms.size());
+  std::vector<AtomState> states;
+  states.reserve(c.atoms.size());
+  for (const CompiledAtom& ca : c.atoms) {
+    states.push_back(BuildAtomState(ca, db, fixed, stats, obs));
+  }
+  for (int v : c.post_order) {
+    const int p = c.jt.parent[v];
+    if (p >= 0) {
+      Semijoin(&states[p], states[v], c.edges[v], stats, obs);
+    } else if (states[v].rows.empty()) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -192,9 +299,13 @@ Result<bool> AcyclicSatisfiable(const ConjunctiveQuery& cq, const Database& db,
                                 const Assignment& fixed, YannakakisStats* stats,
                                 const ObsContext* obs) {
   if (cq.atoms().empty()) return true;
-  QCONT_ASSIGN_OR_RETURN(ReducedQuery reduced,
-                         UpwardReduce(cq, db, fixed, stats, obs));
-  return !reduced.empty_component;
+  QCONT_ASSIGN_OR_RETURN(CompiledAcyclic compiled, Compile(cq, db));
+  FixedIds fixed_ids;
+  fixed_ids.reserve(fixed.size());
+  for (const auto& [var, value] : fixed) {
+    fixed_ids.emplace(var, db.ValueIdOf(value));
+  }
+  return SatisfiableCompiled(compiled, db, fixed_ids, stats, obs);
 }
 
 Result<std::vector<Tuple>> EvaluateAcyclicCq(const ConjunctiveQuery& cq,
@@ -209,13 +320,15 @@ Result<std::vector<Tuple>> EvaluateAcyclicCq(const ConjunctiveQuery& cq,
                            AcyclicSatisfiable(cq, db, {}, stats, obs));
     return sat ? std::vector<Tuple>{Tuple{}} : std::vector<Tuple>{};
   }
-  QCONT_RETURN_IF_ERROR(cq.Validate());
+  QCONT_ASSIGN_OR_RETURN(CompiledAcyclic compiled, Compile(cq, db));
   ObsSpan enum_span(obs, "yannakakis/enumerate", "structure");
   // Candidate values per head variable: the intersection, over the atoms
   // containing it, of the values the atom's candidate tuples allow. The
   // answer set is then computed with one Yannakakis satisfiability check
   // per candidate head assignment — polynomial for fixed arity, and free of
-  // the duplicate blow-up of full match enumeration.
+  // the duplicate blow-up of full match enumeration. The compiled query is
+  // reused across every candidate check (no join-tree or name-resolution
+  // work per candidate).
   std::vector<std::string> head_vars;
   for (const Term& t : cq.head()) {
     if (std::find(head_vars.begin(), head_vars.end(), t.name()) ==
@@ -224,16 +337,17 @@ Result<std::vector<Tuple>> EvaluateAcyclicCq(const ConjunctiveQuery& cq,
     }
   }
   std::unordered_map<std::string, std::set<ValueId>> candidates;
-  for (const Atom& atom : cq.atoms()) {
-    AtomRelation rel = BuildAtomRelation(atom, db, /*fixed=*/{}, stats, obs);
-    for (std::size_t i = 0; i < rel.vars.size(); ++i) {
-      if (std::find(head_vars.begin(), head_vars.end(), rel.vars[i]) ==
+  const FixedIds no_fixed;
+  for (const CompiledAtom& ca : compiled.atoms) {
+    AtomState st = BuildAtomState(ca, db, no_fixed, stats, obs);
+    for (std::size_t i = 0; i < ca.vars.size(); ++i) {
+      if (std::find(head_vars.begin(), head_vars.end(), ca.vars[i]) ==
           head_vars.end()) {
         continue;
       }
       std::set<ValueId> values;
-      for (const auto& row : rel.rows) values.insert(row[i]);
-      auto [it, inserted] = candidates.emplace(rel.vars[i], values);
+      for (std::uint32_t r : st.rows) values.insert(st.At(r, ca.var_pos[i]));
+      auto [it, inserted] = candidates.emplace(ca.vars[i], values);
       if (!inserted) {
         std::set<ValueId> merged;
         std::set_intersection(it->second.begin(), it->second.end(),
@@ -244,22 +358,22 @@ Result<std::vector<Tuple>> EvaluateAcyclicCq(const ConjunctiveQuery& cq,
     }
   }
   std::set<Tuple> results;
-  Assignment fixed;
+  FixedIds fixed;
   std::function<Status(std::size_t)> try_assign =
       [&](std::size_t i) -> Status {
     if (i == head_vars.size()) {
-      QCONT_ASSIGN_OR_RETURN(bool sat,
-                             AcyclicSatisfiable(cq, db, fixed, stats, obs));
-      if (sat) {
+      if (SatisfiableCompiled(compiled, db, fixed, stats, obs)) {
         Tuple head;
         head.reserve(cq.head().size());
-        for (const Term& t : cq.head()) head.push_back(fixed.at(t.name()));
+        for (const Term& t : cq.head()) {
+          head.push_back(db.ValueName(fixed.at(t.name())));
+        }
         results.insert(std::move(head));
       }
       return Status::Ok();
     }
     for (ValueId v : candidates[head_vars[i]]) {
-      fixed[head_vars[i]] = db.ValueName(v);
+      fixed[head_vars[i]] = v;
       QCONT_RETURN_IF_ERROR(try_assign(i + 1));
     }
     fixed.erase(head_vars[i]);

@@ -15,7 +15,7 @@ namespace qcont {
 
 namespace {
 
-using ValueSet = std::unordered_set<std::vector<Value>, VectorHash<Value>>;
+using ValueSet = std::unordered_set<std::vector<ValueId>, VectorHash<ValueId>>;
 
 struct RootedForest {
   std::vector<std::vector<int>> children;
@@ -104,7 +104,35 @@ Result<bool> BoundedWidthSatisfiableImpl(const ConjunctiveQuery& cq,
     }
   }
 
-  const std::vector<Value> domain = db.ActiveDomain();
+  const std::vector<ValueId>& domain = db.ActiveDomainIds();
+
+  // Compile atoms once: relation ids, constant ids and variable indices are
+  // resolved up front so the hot bag loop only touches ValueIds. A constant
+  // (or relation) that was never interned can match no row; `HasRow` on the
+  // kNoValue/kNoRelation sentinels returns false, which reproduces the
+  // string path's behaviour without a special case.
+  struct CompiledAtom {
+    RelationId rel = kNoRelation;
+    std::vector<ValueId> const_ids;  // per term: id, or kNoValue for a var
+    std::vector<int> var_of;         // per term: var index, or -1
+  };
+  std::vector<CompiledAtom> compiled(cq.atoms().size());
+  for (std::size_t a = 0; a < cq.atoms().size(); ++a) {
+    const Atom& atom = cq.atoms()[a];
+    CompiledAtom& ca = compiled[a];
+    ca.rel = db.RelationIdOf(atom.predicate());
+    ca.const_ids.reserve(atom.arity());
+    ca.var_of.reserve(atom.arity());
+    for (const Term& term : atom.terms()) {
+      if (term.is_constant()) {
+        ca.const_ids.push_back(db.ValueIdOf(term.name()));
+        ca.var_of.push_back(-1);
+      } else {
+        ca.const_ids.push_back(kNoValue);
+        ca.var_of.push_back(var_index.at(term.name()));
+      }
+    }
+  }
 
   // survivors[b] = projections of b's surviving assignments onto the
   // variables shared with b's parent bag (whole bag for roots: we only need
@@ -143,50 +171,78 @@ Result<bool> BoundedWidthSatisfiableImpl(const ConjunctiveQuery& cq,
       links.push_back(std::move(link));
     }
 
+    // Bind this bag's atoms to bag positions once, so each enumerated
+    // assignment fills a row buffer with plain index lookups.
+    struct BagAtom {
+      RelationId rel;
+      const std::vector<ValueId>* const_ids;
+      std::vector<int> pos;  // per term: index into `bag`, or -1 (constant)
+    };
+    std::vector<BagAtom> bag_atoms;
+    bag_atoms.reserve(atoms_of_bag[b].size());
+    for (int a : atoms_of_bag[b]) {
+      const CompiledAtom& ca = compiled[a];
+      BagAtom ba{ca.rel, &ca.const_ids, {}};
+      ba.pos.reserve(ca.var_of.size());
+      for (int v : ca.var_of) {
+        if (v < 0) {
+          ba.pos.push_back(-1);
+        } else {
+          auto it = std::lower_bound(bag.begin(), bag.end(), v);
+          ba.pos.push_back(static_cast<int>(it - bag.begin()));
+        }
+      }
+      bag_atoms.push_back(std::move(ba));
+    }
+    // Resolve fixed variables to ids once per bag. A fixed value that was
+    // never interned keeps the kNoValue sentinel: atoms over it fail
+    // HasRow, and projections carry the sentinel consistently.
+    std::vector<ValueId> fixed_ids(bag.size(), kNoValue);
+    std::vector<bool> is_fixed(bag.size(), false);
+    for (std::size_t i = 0; i < bag.size(); ++i) {
+      auto it = fixed.find(gaifman.Label(bag[i]));
+      if (it != fixed.end()) {
+        is_fixed[i] = true;
+        fixed_ids[i] = db.ValueIdOf(it->second);
+      }
+    }
+
     // Enumerate assignments to the bag variables.
-    std::vector<Value> assignment(bag.size());
+    std::vector<ValueId> assignment(bag.size());
+    std::vector<ValueId> row;
     bool any = false;
     std::function<void(std::size_t)> enumerate = [&](std::size_t i) {
       if (i == bag.size()) {
         if (stats != nullptr) ++stats->bag_assignments;
         // Check atoms assigned to this bag.
-        for (int a : atoms_of_bag[b]) {
-          const Atom& atom = cq.atoms()[a];
-          Tuple t;
-          t.reserve(atom.arity());
-          for (const Term& term : atom.terms()) {
-            if (term.is_constant()) {
-              t.push_back(term.name());
-            } else {
-              int v = var_index.at(term.name());
-              auto it = std::lower_bound(bag.begin(), bag.end(), v);
-              t.push_back(assignment[it - bag.begin()]);
-            }
+        for (const BagAtom& ba : bag_atoms) {
+          row.clear();
+          for (std::size_t j = 0; j < ba.pos.size(); ++j) {
+            row.push_back(ba.pos[j] < 0 ? (*ba.const_ids)[j]
+                                        : assignment[ba.pos[j]]);
           }
-          if (!db.HasFact(atom.predicate(), t)) return;
+          if (!db.HasRow(ba.rel, row)) return;
         }
         // Check children support.
         for (const ChildLink& link : links) {
-          std::vector<Value> key;
+          std::vector<ValueId> key;
           key.reserve(link.positions.size());
           for (int p : link.positions) key.push_back(assignment[p]);
           if (!survivors[link.child].count(key)) return;
         }
         any = true;
-        std::vector<Value> key;
+        std::vector<ValueId> key;
         key.reserve(parent_shared.size());
         for (int p : parent_shared) key.push_back(assignment[p]);
         survivors[b].insert(std::move(key));
         return;
       }
-      const std::string& var_name = gaifman.Label(td.bags[b][i]);
-      auto it = fixed.find(var_name);
-      if (it != fixed.end()) {
-        assignment[i] = it->second;
+      if (is_fixed[i]) {
+        assignment[i] = fixed_ids[i];
         enumerate(i + 1);
         return;
       }
-      for (const Value& v : domain) {
+      for (ValueId v : domain) {
         assignment[i] = v;
         enumerate(i + 1);
       }

@@ -5,6 +5,9 @@
 
 #include <algorithm>
 #include <random>
+#include <span>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -12,6 +15,7 @@
 #include "cq/database.h"
 #include "cq/homomorphism.h"
 #include "datalog/eval.h"
+#include "structure/acyclic_eval.h"
 #include "tests/generators.h"
 
 namespace qcont {
@@ -148,6 +152,135 @@ TEST(IndexDifferentialTest, SemiNaiveIndexedNeverScansMoreThanScanEngine) {
     EXPECT_EQ(*indexed, *scan) << "trial " << trial;
     EXPECT_LE(Candidates(indexed_stats.hom), Candidates(scan_stats.hom))
         << "trial " << trial;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Flat vs legacy storage layout. The two layouts are built from identical
+// insertion sequences (copied generator), so their pools intern the same ids
+// in the same order and every engine must behave bit-identically on top of
+// them: same answers *and* same engine-level counters (the db-level index
+// counters legitimately differ — the flat layout serves full-row probes from
+// its eagerly maintained primary table — and are not compared).
+// ---------------------------------------------------------------------------
+
+std::pair<Database, Database> LayoutPair(std::mt19937* rng,
+                                         const testgen::SchemaSpec& schema,
+                                         int domain, int facts) {
+  std::mt19937 rng2 = *rng;
+  Database flat =
+      testgen::RandomDatabase(rng, schema, domain, facts, DatabaseLayout::kFlat);
+  Database legacy = testgen::RandomDatabase(&rng2, schema, domain, facts,
+                                            DatabaseLayout::kLegacy);
+  return {std::move(flat), std::move(legacy)};
+}
+
+void ExpectStatsEqual(const HomSearchStats& a, const HomSearchStats& b,
+                      int trial) {
+  EXPECT_EQ(a.atom_attempts, b.atom_attempts) << "trial " << trial;
+  EXPECT_EQ(a.backtracks, b.backtracks) << "trial " << trial;
+  EXPECT_EQ(a.index_probes, b.index_probes) << "trial " << trial;
+  EXPECT_EQ(a.index_candidates, b.index_candidates) << "trial " << trial;
+  EXPECT_EQ(a.scan_candidates, b.scan_candidates) << "trial " << trial;
+}
+
+TEST(LayoutDifferentialTest, HomSearchAgreesWithIdenticalStats) {
+  std::mt19937 rng(20260807);
+  const testgen::SchemaSpec schema = testgen::SmallSchema();
+  for (int trial = 0; trial < 40; ++trial) {
+    auto [flat, legacy] = LayoutPair(&rng, schema, 5, 24);
+    ConjunctiveQuery cq = testgen::RandomCq(&rng, schema, 4, 4, 2);
+    HomSearchStats flat_stats, legacy_stats;
+    EXPECT_EQ(Sorted(EvaluateCq(cq, flat, &flat_stats, kIndexed)),
+              Sorted(EvaluateCq(cq, legacy, &legacy_stats, kIndexed)))
+        << "trial " << trial;
+    ExpectStatsEqual(flat_stats, legacy_stats, trial);
+  }
+}
+
+TEST(LayoutDifferentialTest, SemiNaiveEvalAgreesAcrossLayoutsAndThreads) {
+  std::mt19937 rng(424243);
+  const testgen::SchemaSpec schema = testgen::SmallSchema();
+  for (int trial = 0; trial < 12; ++trial) {
+    auto [flat, legacy] = LayoutPair(&rng, schema, 4, 12);
+    DatalogProgram program = testgen::RandomLinearProgram(&rng, schema, 2);
+    std::vector<std::vector<Tuple>> goals;
+    std::vector<DatalogEvalStats> stats;
+    for (const Database* edb : {&flat, &legacy}) {
+      for (int threads : {1, 8}) {
+        EvalOptions options;
+        options.exec = ExecContext{.threads = threads, .stats = nullptr};
+        DatalogEvalStats s;
+        auto goal = EvaluateGoal(program, *edb, options, &s);
+        ASSERT_TRUE(goal.ok()) << "trial " << trial;
+        goals.push_back(*goal);
+        stats.push_back(s);
+      }
+    }
+    for (std::size_t i = 1; i < goals.size(); ++i) {
+      EXPECT_EQ(goals[0], goals[i]) << "trial " << trial << " run " << i;
+      EXPECT_EQ(stats[0].iterations, stats[i].iterations) << "trial " << trial;
+      EXPECT_EQ(stats[0].rule_firings, stats[i].rule_firings)
+          << "trial " << trial << " run " << i;
+      EXPECT_EQ(stats[0].derived_facts, stats[i].derived_facts)
+          << "trial " << trial << " run " << i;
+      ExpectStatsEqual(stats[0].hom, stats[i].hom, trial);
+    }
+  }
+}
+
+TEST(LayoutDifferentialTest, YannakakisAgreesWithIdenticalStats) {
+  std::mt19937 rng(777001);
+  const testgen::SchemaSpec schema = testgen::SmallSchema();
+  for (int trial = 0; trial < 30; ++trial) {
+    auto [flat, legacy] = LayoutPair(&rng, schema, 5, 20);
+    ConjunctiveQuery cq = testgen::RandomAcyclicCq(&rng, schema, 4, 1);
+    YannakakisStats flat_sat, legacy_sat;
+    auto sat_flat = AcyclicSatisfiable(cq, flat, {}, &flat_sat);
+    auto sat_legacy = AcyclicSatisfiable(cq, legacy, {}, &legacy_sat);
+    ASSERT_TRUE(sat_flat.ok() && sat_legacy.ok()) << "trial " << trial;
+    EXPECT_EQ(*sat_flat, *sat_legacy) << "trial " << trial;
+    EXPECT_EQ(flat_sat.semijoins, legacy_sat.semijoins) << "trial " << trial;
+    EXPECT_EQ(flat_sat.tuples_scanned, legacy_sat.tuples_scanned)
+        << "trial " << trial;
+    EXPECT_EQ(flat_sat.index_probes, legacy_sat.index_probes)
+        << "trial " << trial;
+
+    YannakakisStats flat_eval, legacy_eval;
+    auto eval_flat = EvaluateAcyclicCq(cq, flat, &flat_eval);
+    auto eval_legacy = EvaluateAcyclicCq(cq, legacy, &legacy_eval);
+    ASSERT_TRUE(eval_flat.ok() && eval_legacy.ok()) << "trial " << trial;
+    EXPECT_EQ(Sorted(*eval_flat), Sorted(*eval_legacy)) << "trial " << trial;
+    EXPECT_EQ(flat_eval.semijoins, legacy_eval.semijoins) << "trial " << trial;
+    EXPECT_EQ(flat_eval.tuples_scanned, legacy_eval.tuples_scanned)
+        << "trial " << trial;
+    EXPECT_EQ(flat_eval.index_probes, legacy_eval.index_probes)
+        << "trial " << trial;
+  }
+}
+
+TEST(LayoutDifferentialTest, FactsAndDomainAgreeAcrossLayouts) {
+  std::mt19937 rng(90909);
+  const testgen::SchemaSpec schema = testgen::SmallSchema();
+  for (int trial = 0; trial < 20; ++trial) {
+    auto [flat, legacy] = LayoutPair(&rng, schema, 4, 30);
+    ASSERT_EQ(flat.NumFacts(), legacy.NumFacts()) << "trial " << trial;
+    ASSERT_EQ(flat.Relations(), legacy.Relations()) << "trial " << trial;
+    EXPECT_EQ(flat.ActiveDomain(), legacy.ActiveDomain()) << "trial " << trial;
+    for (const std::string& rel : flat.Relations()) {
+      EXPECT_EQ(flat.Facts(rel), legacy.Facts(rel)) << "trial " << trial;
+      const RelationId id = flat.RelationIdOf(rel);
+      ASSERT_EQ(id, legacy.RelationIdOf(rel)) << "trial " << trial;
+      ASSERT_EQ(flat.NumRows(id), legacy.NumRows(id)) << "trial " << trial;
+      for (std::size_t r = 0; r < flat.NumRows(id); ++r) {
+        std::span<const ValueId> row = flat.Row(id, r);
+        EXPECT_TRUE(std::equal(row.begin(), row.end(),
+                               legacy.Row(id, r).begin(),
+                               legacy.Row(id, r).end()))
+            << "trial " << trial;
+        EXPECT_TRUE(legacy.HasRow(id, row)) << "trial " << trial;
+      }
+    }
   }
 }
 

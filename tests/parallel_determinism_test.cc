@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <random>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -149,7 +150,7 @@ TEST(DatabaseConcurrencyTest, ConcurrentProbesBuildIndexesSafely) {
       const Tuple& probe_tuple = facts[i % facts.size()];
       ValueId id = db.ValueIdOf(probe_tuple[0]);
       ASSERT_NE(id, kNoValue);
-      const std::vector<std::uint32_t>& bucket = db.Probe(rel, 1u, {id});
+      const std::span<const std::uint32_t> bucket = db.Probe(rel, 1u, {id});
       ASSERT_FALSE(bucket.empty());
       total_rows.fetch_add(bucket.size(), std::memory_order_relaxed);
       ASSERT_TRUE(db.HasFact(rel, probe_tuple));

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Compares two Google Benchmark JSON files and fails on regressions.
+
+Usage:
+  tools/check_bench_regression.py BEFORE.json AFTER.json \
+      [--tolerance 0.10] [--min-speedup X]
+
+For every benchmark name present in both files the median real_time of the
+plain iteration runs is compared (aggregate rows such as *_mean/_median
+emitted under --benchmark_repetitions are ignored; with a single run the
+median is just that run). The check fails when
+
+  * any shared series is slower in AFTER by more than --tolerance
+    (default 10%: after > before * 1.10), or
+  * --min-speedup X is given and no shared series got at least X times
+    faster (before / after >= X) — used to assert that a committed
+    before/after pair actually demonstrates the optimisation it claims.
+
+Benchmarks present in only one file are reported but never fail the check,
+so series can be added or retired without touching the gate.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_medians(path):
+    """Returns {benchmark name: median real_time} for iteration runs."""
+    with open(path) as f:
+        data = json.load(f)
+    times = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue  # skip _mean/_median/_stddev aggregate rows
+        name = bench["name"]
+        times.setdefault(name, []).append(float(bench["real_time"]))
+    return {name: statistics.median(vals) for name, vals in times.items()}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("before")
+    parser.add_argument("after")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="maximum allowed relative slowdown per series (default 0.10)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="require at least one series to be this many times faster",
+    )
+    args = parser.parse_args()
+
+    before = load_medians(args.before)
+    after = load_medians(args.after)
+    shared = sorted(set(before) & set(after))
+    if not shared:
+        print(f"ERROR: no shared benchmark names between {args.before} and "
+              f"{args.after}")
+        return 1
+    for name in sorted(set(before) ^ set(after)):
+        side = args.before if name in before else args.after
+        print(f"note: {name} only in {side} (ignored)")
+
+    failed = False
+    best_speedup = 0.0
+    best_name = None
+    for name in shared:
+        b, a = before[name], after[name]
+        speedup = b / a if a > 0 else float("inf")
+        if speedup > best_speedup:
+            best_speedup, best_name = speedup, name
+        status = "ok"
+        if a > b * (1.0 + args.tolerance):
+            status = "REGRESSION"
+            failed = True
+        print(f"{status:>10}  {name}: {b:.0f} -> {a:.0f} ns "
+              f"({speedup:.2f}x)")
+
+    if failed:
+        print(f"FAIL: at least one series regressed by more than "
+              f"{args.tolerance:.0%}")
+        return 1
+    if args.min_speedup is not None:
+        if best_speedup < args.min_speedup:
+            print(f"FAIL: best speedup {best_speedup:.2f}x ({best_name}) "
+                  f"is below the required {args.min_speedup:.2f}x")
+            return 1
+        print(f"best speedup: {best_speedup:.2f}x ({best_name})")
+    print(f"OK: {len(shared)} series within {args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
