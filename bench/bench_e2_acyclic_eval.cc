@@ -7,8 +7,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <random>
 
+#include "analysis/report.h"
 #include "bench/workloads.h"
 #include "cq/database.h"
 #include "obs/obs.h"
@@ -36,6 +38,28 @@ void BM_AcyclicSatChain(benchmark::State& state) {
   state.counters["tuples_scanned"] = static_cast<double>(stats.tuples_scanned);
   state.counters["index_probes"] = static_cast<double>(stats.index_probes);
   state.counters["db_probes"] = static_cast<double>(db.index_stats().probes);
+  // Analysis overhead (untimed instrumentation): the routed evaluation
+  // entry points consult the AnalysisReport cache per call; `analysis_pct`
+  // prices that warm consult against one engine pass and is gated < 5% by
+  // check_bench_regression.py --max-counter in CI. The cold report build
+  // (certificate construction + verification) is reported separately.
+  {
+    const UnionQuery ucq({cq});
+    analysis::ClearGlobalAnalysisCache();
+    analysis::RoutingOptions routing;
+    state.counters["t_analysis_cold_us"] = bench::WallMicrosPerCall(1, [&] {
+      benchmark::DoNotOptimize(analysis::AnalyzeForRouting(ucq, routing));
+    });
+    const double t_analysis = bench::WallMicrosPerCall(64, [&] {
+      benchmark::DoNotOptimize(analysis::AnalyzeForRouting(ucq, routing));
+    });
+    const double t_engine = bench::WallMicrosPerCall(16, [&] {
+      benchmark::DoNotOptimize(*AcyclicSatisfiable(cq, db));
+    });
+    state.counters["t_analysis_us"] = t_analysis;
+    state.counters["analysis_pct"] =
+        100.0 * t_analysis / std::max(t_engine, 1e-6);
+  }
 }
 BENCHMARK(BM_AcyclicSatChain)->RangeMultiplier(2)->Range(8, 64);
 

@@ -5,8 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <random>
 
+#include "analysis/report.h"
 #include "bench/workloads.h"
 #include "datalog/eval.h"
 #include "obs/obs.h"
@@ -53,6 +55,24 @@ void BM_TcChain(benchmark::State& state) {
     state.counters["t_eval_us"] = totals["datalog/eval"];
     state.counters["t_rounds_us"] = totals["datalog/round"];
     state.counters["t_joins_us"] = totals["datalog/delta_join"];
+    // Analysis overhead: the routed path consults the AnalysisReport cache
+    // per call; the cold consult runs the full program-structure pass
+    // (stratification, relevance, fragments) and the decomposition engine,
+    // the warm one re-hashes and looks up. `analysis_pct` prices the warm
+    // consult against one fixpoint evaluation and is gated < 5% by
+    // check_bench_regression.py --max-counter in CI.
+    const UnionQuery goal_ucq({bench::ChainCq(1, tc.goal_predicate(), 2)});
+    analysis::ClearGlobalAnalysisCache();
+    analysis::RoutingOptions routing;
+    state.counters["t_analysis_cold_us"] = bench::WallMicrosPerCall(1, [&] {
+      benchmark::DoNotOptimize(analysis::AnalyzeForRouting(tc, goal_ucq, routing));
+    });
+    const double t_analysis = bench::WallMicrosPerCall(64, [&] {
+      benchmark::DoNotOptimize(analysis::AnalyzeForRouting(tc, goal_ucq, routing));
+    });
+    state.counters["t_analysis_us"] = t_analysis;
+    state.counters["analysis_pct"] =
+        100.0 * t_analysis / std::max(totals["datalog/eval"], 1e-6);
     bench::MaybeWriteTrace(
         trace, "e9_tc_n" + std::to_string(n) + (semi ? "_semi" : "_naive") +
                    "_t" + std::to_string(threads));

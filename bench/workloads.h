@@ -3,6 +3,7 @@
 
 // Scaling workload families used by the experiment benchmarks (EXPERIMENTS.md).
 
+#include <chrono>
 #include <cstdlib>
 #include <random>
 #include <string>
@@ -28,6 +29,19 @@ inline int BenchThreads() {
   }
   unsigned hw = std::thread::hardware_concurrency();
   return hw > 1 ? static_cast<int>(hw) : 2;
+}
+
+/// Per-call wall time of `fn` in microseconds, averaged over `calls`
+/// invocations. Used by the instrumented (untimed) passes to price the
+/// analysis layer against the engine work.
+template <typename Fn>
+inline double WallMicrosPerCall(int calls, Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < calls; ++i) fn();
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+             .count() /
+         calls;
 }
 
 /// Boolean chain CQ: ∃x0..xn E(x0,x1) ∧ ... ∧ E(x{n-1},xn). AC1, TW(1).

@@ -9,6 +9,7 @@
 //   qcont_cli classify  <ucq-file>                    structural classes
 //   qcont_cli eval      <program-file> <db-file>      bottom-up evaluation
 //   qcont_cli lint      [program|ucq|uc2rpq] <file>   static analysis
+//   qcont_cli analyze [--json] <ucq-file> [program]   AnalysisReport + routing
 //
 // --trace=FILE writes a Chrome trace_event JSON of the run (load it in
 // chrome://tracing or https://ui.perfetto.dev). --metrics prints the final
@@ -29,6 +30,7 @@
 
 #include "analysis/analyzer.h"
 #include "analysis/diagnostic.h"
+#include "analysis/report.h"
 #include "core/datalog_uc2rpq.h"
 #include "core/equivalence.h"
 #include "core/router.h"
@@ -59,7 +61,8 @@ int Usage() {
       "       qcont_cli contains|equiv|rcontains <program> <query>\n"
       "       qcont_cli classify <ucq>\n"
       "       qcont_cli eval <program> <database>\n"
-      "       qcont_cli lint [program|ucq|uc2rpq] <file>\n");
+      "       qcont_cli lint [program|ucq|uc2rpq] <file>\n"
+      "       qcont_cli analyze [--json] <ucq> [program]\n");
   return 2;
 }
 
@@ -120,6 +123,67 @@ int RunCommand(const std::vector<std::string>& args, const ObsContext* obs) {
   const std::string& mode = args[0];
   const std::string span_name = "cli/" + mode;
   ObsSpan cli_span(obs, span_name.c_str(), "cli");
+
+  if (mode == "analyze") {
+    // analyze [--json] <ucq-file> [program-file]
+    bool json = false;
+    std::vector<std::string> files;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      if (args[i] == "--json") {
+        json = true;
+      } else {
+        files.push_back(args[i]);
+      }
+    }
+    if (files.empty() || files.size() > 2) return Usage();
+    std::string ucq_text;
+    if (!ReadFile(files[0], &ucq_text)) {
+      std::fprintf(stderr, "cannot read %s\n", files[0].c_str());
+      return 2;
+    }
+    auto ucq = ParseUcq(ucq_text);
+    if (!Check(ucq, "query")) return 2;
+    analysis::RoutingOptions routing;
+    routing.obs = obs;
+    analysis::AnalysisReport report;
+    if (files.size() == 2) {
+      std::string program_text;
+      if (!ReadFile(files[1], &program_text)) {
+        std::fprintf(stderr, "cannot read %s\n", files[1].c_str());
+        return 2;
+      }
+      auto program = ParseProgram(program_text);
+      if (!Check(program, "program")) return 2;
+      report = analysis::AnalyzeForRouting(*program, *ucq, routing);
+    } else {
+      report = analysis::AnalyzeForRouting(*ucq, routing);
+    }
+    if (json) {
+      std::printf("%s\n", report.ToJson().c_str());
+    } else {
+      std::printf("query: %d disjunct(s), %s, treewidth %s%d, ghw <= %d\n",
+                  report.num_disjuncts,
+                  report.acyclic
+                      ? ("acyclic (AC" + std::to_string(report.ack_level) + ")")
+                            .c_str()
+                      : "cyclic",
+                  report.treewidth_exact ? "" : "<= ", report.treewidth,
+                  report.ghw);
+      if (report.has_program) {
+        std::printf(
+            "program: %s, %d stratum/strata, %d relevant rule(s), "
+            "fragments: %s\n",
+            report.recursive ? "recursive" : "nonrecursive",
+            report.program.stratification.num_strata,
+            report.program.relevance.num_relevant_rules,
+            report.program.fragment.Describe().c_str());
+      }
+      std::printf("routing: eval=%s containment=%s\n",
+                  analysis::EngineKindName(report.eval_engine),
+                  analysis::EngineKindName(report.containment_engine));
+    }
+    return 0;
+  }
 
   if (mode == "lint") {
     // lint <file>  or  lint <kind> <file>

@@ -6,6 +6,7 @@
 #include <set>
 #include <string>
 
+#include "analysis/program_analysis.h"
 #include "datalog/predicate_graph.h"
 #include "structure/classify.h"
 
@@ -76,8 +77,13 @@ std::vector<std::string> SingletonVariables(const std::vector<Atom>& atoms,
 }
 
 // Number of variable-connected components of the atom list; atoms without
-// variables are their own component. 0 for an empty list.
-int ConnectedComponents(const std::vector<Atom>& atoms) {
+// variables are their own component. 0 for an empty list. Components that
+// contain a free (head) variable are merged into one: a body split into
+// parts that each feed the answer is an intentional product of answer
+// dimensions, not an accidental cross join, so only parts disjoint from
+// the head (or multiple fully-existential parts) count separately.
+int ConnectedComponents(const std::vector<Atom>& atoms,
+                        const std::vector<Term>& free_terms) {
   const int n = static_cast<int>(atoms.size());
   std::vector<int> parent(n);
   std::iota(parent.begin(), parent.end(), 0);
@@ -91,6 +97,17 @@ int ConnectedComponents(const std::vector<Atom>& atoms) {
       if (!t.is_variable()) continue;
       auto [it, inserted] = first_atom_of_var.emplace(t.name(), i);
       if (!inserted) parent[find(i)] = find(it->second);
+    }
+  }
+  int head_root = -1;
+  for (const Term& t : free_terms) {
+    if (!t.is_variable()) continue;
+    auto it = first_atom_of_var.find(t.name());
+    if (it == first_atom_of_var.end()) continue;
+    if (head_root < 0) {
+      head_root = find(it->second);
+    } else {
+      parent[find(it->second)] = head_root;
     }
   }
   std::set<int> roots;
@@ -125,11 +142,12 @@ void BodyWarnings(std::vector<Diagnostic>* out, const AnalysisOptions& options,
          "singleton variable(s) " + joined +
              " occur only once (prefix with '_' to silence)");
   }
-  const int components = ConnectedComponents(atoms);
+  const int components = ConnectedComponents(atoms, free_terms);
   if (components >= 2) {
     Emit(out, options, DiagCode::kCartesianProduct, subject, index,
          "body is a cartesian product of " + std::to_string(components) +
-             " variable-disjoint parts");
+             " variable-disjoint parts (ignoring connections through the "
+             "head)");
   }
 }
 
@@ -248,6 +266,53 @@ std::vector<Diagnostic> AnalyzeProgram(const DatalogProgram& program,
              "Theorem 6)";
     }
     Emit(&out, options, DiagCode::kProgramFragment, Subject::kInput, -1, msg);
+
+    // The deeper structural analyses: stratification, goal relevance,
+    // recursion width, decidable-fragment membership (QC204-QC207).
+    const ProgramAnalysis pa = AnalyzeProgramStructure(program);
+    Emit(&out, options, DiagCode::kStratification, Subject::kInput, -1,
+         "stratification: " + std::to_string(pa.stratification.num_strata) +
+             " stratum/strata over " +
+             std::to_string(pa.stratification.num_sccs) +
+             " SCC(s) of the predicate dependency graph, " +
+             std::to_string(pa.stratification.num_recursive_sccs) +
+             " recursive SCC(s)");
+    {
+      std::string joined;
+      for (const std::string& a : pa.relevance.adorned_predicates) {
+        if (!joined.empty()) joined += ", ";
+        joined += a;
+      }
+      Emit(&out, options, DiagCode::kGoalRelevance, Subject::kInput, -1,
+           "magic-set relevance: " +
+               std::to_string(pa.relevance.num_relevant_rules) + " of " +
+               std::to_string(program.rules().size()) +
+               " rule(s) relevant to goal '" + program.goal_predicate() +
+               "'; adorned predicate(s): " +
+               (joined.empty() ? "none" : joined));
+      // Rules the adornment sweep never reaches get a precise per-rule
+      // pointer (they are also QC101 dead rules when unreachable outright).
+      for (std::size_t i = 0; i < pa.relevance.relevant_rule.size(); ++i) {
+        if (!pa.relevance.relevant_rule[i]) {
+          Emit(&out, options, DiagCode::kGoalRelevance, Subject::kRule,
+               static_cast<int>(i),
+               "rule is irrelevant to the goal under every reachable "
+               "adornment");
+        }
+      }
+    }
+    Emit(&out, options, DiagCode::kRecursionWidth, Subject::kInput, -1,
+         "recursion width: " +
+             std::to_string(pa.recursion.num_recursive_rules) +
+             " recursive rule(s) over " +
+             std::to_string(pa.recursion.num_recursive_predicates) +
+             " recursive predicate(s), max " +
+             std::to_string(pa.recursion.max_recursive_rule_vars) +
+             " variable(s) per recursive rule, expansion branching degree " +
+             std::to_string(pa.recursion.max_intensional_atoms));
+    Emit(&out, options, DiagCode::kDecidableFragment, Subject::kInput, -1,
+         "decidable fragments (Bourhis-Krotzsch-Rudolph): " +
+             pa.fragment.Describe());
   }
   return out;
 }

@@ -23,6 +23,10 @@ const char* DiagCodeId(DiagCode code) {
     case DiagCode::kProgramFragment: return "QC201";
     case DiagCode::kQueryTractability: return "QC202";
     case DiagCode::kRpqTractability: return "QC203";
+    case DiagCode::kStratification: return "QC204";
+    case DiagCode::kGoalRelevance: return "QC205";
+    case DiagCode::kRecursionWidth: return "QC206";
+    case DiagCode::kDecidableFragment: return "QC207";
   }
   return "QC???";
 }
@@ -49,6 +53,10 @@ Severity DiagSeverity(DiagCode code) {
     case DiagCode::kProgramFragment:
     case DiagCode::kQueryTractability:
     case DiagCode::kRpqTractability:
+    case DiagCode::kStratification:
+    case DiagCode::kGoalRelevance:
+    case DiagCode::kRecursionWidth:
+    case DiagCode::kDecidableFragment:
       return Severity::kInfo;
   }
   return Severity::kError;

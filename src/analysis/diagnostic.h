@@ -45,6 +45,10 @@ enum class DiagCode {
   kProgramFragment,      // QC201: Datalog fragment classification
   kQueryTractability,    // QC202: UCQ class + engine recommendation
   kRpqTractability,      // QC203: UC2RPQ class + engine recommendation
+  kStratification,       // QC204: strata / SCC condensation summary
+  kGoalRelevance,        // QC205: magic-set relevance from the goal
+  kRecursionWidth,       // QC206: recursive-part size metrics
+  kDecidableFragment,    // QC207: monadic/guarded/frontier-guarded membership
 };
 
 /// "QC001" etc. (stable).

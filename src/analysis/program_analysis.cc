@@ -1,0 +1,202 @@
+#include "analysis/program_analysis.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "datalog/predicate_graph.h"
+
+namespace qcont {
+namespace analysis {
+
+std::string FragmentInfo::Describe() const {
+  std::string out;
+  auto add = [&](const char* name) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  };
+  if (linear) add("linear");
+  if (monadic) add("monadic");
+  if (guarded) add("guarded");
+  if (frontier_guarded && !guarded) add("frontier-guarded");
+  if (out.empty()) out = "none";
+  return out;
+}
+
+namespace {
+
+StratificationInfo Stratify(const DatalogProgram& program,
+                            const PredicateGraph& graph) {
+  StratificationInfo out;
+  out.num_sccs = graph.num_sccs();
+  // SCC ids are a reverse topological order (edges go to smaller ids), so a
+  // single ascending sweep computes longest callee-chains bottom-up.
+  std::vector<std::vector<int>> scc_succs(graph.num_sccs());
+  std::vector<bool> scc_intensional(graph.num_sccs(), false);
+  std::vector<bool> scc_recursive(graph.num_sccs(), false);
+  for (int p = 0; p < graph.num_predicates(); ++p) {
+    const int s = graph.SccOf(p);
+    if (program.IsIntensional(graph.predicate_names()[p])) {
+      scc_intensional[s] = true;
+    }
+    if (graph.IsRecursivePredicate(p)) scc_recursive[s] = true;
+    for (int q : graph.SuccessorsOf(p)) {
+      if (graph.SccOf(q) != s) scc_succs[s].push_back(graph.SccOf(q));
+    }
+  }
+  for (bool r : scc_recursive) out.num_recursive_sccs += r ? 1 : 0;
+  // stratum(S) = 1 + max stratum of callees for intensional SCCs;
+  // extensional SCCs sit at stratum 0.
+  std::vector<int> stratum(graph.num_sccs(), 0);
+  for (int s = 0; s < graph.num_sccs(); ++s) {
+    if (!scc_intensional[s]) continue;
+    int below = 0;
+    for (int t : scc_succs[s]) below = std::max(below, stratum[t]);
+    stratum[s] = below + 1;
+    out.num_strata = std::max(out.num_strata, stratum[s]);
+  }
+  out.stratum_of_rule.reserve(program.rules().size());
+  for (const Rule& rule : program.rules()) {
+    const int node = graph.IndexOf(rule.head.predicate());
+    out.stratum_of_rule.push_back(node >= 0 ? stratum[graph.SccOf(node)] : 0);
+  }
+  return out;
+}
+
+// One adorned predicate: name plus a binding pattern over its arguments.
+using Adornment = std::pair<std::string, std::string>;
+
+std::string AdornGoal(const DatalogProgram& program) {
+  // Containment freezes the goal tuple (the canonical database's head), so
+  // the goal is called fully bound.
+  const int arity = std::max(0, program.GoalArity());
+  return std::string(static_cast<std::size_t>(arity), 'b');
+}
+
+RelevanceInfo Relevance(const DatalogProgram& program) {
+  RelevanceInfo out;
+  out.relevant_rule.assign(program.rules().size(), false);
+  if (!program.IsIntensional(program.goal_predicate())) return out;
+
+  std::set<Adornment> seen;
+  std::vector<Adornment> worklist;
+  auto push = [&](const std::string& pred, const std::string& pattern) {
+    if (seen.insert({pred, pattern}).second) worklist.push_back({pred, pattern});
+  };
+  push(program.goal_predicate(), AdornGoal(program));
+  while (!worklist.empty()) {
+    auto [pred, pattern] = worklist.back();
+    worklist.pop_back();
+    for (int r : program.RulesFor(pred)) {
+      out.relevant_rule[r] = true;
+      const Rule& rule = program.rules()[r];
+      // Bound variables: head positions adorned 'b', then sideways
+      // information passing — each body atom binds its variables for the
+      // atoms after it.
+      std::set<std::string> bound;
+      for (std::size_t i = 0;
+           i < rule.head.terms().size() && i < pattern.size(); ++i) {
+        if (pattern[i] == 'b' && rule.head.terms()[i].is_variable()) {
+          bound.insert(rule.head.terms()[i].name());
+        }
+      }
+      for (const Atom& atom : rule.body) {
+        if (program.IsIntensional(atom.predicate())) {
+          std::string adornment;
+          adornment.reserve(atom.terms().size());
+          for (const Term& t : atom.terms()) {
+            adornment += (t.is_variable() && !bound.count(t.name())) ? 'f'
+                                                                     : 'b';
+          }
+          push(atom.predicate(), adornment);
+        }
+        for (const Term& t : atom.terms()) {
+          if (t.is_variable()) bound.insert(t.name());
+        }
+      }
+    }
+  }
+  for (const Adornment& a : seen) {
+    out.adorned_predicates.push_back(a.first + "^" + a.second);
+  }
+  std::sort(out.adorned_predicates.begin(), out.adorned_predicates.end());
+  for (bool r : out.relevant_rule) out.num_relevant_rules += r ? 1 : 0;
+  return out;
+}
+
+RecursionWidthInfo RecursionWidth(const DatalogProgram& program,
+                                  const PredicateGraph& graph) {
+  RecursionWidthInfo out;
+  out.max_intensional_atoms = program.MaxIntensionalAtoms();
+  std::set<std::string> recursive_preds;
+  for (int p = 0; p < graph.num_predicates(); ++p) {
+    if (graph.IsRecursivePredicate(p) &&
+        program.IsIntensional(graph.predicate_names()[p])) {
+      recursive_preds.insert(graph.predicate_names()[p]);
+    }
+  }
+  out.num_recursive_predicates = static_cast<int>(recursive_preds.size());
+  for (const Rule& rule : program.rules()) {
+    if (!recursive_preds.count(rule.head.predicate())) continue;
+    ++out.num_recursive_rules;
+    out.max_recursive_rule_vars =
+        std::max(out.max_recursive_rule_vars,
+                 static_cast<int>(rule.Variables().size()));
+  }
+  return out;
+}
+
+FragmentInfo Fragments(const DatalogProgram& program) {
+  FragmentInfo out;
+  out.linear = program.IsLinear();
+  out.monadic = program.IsMonadic();
+  out.guarded = true;
+  out.frontier_guarded = true;
+  for (const Rule& rule : program.rules()) {
+    std::set<std::string> body_vars;
+    std::set<std::string> head_vars;
+    for (const Atom& atom : rule.body) {
+      for (const Term& t : atom.terms()) {
+        if (t.is_variable()) body_vars.insert(t.name());
+      }
+    }
+    for (const Term& t : rule.head.terms()) {
+      if (t.is_variable()) head_vars.insert(t.name());
+    }
+    auto guards = [&](const std::set<std::string>& target) {
+      if (target.empty()) return true;
+      for (const Atom& atom : rule.body) {
+        if (program.IsIntensional(atom.predicate())) continue;
+        std::set<std::string> vars;
+        for (const Term& t : atom.terms()) {
+          if (t.is_variable()) vars.insert(t.name());
+        }
+        if (std::includes(vars.begin(), vars.end(), target.begin(),
+                          target.end())) {
+          return true;
+        }
+      }
+      return false;
+    };
+    out.guarded = out.guarded && guards(body_vars);
+    out.frontier_guarded = out.frontier_guarded && guards(head_vars);
+  }
+  return out;
+}
+
+}  // namespace
+
+ProgramAnalysis AnalyzeProgramStructure(const DatalogProgram& program) {
+  ProgramAnalysis out;
+  PredicateGraph graph(program);
+  out.stratification = Stratify(program, graph);
+  out.relevance = Relevance(program);
+  out.recursion = RecursionWidth(program, graph);
+  out.fragment = Fragments(program);
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace qcont

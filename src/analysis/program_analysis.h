@@ -1,0 +1,86 @@
+#ifndef QCONT_ANALYSIS_PROGRAM_ANALYSIS_H_
+#define QCONT_ANALYSIS_PROGRAM_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "datalog/program.h"
+
+namespace qcont {
+namespace analysis {
+
+/// Stratification-style layering of a (positive) Datalog program, computed
+/// from the SCC condensation of the predicate dependency graph. Positive
+/// programs are always stratifiable; the interesting outputs are the layer
+/// structure and which layers are recursive.
+struct StratificationInfo {
+  /// Number of strata: the longest callee-before-caller chain of
+  /// intensional SCCs (extensional predicates are stratum 0).
+  int num_strata = 0;
+  /// Stratum of each rule (by its head predicate), parallel to rules().
+  std::vector<int> stratum_of_rule;
+  /// Number of SCCs in the condensation (intensional + extensional).
+  int num_sccs = 0;
+  /// Number of SCCs that are recursive (on a cycle or self-loop).
+  int num_recursive_sccs = 0;
+};
+
+/// Magic-set-style relevance from the goal: adornments (binding patterns of
+/// 'b'/'f') are propagated from the goal through rule bodies left-to-right
+/// with sideways information passing, and a rule is relevant iff its head
+/// predicate is reached under some adornment.
+struct RelevanceInfo {
+  /// Adorned intensional predicates actually reachable, e.g. "p^bf".
+  std::vector<std::string> adorned_predicates;
+  /// relevant_rule[i]: rule i's head is reached under some adornment.
+  std::vector<bool> relevant_rule;
+  int num_relevant_rules = 0;
+};
+
+/// Size metrics of the recursive part of the program — the quantities that
+/// drive the containment engines' bounds (nv(Π), branching degree of
+/// expansion trees).
+struct RecursionWidthInfo {
+  int num_recursive_rules = 0;   // rules whose head lies on a cycle
+  int num_recursive_predicates = 0;
+  /// Max distinct variables over the *recursive* rules (0 if none).
+  int max_recursive_rule_vars = 0;
+  /// Max intensional atoms in any body (expansion-tree branching degree).
+  int max_intensional_atoms = 0;
+};
+
+/// Membership in the statically recognizable Datalog fragments whose
+/// containment problems Bourhis-Krötzsch-Rudolph (arXiv 1406.7801) pin
+/// down: monadic, guarded, and frontier-guarded Datalog.
+struct FragmentInfo {
+  bool linear = false;
+  bool monadic = false;
+  /// Every rule has an extensional body atom containing all body variables.
+  bool guarded = false;
+  /// Every rule has an extensional body atom containing all head
+  /// (frontier) variables. Implied by guarded (for safe rules).
+  bool frontier_guarded = false;
+
+  /// "monadic, frontier-guarded" etc.; "none" when no fragment applies.
+  std::string Describe() const;
+};
+
+/// The full structural analysis of one program; each part is emitted as its
+/// own QC2xx info diagnostic by AnalyzeProgram and consumed (via
+/// AnalysisReport) by the engine router.
+struct ProgramAnalysis {
+  StratificationInfo stratification;
+  RelevanceInfo relevance;
+  RecursionWidthInfo recursion;
+  FragmentInfo fragment;
+};
+
+/// Runs all four analyses. The program is assumed to pass the error passes
+/// (safe, arity-consistent, intensional goal); on malformed input the
+/// results are best-effort rather than meaningful.
+ProgramAnalysis AnalyzeProgramStructure(const DatalogProgram& program);
+
+}  // namespace analysis
+}  // namespace qcont
+
+#endif  // QCONT_ANALYSIS_PROGRAM_ANALYSIS_H_

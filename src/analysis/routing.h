@@ -1,0 +1,53 @@
+#ifndef QCONT_ANALYSIS_ROUTING_H_
+#define QCONT_ANALYSIS_ROUTING_H_
+
+#include <vector>
+
+#include "analysis/report.h"
+#include "cq/database.h"
+#include "cq/homomorphism.h"
+#include "cq/query.h"
+
+namespace qcont {
+namespace analysis {
+
+/// Force knob for the routed evaluation entry points; kAuto defers to
+/// ChooseEngine over the (cached) analysis report. The forced settings
+/// exist for the differential tests proving answer equality across engines
+/// and for debugging — forcing an engine onto an input outside its class
+/// (Yannakakis on a cyclic CQ) surfaces that engine's own error.
+enum class ForcedEvalEngine {
+  kAuto,
+  kYannakakis,
+  kDecompDp,
+  kGenericHomSearch,
+};
+
+struct RoutedEvalOptions {
+  RoutingOptions routing;
+  ForcedEvalEngine force = ForcedEvalEngine::kAuto;
+};
+
+/// Analysis-driven satisfiability: Boolean "does cq have a homomorphism
+/// into db extending `fixed`", dispatched by verified structure —
+/// Yannakakis for acyclic queries, the decomposition DP for small verified
+/// width, backtracking search otherwise. `chosen` (optional) reports the
+/// engine used.
+Result<bool> RoutedSatisfiable(const ConjunctiveQuery& cq, const Database& db,
+                               const Assignment& fixed = {},
+                               const RoutedEvalOptions& options = {},
+                               EngineKind* chosen = nullptr);
+
+/// Analysis-driven full evaluation (distinct head tuples). The
+/// decomposition DP has no enumeration variant, so kDecompDp falls back to
+/// the generic engine here; kAuto therefore only routes to Yannakakis or
+/// the generic search.
+Result<std::vector<Tuple>> RoutedEvaluateCq(const ConjunctiveQuery& cq,
+                                            const Database& db,
+                                            const RoutedEvalOptions& options = {},
+                                            EngineKind* chosen = nullptr);
+
+}  // namespace analysis
+}  // namespace qcont
+
+#endif  // QCONT_ANALYSIS_ROUTING_H_

@@ -12,6 +12,7 @@
 #include "base/check.h"
 #include "core/instantiate.h"
 #include "structure/classify.h"
+#include "structure/decomposition.h"
 #include "structure/join_tree.h"
 
 namespace qcont {
@@ -61,6 +62,8 @@ Result<AckDisjunct> BuildAckDisjunct(const ConjunctiveQuery& cq) {
     d.atom_vars.push_back(std::move(vars));
   }
   QCONT_ASSIGN_OR_RETURN(JoinTree jt, BuildJoinTree(cq));
+  // Certify the join tree (width-1 GHW certificate) before trusting it.
+  QCONT_RETURN_IF_ERROR(CertificateFromJoinTree(cq, jt).status());
   d.jt_children = jt.Children();
   d.jt_roots = jt.Roots();
   d.entry_dom.resize(cq.atoms().size());

@@ -25,6 +25,15 @@ struct RoutedAnswer {
 
 const char* RouteName(ContainmentRoute route);
 
+/// Route override for DecideContainment; kAuto defers to the analysis
+/// layer's ChooseEngine over the cached AnalysisReport. Forcing the ACk
+/// engine on a cyclic UCQ surfaces that engine's kFailedPrecondition.
+enum class ForcedRoute {
+  kAuto,
+  kAckEngine,
+  kGeneralEngine,
+};
+
 /// Options for a routed containment call. Engine sub-options ride along so
 /// callers can tune either engine without knowing which one will run.
 struct RouterOptions {
@@ -36,6 +45,10 @@ struct RouterOptions {
   TypeEngineOptions general;
   /// Limits for the single-exponential ACk engine route.
   AckEngineLimits ack;
+  /// Engine override (differential tests, debugging).
+  ForcedRoute force = ForcedRoute::kAuto;
+  /// Consult/populate the global analysis report cache.
+  bool use_analysis_cache = true;
 };
 
 /// Decides Π ⊆ Θ picking the best engine per the paper's classification

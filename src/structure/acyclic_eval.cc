@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "base/hash.h"
+#include "structure/decomposition.h"
 #include "structure/join_tree.h"
 
 namespace qcont {
@@ -116,6 +117,14 @@ Result<CompiledAcyclic> Compile(const ConjunctiveQuery& cq,
   QCONT_RETURN_IF_ERROR(cq.Validate());
   CompiledAcyclic out;
   QCONT_ASSIGN_OR_RETURN(out.jt, BuildJoinTree(cq));
+#ifndef NDEBUG
+  // Route the join tree through the certified checker: a width-1 GHW
+  // certificate whose verification failure means BuildJoinTree is buggy.
+  // Compile runs per engine call, so optimized builds trust the join tree
+  // (the debug/sanitizer CI jobs and the decomposition property suite
+  // certify it); the routed analysis path certifies once per query.
+  QCONT_RETURN_IF_ERROR(CertificateFromJoinTree(cq, out.jt).status());
+#endif
   out.atoms.reserve(cq.atoms().size());
   for (const Atom& a : cq.atoms()) out.atoms.push_back(CompileAtom(a, db));
   out.post_order = PostOrder(out.jt);

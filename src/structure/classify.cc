@@ -4,6 +4,7 @@
 #include <set>
 #include <vector>
 
+#include "structure/decomposition.h"
 #include "structure/graph.h"
 #include "structure/join_tree.h"
 #include "structure/tree_decomposition.h"
@@ -36,7 +37,11 @@ Result<CqClassification> ClassifyCq(const ConjunctiveQuery& cq) {
   CqClassification out;
   out.acyclic = IsAcyclic(cq);
   UndirectedGraph g = GaifmanGraph(cq);
-  out.treewidth = TreewidthBound(g, &out.treewidth_exact);
+  // Route through the certified decomposition builder: the reported width is
+  // the (verified) width of an actual decomposition, never a bare number.
+  DecompositionCertificate cert = DecomposeGraph(g);
+  out.treewidth = std::max(0, cert.claimed_width);
+  out.treewidth_exact = cert.exact;
   out.max_shared_vars = MaxSharedVariables(cq);
   return out;
 }

@@ -9,6 +9,7 @@
 
 #include "base/hash.h"
 #include "obs/obs.h"
+#include "structure/decomposition.h"
 #include "structure/graph.h"
 
 namespace qcont {
@@ -70,7 +71,15 @@ Result<bool> BoundedWidthSatisfiableImpl(const ConjunctiveQuery& cq,
 
   std::vector<Term> vars;
   UndirectedGraph gaifman = GaifmanGraph(cq, &vars);
-  TreeDecomposition td = DecompositionFromOrder(gaifman, MinFillOrder(gaifman));
+  DecomposeOptions decompose_options;
+  decompose_options.obs = obs;
+  // Heuristic orders only: this runs per evaluation call, so it keeps the
+  // old per-call cost profile (best of min-fill/min-degree, now verified).
+  // The exact branch-and-bound is reserved for the cached analysis report,
+  // which is built once per query.
+  decompose_options.exact_max_vertices = 0;
+  DecompositionCertificate cert = DecomposeGraph(gaifman, decompose_options);
+  TreeDecomposition td = cert.ToTreeDecomposition();
   if (stats != nullptr) stats->width_used = td.Width();
   ObsSpan dp_span(obs, "decomp/dp", "structure");
   dp_span.AddArg("bags", td.bags.size());

@@ -224,7 +224,35 @@ TEST(AnalyzeProgramTest, HeadUseCountsTowardOccurrences) {
 }
 
 TEST(AnalyzeProgramTest, DisconnectedBodyIsQc103) {
+  // The second component ('y') is disjoint from the head: a genuine cross
+  // join.
+  auto diags = LintProgram("p(x) :- e(x, x), e(y, y).\ngoal p.\n");
+  EXPECT_EQ(CountCode(diags, DiagCode::kCartesianProduct), 1);
+}
+
+TEST(AnalyzeProgramTest, HeadConnectedComponentsAreNotQc103) {
+  // Regression: both parts feed distinct answer variables — the product of
+  // answer dimensions is intentional, not an accidental cross join.
   auto diags = LintProgram("p(x, y) :- e(x, x), e(y, y).\ngoal p.\n");
+  EXPECT_EQ(CountCode(diags, DiagCode::kCartesianProduct), 0);
+}
+
+TEST(AnalyzeUcqTest, HeadConnectedDisjunctIsNotQc103) {
+  // Same false-positive fix on the UCQ side.
+  UnionQuery ucq({ConjunctiveQuery(
+      {Term::Variable("x"), Term::Variable("y")},
+      {Atom("e", {Term::Variable("x"), Term::Variable("x")}),
+       Atom("e", {Term::Variable("y"), Term::Variable("y")})})});
+  auto diags = AnalyzeUcq(ucq);
+  EXPECT_EQ(CountCode(diags, DiagCode::kCartesianProduct), 0);
+}
+
+TEST(AnalyzeUcqTest, ExistentialDisconnectedDisjunctIsQc103) {
+  UnionQuery ucq({ConjunctiveQuery(
+      {Term::Variable("x")},
+      {Atom("e", {Term::Variable("x"), Term::Variable("x")}),
+       Atom("e", {Term::Variable("y"), Term::Variable("y")})})});
+  auto diags = AnalyzeUcq(ucq);
   EXPECT_EQ(CountCode(diags, DiagCode::kCartesianProduct), 1);
 }
 

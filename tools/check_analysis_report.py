@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Validates the schema of `qcont_cli analyze --json` output.
+
+Usage:
+  qcont_cli analyze --json query.ucq [program.dl] | \
+      tools/check_analysis_report.py [FILE]
+
+Reads one AnalysisReport JSON object from FILE (or stdin) and fails unless
+every schema-v1 key is present with the right type and the values are
+internally consistent (acyclic => ghw == 1, routing names are known
+engines, ...). The schema is part of the public surface (DESIGN.md §14);
+additive changes must bump schema_version.
+"""
+
+import json
+import sys
+
+UCQ_KEYS = {
+    "disjuncts": int,
+    "acyclic": bool,
+    "ack_level": int,
+    "treewidth": int,
+    "treewidth_exact": bool,
+    "ghw": int,
+    "max_shared_vars": int,
+}
+PROGRAM_KEYS = {
+    "present": bool,
+    "recursive": bool,
+    "num_strata": int,
+    "num_sccs": int,
+    "num_recursive_sccs": int,
+    "relevant_rules": int,
+    "recursive_rules": int,
+    "max_recursive_rule_vars": int,
+    "expansion_branching": int,
+    "linear": bool,
+    "monadic": bool,
+    "guarded": bool,
+    "frontier_guarded": bool,
+}
+EVAL_ENGINES = {"yannakakis", "decomp-dp", "generic-hom-search"}
+CONTAINMENT_ENGINES = {"ack", "type-engine"}
+
+
+def check(cond, message, errors):
+    if not cond:
+        errors.append(message)
+
+
+def check_section(obj, name, keys, errors):
+    section = obj.get(name)
+    check(isinstance(section, dict), f"'{name}' must be an object", errors)
+    if not isinstance(section, dict):
+        return {}
+    for key, want in keys.items():
+        check(key in section, f"'{name}.{key}' missing", errors)
+        if key in section:
+            # bool is an int subclass in Python; require the exact type.
+            ok = (isinstance(section[key], bool) if want is bool
+                  else isinstance(section[key], int)
+                  and not isinstance(section[key], bool))
+            check(ok, f"'{name}.{key}' must be {want.__name__}", errors)
+    for key in section:
+        check(key in keys, f"'{name}.{key}' is not a schema-v1 key", errors)
+    return section
+
+
+def main():
+    source = open(sys.argv[1]) if len(sys.argv) > 1 else sys.stdin
+    try:
+        report = json.load(source)
+    except json.JSONDecodeError as e:
+        print(f"FAIL: not valid JSON: {e}")
+        return 1
+
+    errors = []
+    check(report.get("schema_version") == 1,
+          "schema_version must be 1", errors)
+    for key in ("query_hash", "program_hash"):
+        value = report.get(key)
+        check(isinstance(value, str) and len(value) == 16,
+              f"'{key}' must be a 16-hex-digit string", errors)
+
+    ucq = check_section(report, "ucq", UCQ_KEYS, errors)
+    program = check_section(report, "program", PROGRAM_KEYS, errors)
+
+    routing = report.get("routing")
+    check(isinstance(routing, dict), "'routing' must be an object", errors)
+    if isinstance(routing, dict):
+        check(routing.get("eval_engine") in EVAL_ENGINES,
+              f"routing.eval_engine {routing.get('eval_engine')!r} unknown",
+              errors)
+        check(routing.get("containment_engine") in CONTAINMENT_ENGINES,
+              f"routing.containment_engine "
+              f"{routing.get('containment_engine')!r} unknown", errors)
+
+    extra = set(report) - {"schema_version", "query_hash", "program_hash",
+                           "ucq", "program", "routing"}
+    check(not extra, f"unknown top-level key(s): {sorted(extra)}", errors)
+
+    # Internal consistency.
+    if ucq and isinstance(routing, dict):
+        if ucq.get("acyclic") is True:
+            check(ucq.get("ghw") == 1 or ucq.get("disjuncts") == 0,
+                  "acyclic UCQ must have ghw == 1", errors)
+            check(ucq.get("ack_level", 0) >= 1,
+                  "acyclic UCQ must have ack_level >= 1", errors)
+            check(routing.get("eval_engine") == "yannakakis",
+                  "acyclic UCQ must route eval to yannakakis", errors)
+            check(routing.get("containment_engine") == "ack",
+                  "acyclic UCQ must route containment to ack", errors)
+        elif ucq.get("acyclic") is False:
+            check(routing.get("containment_engine") == "type-engine",
+                  "cyclic UCQ must route containment to type-engine", errors)
+            check(ucq.get("ghw", 0) >= 2,
+                  "cyclic UCQ must have ghw >= 2", errors)
+    if program and program.get("present") is False:
+        check(report.get("program_hash") == "0" * 16,
+              "program_hash must be zero without a program", errors)
+
+    if errors:
+        for e in errors:
+            print(f"FAIL: {e}")
+        return 1
+    print("OK: AnalysisReport matches schema v1")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,8 +2,8 @@
 """Compares two Google Benchmark JSON files and fails on regressions.
 
 Usage:
-  tools/check_bench_regression.py BEFORE.json AFTER.json \
-      [--tolerance 0.10] [--min-speedup X]
+  tools/check_bench_regression.py BEFORE.json [AFTER.json] \
+      [--tolerance 0.10] [--min-speedup X] [--max-counter NAME=VALUE ...]
 
 For every benchmark name present in both files the median real_time of the
 plain iteration runs is compared (aggregate rows such as *_mean/_median
@@ -14,10 +14,15 @@ median is just that run). The check fails when
     (default 10%: after > before * 1.10), or
   * --min-speedup X is given and no shared series got at least X times
     faster (before / after >= X) — used to assert that a committed
-    before/after pair actually demonstrates the optimisation it claims.
+    before/after pair actually demonstrates the optimisation it claims, or
+  * --max-counter NAME=VALUE is given and any series in the newest file
+    reports a (median) counter NAME above VALUE — used to assert the
+    analysis-overhead columns (`analysis_pct` < 5) emitted by E1/E2/E9.
 
 Benchmarks present in only one file are reported but never fail the check,
-so series can be added or retired without touching the gate.
+so series can be added or retired without touching the gate. With a single
+file and --max-counter, the timing comparison is skipped and only the
+counter bounds are checked.
 """
 
 import argparse
@@ -39,10 +44,46 @@ def load_medians(path):
     return {name: statistics.median(vals) for name, vals in times.items()}
 
 
+def load_counter_medians(path, counter):
+    """Returns {benchmark name: median COUNTER} for iteration runs that
+    report the counter; series without it are simply absent."""
+    with open(path) as f:
+        data = json.load(f)
+    values = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        if counter not in bench:
+            continue
+        values.setdefault(bench["name"], []).append(float(bench[counter]))
+    return {name: statistics.median(vals) for name, vals in values.items()}
+
+
+def check_counter_bounds(path, bounds):
+    """Fails when any series' median counter exceeds its bound. Returns
+    True on failure."""
+    failed = False
+    for counter, bound in bounds:
+        values = load_counter_medians(path, counter)
+        if not values:
+            print(f"ERROR: no series in {path} reports counter "
+                  f"'{counter}'")
+            failed = True
+            continue
+        for name, value in sorted(values.items()):
+            status = "ok"
+            if value > bound:
+                status = "OVER BOUND"
+                failed = True
+            print(f"{status:>10}  {name}: {counter} = {value:.3f} "
+                  f"(bound {bound:g})")
+    return failed
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("before")
-    parser.add_argument("after")
+    parser.add_argument("after", nargs="?", default=None)
     parser.add_argument(
         "--tolerance",
         type=float,
@@ -55,7 +96,30 @@ def main():
         default=None,
         help="require at least one series to be this many times faster",
     )
+    parser.add_argument(
+        "--max-counter",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="fail when any series' median counter NAME exceeds VALUE "
+             "(checked in the newest file; repeatable)",
+    )
     args = parser.parse_args()
+
+    bounds = []
+    for spec in args.max_counter:
+        name, _, value = spec.partition("=")
+        try:
+            bounds.append((name, float(value)))
+        except ValueError:
+            print(f"ERROR: --max-counter expects NAME=VALUE, got {spec!r}")
+            return 2
+
+    if args.after is None:
+        if not bounds:
+            print("ERROR: a single file requires --max-counter")
+            return 2
+        return 1 if check_counter_bounds(args.before, bounds) else 0
 
     before = load_medians(args.before)
     after = load_medians(args.after)
@@ -83,9 +147,11 @@ def main():
         print(f"{status:>10}  {name}: {b:.0f} -> {a:.0f} ns "
               f"({speedup:.2f}x)")
 
+    if bounds and check_counter_bounds(args.after, bounds):
+        failed = True
     if failed:
         print(f"FAIL: at least one series regressed by more than "
-              f"{args.tolerance:.0%}")
+              f"{args.tolerance:.0%} or a counter bound was exceeded")
         return 1
     if args.min_speedup is not None:
         if best_speedup < args.min_speedup:

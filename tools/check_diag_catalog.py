@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Fails when the QCxxx table in DESIGN.md drifts from the diagnostic code.
+
+Usage:
+  tools/check_diag_catalog.py [--repo ROOT]
+
+Cross-checks three sources that must agree on every diagnostic code:
+
+  * the `DiagCodeId` switch in src/analysis/diagnostic.cc
+    (enum member -> "QCxxx" id),
+  * the `DiagSeverity` switch in the same file
+    (enum member -> error/warning/info),
+  * the `| QCxxx | severity | summary |` table in DESIGN.md,
+  * the one-line `// QCxxx: summary` comments on the DiagCode enum in
+    src/analysis/diagnostic.h.
+
+The check fails when a code exists in one source but not another, when the
+severities disagree, or when a summary (table or header comment) is
+missing/empty. Run by the lint CI job; see DESIGN.md §9.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+
+def parse_code_ids(cc_text):
+    """enum member -> QCxxx from the DiagCodeId switch."""
+    m = re.search(r"const char\* DiagCodeId\(DiagCode code\) \{(.*?)\n\}",
+                  cc_text, re.S)
+    if not m:
+        raise SystemExit("cannot find DiagCodeId switch in diagnostic.cc")
+    return dict(re.findall(
+        r'case DiagCode::(\w+):\s*return "(QC\d{3})";', m.group(1)))
+
+
+def parse_severities(cc_text):
+    """enum member -> severity name from the DiagSeverity switch."""
+    m = re.search(r"Severity DiagSeverity\(DiagCode code\) \{(.*?)\n\}",
+                  cc_text, re.S)
+    if not m:
+        raise SystemExit("cannot find DiagSeverity switch in diagnostic.cc")
+    out = {}
+    pending = []
+    for line in m.group(1).splitlines():
+        case = re.search(r"case DiagCode::(\w+):", line)
+        if case:
+            pending.append(case.group(1))
+        ret = re.search(r"return Severity::k(\w+);", line)
+        if ret:
+            severity = ret.group(1).lower()
+            for member in pending:
+                out[member] = severity
+            pending = []
+    return out
+
+
+def parse_header_summaries(h_text):
+    """QCxxx -> summary from the DiagCode enum comments."""
+    out = {}
+    for member, code, summary in re.findall(
+            r"k(\w+),\s*// (QC\d{3}): (.+)", h_text):
+        out[code] = summary.strip()
+    return out
+
+
+def parse_design_table(md_text):
+    """QCxxx -> (severity, summary) from the DESIGN.md table."""
+    out = {}
+    for code, severity, summary in re.findall(
+            r"^\| (QC\d{3}) \| (error|warning|info) \| (.+?) \|$",
+            md_text, re.M):
+        out[code] = (severity, summary.strip())
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repo", default=".", help="repository root")
+    args = parser.parse_args()
+    root = pathlib.Path(args.repo)
+
+    cc_text = (root / "src/analysis/diagnostic.cc").read_text()
+    h_text = (root / "src/analysis/diagnostic.h").read_text()
+    md_text = (root / "DESIGN.md").read_text()
+
+    code_of_member = parse_code_ids(cc_text)
+    severity_of_member = parse_severities(cc_text)
+    header_summaries = parse_header_summaries(h_text)
+    table = parse_design_table(md_text)
+
+    code_severity = {}
+    failed = False
+    for member, code in sorted(code_of_member.items(), key=lambda kv: kv[1]):
+        severity = severity_of_member.get(member)
+        if severity is None:
+            print(f"FAIL: {code} ({member}) missing from DiagSeverity switch")
+            failed = True
+            continue
+        code_severity[code] = severity
+
+    in_code = set(code_severity)
+    in_table = set(table)
+    for code in sorted(in_code - in_table):
+        print(f"FAIL: {code} is in diagnostic.cc but not in the DESIGN.md "
+              f"table")
+        failed = True
+    for code in sorted(in_table - in_code):
+        print(f"FAIL: {code} is in the DESIGN.md table but not in "
+              f"diagnostic.cc")
+        failed = True
+    for code in sorted(in_code & in_table):
+        table_severity, summary = table[code]
+        if table_severity != code_severity[code]:
+            print(f"FAIL: {code} severity mismatch: diagnostic.cc says "
+                  f"{code_severity[code]}, DESIGN.md says {table_severity}")
+            failed = True
+        if not summary:
+            print(f"FAIL: {code} has an empty summary in DESIGN.md")
+            failed = True
+        if code not in header_summaries or not header_summaries[code]:
+            print(f"FAIL: {code} has no one-line summary comment on the "
+                  f"DiagCode enum in diagnostic.h")
+            failed = True
+
+    if failed:
+        return 1
+    print(f"OK: {len(in_code)} diagnostic codes agree across diagnostic.cc, "
+          f"diagnostic.h and DESIGN.md")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
