@@ -1,0 +1,135 @@
+// qcont_server: long-running containment-as-a-service driver.
+//
+// Usage:
+//   qcont_server [flags] < requests.jsonl > responses.jsonl
+//
+//   --threads=N        concurrent in-flight requests per batch (default 1)
+//   --engine-threads=N engine-internal parallelism per request (default 1)
+//   --max-batch=N      admission control: requests per scheduler batch (32)
+//   --deadline-ms=N    default per-request deadline, 0 = none (default 0)
+//   --cache-entries=N  per-kind plan-cache LRU capacity (default 4096)
+//   --no-minimize      skip the UCQ core-minimization pre-pass
+//   --trace=FILE       write a Chrome trace_event JSON of the run
+//   --metrics          print the final counter snapshot to stderr on exit
+//
+// The server reads newline-delimited JSON requests on stdin and writes one
+// response line per request on stdout, in request order (schema v1 — see
+// DESIGN.md §15 and the README "Server" section):
+//
+//   {"id":1,"op":"containment","program":"...","query":"..."}
+//   {"id":2,"op":"eval","program":"...","database":"..."}
+//   {"id":3,"op":"analyze","query":"..."}
+//
+// All requests share one interned value pool and one canonical-hash plan
+// cache, so repeated or alpha-renamed resubmissions answer from cache.
+// Exit code: 0 at end of input, 2 on usage errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "server/server.h"
+
+namespace {
+
+using namespace qcont;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: qcont_server [--threads=N] [--engine-threads=N] [--max-batch=N]\n"
+      "                    [--deadline-ms=N] [--cache-entries=N]\n"
+      "                    [--no-minimize] [--trace=FILE] [--metrics]\n"
+      "reads JSONL requests on stdin, writes JSONL responses on stdout\n");
+  return 2;
+}
+
+/// Parses the value of a `--flag=N` argument; false on malformed numbers.
+bool ParseCount(const std::string& arg, std::size_t prefix_len,
+                long long* out) {
+  const std::string value = arg.substr(prefix_len);
+  if (value.empty()) return false;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || parsed < 0) return false;
+  *out = parsed;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Unsynced iostreams let ServeStream's greedy batching see buffered
+  // input (in_avail() is pinned to 0 on a stdio-synced cin).
+  std::ios::sync_with_stdio(false);
+
+  server::ServerOptions options;
+  std::string trace_path;
+  bool print_metrics = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    long long n = 0;
+    if (arg.rfind("--threads=", 0) == 0) {
+      if (!ParseCount(arg, 10, &n) || n < 1) return Usage();
+      options.threads = static_cast<int>(n);
+    } else if (arg.rfind("--engine-threads=", 0) == 0) {
+      if (!ParseCount(arg, 17, &n) || n < 1) return Usage();
+      options.engine_threads = static_cast<int>(n);
+    } else if (arg.rfind("--max-batch=", 0) == 0) {
+      if (!ParseCount(arg, 12, &n) || n < 1) return Usage();
+      options.max_batch = static_cast<std::size_t>(n);
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      if (!ParseCount(arg, 14, &n)) return Usage();
+      options.default_deadline_ms = static_cast<std::uint64_t>(n);
+    } else if (arg.rfind("--cache-entries=", 0) == 0) {
+      if (!ParseCount(arg, 16, &n)) return Usage();
+      options.cache.verdict_capacity = static_cast<std::size_t>(n);
+      options.cache.analysis_capacity = static_cast<std::size_t>(n);
+      options.cache.core_capacity = static_cast<std::size_t>(n);
+      options.cache.eval_capacity = static_cast<std::size_t>(n);
+    } else if (arg == "--no-minimize") {
+      options.minimize_queries = false;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
+      if (trace_path.empty()) return Usage();
+    } else if (arg == "--metrics") {
+      print_metrics = true;
+    } else {
+      return Usage();
+    }
+  }
+
+  MetricRegistry metrics;
+  TraceSession trace;
+  ObsContext obs_storage{&metrics, &trace};
+  // Only hand the server a sink when some output was requested, so plain
+  // invocations keep the zero-instrumentation fast path.
+  const ObsContext* obs =
+      (!trace_path.empty() || print_metrics) ? &obs_storage : nullptr;
+  options.obs = obs;
+
+  server::Server srv(options);
+  srv.ServeStream(std::cin, std::cout);
+
+  int code = 0;
+  if (!trace_path.empty()) {
+    Status written = trace.WriteFile(trace_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "--trace: %s\n", written.ToString().c_str());
+      code = 2;
+    }
+  }
+  if (print_metrics) {
+    std::fprintf(stderr, "== metrics ==\n");
+    for (const auto& [name, value] : metrics.Snapshot()) {
+      std::fprintf(stderr, "%-32s %llu\n", name.c_str(),
+                   static_cast<unsigned long long>(value));
+    }
+  }
+  return code;
+}

@@ -114,6 +114,22 @@ std::uint64_t CanonicalProgramHash(const DatalogProgram& program) {
   return h.Finish();
 }
 
+std::uint64_t CanonicalDatabaseHash(const Database& db) {
+  // Per-fact FNV-1a digests combined with + : commutative, so the hash is
+  // a function of the fact *set*. Facts are self-delimiting inside their
+  // digest (Text() NUL-terminates), so fields cannot run into each other.
+  std::uint64_t combined = 0;
+  for (const std::string& relation : db.Relations()) {
+    for (const Tuple& tuple : db.Facts(relation)) {
+      CanonicalHasher h;
+      h.Text(relation);
+      for (const Value& v : tuple) h.Text(v);
+      combined += h.Finish();
+    }
+  }
+  return Mix64(combined);
+}
+
 const char* EngineKindName(EngineKind kind) {
   switch (kind) {
     case EngineKind::kYannakakis: return "yannakakis";

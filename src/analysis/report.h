@@ -5,6 +5,7 @@
 #include <string>
 
 #include "analysis/program_analysis.h"
+#include "cq/database.h"
 #include "cq/query.h"
 #include "datalog/program.h"
 #include "obs/obs.h"
@@ -19,6 +20,14 @@ std::uint64_t CanonicalQueryHash(const UnionQuery& ucq);
 
 /// Same canonicalization per rule, plus the goal predicate.
 std::uint64_t CanonicalProgramHash(const DatalogProgram& program);
+
+/// Order-independent canonical hash of a database: each fact is hashed on
+/// its own (relation name + values, FNV-1a) and the per-fact digests are
+/// combined commutatively, so two databases with the same fact set hash
+/// identically regardless of insertion order. This is the evaluation-cache
+/// key of the server's plan cache (DESIGN.md §15), extracted here so it
+/// lives next to the query/program canonical hashes it composes with.
+std::uint64_t CanonicalDatabaseHash(const Database& db);
 
 /// The engine a routed call should use. One enum spans evaluation and
 /// containment so reports, spans, and the CLI name engines uniformly.

@@ -1,8 +1,17 @@
 #include "base/interner.h"
 
+#include <mutex>
+
 namespace qcont {
 
 SymbolId Interner::Intern(std::string_view name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(*mu_);
+    auto it = ids_.find(std::string(name));
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(*mu_);
+  // Double-check: another thread may have interned between the locks.
   auto it = ids_.find(std::string(name));
   if (it != ids_.end()) return it->second;
   SymbolId id = static_cast<SymbolId>(names_.size());
@@ -12,9 +21,20 @@ SymbolId Interner::Intern(std::string_view name) {
 }
 
 SymbolId Interner::Find(std::string_view name) const {
+  std::shared_lock<std::shared_mutex> lock(*mu_);
   auto it = ids_.find(std::string(name));
   if (it == ids_.end()) return kMissing;
   return it->second;
+}
+
+const std::string& Interner::NameOf(SymbolId id) const {
+  std::shared_lock<std::shared_mutex> lock(*mu_);
+  return names_[id];
+}
+
+std::size_t Interner::size() const {
+  std::shared_lock<std::shared_mutex> lock(*mu_);
+  return names_.size();
 }
 
 }  // namespace qcont

@@ -2,10 +2,12 @@
 #define QCONT_BASE_INTERNER_H_
 
 #include <cstdint>
+#include <deque>
+#include <memory>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 namespace qcont {
 
@@ -15,9 +17,25 @@ using SymbolId = std::uint32_t;
 
 /// Maps strings to dense ids and back. Used for relation names, variable
 /// names and alphabet symbols so the rest of the library works on integers.
+///
+/// Thread safety: all members may be called concurrently. `Intern` takes an
+/// exclusive lock only when the name is new (double-checked under a shared
+/// lock first), `Find`/`NameOf`/`size` take a shared lock. Names live in a
+/// deque, so the reference returned by `NameOf` stays valid for the
+/// interner's lifetime even while other threads intern new names. This is
+/// what lets a long-running server share one value pool across concurrently
+/// processed requests (DESIGN.md §15); id assignment then depends on
+/// request interleaving, but each Database's own ids stay internally
+/// consistent and all externally visible artifacts are strings.
+///
+/// Moving is allowed (engine-internal interners live in movable state
+/// structs) but is NOT thread-safe: never move an interner other threads
+/// may be touching.
 class Interner {
  public:
-  Interner() = default;
+  Interner() : mu_(std::make_unique<std::shared_mutex>()) {}
+  Interner(Interner&&) = default;
+  Interner& operator=(Interner&&) = default;
 
   /// Returns the id of `name`, creating one if it is new.
   SymbolId Intern(std::string_view name);
@@ -26,14 +44,17 @@ class Interner {
   static constexpr SymbolId kMissing = static_cast<SymbolId>(-1);
   SymbolId Find(std::string_view name) const;
 
-  /// Name for an id handed out by this interner.
-  const std::string& NameOf(SymbolId id) const { return names_[id]; }
+  /// Name for an id handed out by this interner. The reference is stable
+  /// for the interner's lifetime.
+  const std::string& NameOf(SymbolId id) const;
 
-  std::size_t size() const { return names_.size(); }
+  std::size_t size() const;
 
  private:
+  // Behind a pointer so the interner itself stays movable.
+  mutable std::unique_ptr<std::shared_mutex> mu_;
   std::unordered_map<std::string, SymbolId> ids_;
-  std::vector<std::string> names_;
+  std::deque<std::string> names_;  // deque: stable refs under growth
 };
 
 }  // namespace qcont

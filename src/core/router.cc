@@ -33,7 +33,9 @@ Result<RoutedAnswer> DecideContainment(const DatalogProgram& program,
     routing.obs = options.obs;
     routing.use_cache = options.use_analysis_cache;
     const analysis::AnalysisReport report =
-        analysis::AnalyzeForRouting(program, ucq, routing);
+        options.report != nullptr
+            ? *options.report
+            : analysis::AnalyzeForRouting(program, ucq, routing);
     const analysis::EngineKind engine = analysis::ChooseEngine(
         report, analysis::RoutingGoal::kContainment, routing);
     route = engine == analysis::EngineKind::kAckEngine

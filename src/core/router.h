@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "analysis/report.h"
 #include "base/status.h"
 #include "core/ack_containment.h"
 #include "core/datalog_ucq.h"
@@ -49,6 +50,12 @@ struct RouterOptions {
   ForcedRoute force = ForcedRoute::kAuto;
   /// Consult/populate the global analysis report cache.
   bool use_analysis_cache = true;
+  /// Request-scoped routing: a report for this exact (program, ucq) pair
+  /// that the caller already holds (e.g. fetched from the server's plan
+  /// cache). When set, the router routes from it directly and never
+  /// consults or populates the global analysis cache. Borrowed; must
+  /// outlive the call.
+  const analysis::AnalysisReport* report = nullptr;
 };
 
 /// Decides Π ⊆ Θ picking the best engine per the paper's classification

@@ -1,0 +1,141 @@
+#include "server/plan_cache.h"
+
+namespace qcont {
+namespace server {
+
+template <typename V>
+std::optional<V> PlanCache::Shard<V>::Lookup(const PlanKey& key) {
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = index.find(key);
+  if (it == index.end()) {
+    ++misses;
+    return std::nullopt;
+  }
+  ++hits;
+  order.splice(order.begin(), order, it->second);  // refresh recency
+  return it->second->second;
+}
+
+template <typename V>
+std::uint64_t PlanCache::Shard<V>::Insert(const PlanKey& key, V value) {
+  if (capacity == 0) return 0;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = index.find(key);
+  if (it != index.end()) {
+    it->second->second = std::move(value);
+    order.splice(order.begin(), order, it->second);
+    return 0;
+  }
+  order.emplace_front(key, std::move(value));
+  index.emplace(key, order.begin());
+  ++insertions;
+  std::uint64_t evicted = 0;
+  while (index.size() > capacity) {
+    index.erase(order.back().first);
+    order.pop_back();
+    ++evictions;
+    ++evicted;
+  }
+  return evicted;
+}
+
+template <typename V>
+void PlanCache::Shard<V>::Collect(PlanCacheStats* out) const {
+  std::lock_guard<std::mutex> lock(mu);
+  out->hits += hits;
+  out->misses += misses;
+  out->insertions += insertions;
+  out->evictions += evictions;
+  out->entries += index.size();
+}
+
+template <typename V>
+void PlanCache::Shard<V>::Clear() {
+  std::lock_guard<std::mutex> lock(mu);
+  index.clear();
+  order.clear();
+}
+
+PlanCache::PlanCache(PlanCacheConfig config) : config_(config) {
+  verdicts_.capacity = config.verdict_capacity;
+  reports_.capacity = config.analysis_capacity;
+  cores_.capacity = config.core_capacity;
+  evals_.capacity = config.eval_capacity;
+}
+
+void PlanCache::Publish(const char* kind, bool hit) const {
+  ObsCount(config_.obs,
+           std::string("server.cache.") + kind + (hit ? ".hits" : ".misses"),
+           1);
+}
+
+void PlanCache::PublishInsert(const char* kind, std::uint64_t evicted) const {
+  ObsCount(config_.obs, std::string("server.cache.") + kind + ".insertions", 1);
+  if (evicted > 0) {
+    ObsCount(config_.obs, std::string("server.cache.") + kind + ".evictions",
+             evicted);
+  }
+  ObsGauge(config_.obs, "server.cache.entries",
+           static_cast<std::uint64_t>(stats().entries));
+}
+
+std::optional<CachedVerdict> PlanCache::LookupVerdict(const PlanKey& key) {
+  auto out = verdicts_.Lookup(key);
+  Publish("verdict", out.has_value());
+  return out;
+}
+
+void PlanCache::InsertVerdict(const PlanKey& key, CachedVerdict verdict) {
+  PublishInsert("verdict", verdicts_.Insert(key, std::move(verdict)));
+}
+
+std::optional<analysis::AnalysisReport> PlanCache::LookupAnalysis(
+    const PlanKey& key) {
+  auto out = reports_.Lookup(key);
+  Publish("analysis", out.has_value());
+  return out;
+}
+
+void PlanCache::InsertAnalysis(const PlanKey& key,
+                               analysis::AnalysisReport report) {
+  PublishInsert("analysis", reports_.Insert(key, std::move(report)));
+}
+
+std::optional<UnionQuery> PlanCache::LookupCoreUcq(std::uint64_t query_hash) {
+  auto out = cores_.Lookup({query_hash, 0});
+  Publish("core", out.has_value());
+  return out;
+}
+
+void PlanCache::InsertCoreUcq(std::uint64_t query_hash, UnionQuery core) {
+  PublishInsert("core", cores_.Insert({query_hash, 0}, std::move(core)));
+}
+
+std::optional<CachedEval> PlanCache::LookupEval(const PlanKey& key) {
+  auto out = evals_.Lookup(key);
+  Publish("eval", out.has_value());
+  return out;
+}
+
+void PlanCache::InsertEval(const PlanKey& key, CachedEval eval) {
+  PublishInsert("eval", evals_.Insert(key, std::move(eval)));
+}
+
+PlanCacheStats PlanCache::stats() const {
+  PlanCacheStats out;
+  verdicts_.Collect(&out);
+  reports_.Collect(&out);
+  cores_.Collect(&out);
+  evals_.Collect(&out);
+  return out;
+}
+
+void PlanCache::Clear() {
+  verdicts_.Clear();
+  reports_.Clear();
+  cores_.Clear();
+  evals_.Clear();
+}
+
+}  // namespace server
+}  // namespace qcont

@@ -1,0 +1,143 @@
+#ifndef QCONT_SERVER_PLAN_CACHE_H_
+#define QCONT_SERVER_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "analysis/report.h"
+#include "base/hash.h"
+#include "core/router.h"
+#include "cq/database.h"
+#include "cq/query.h"
+#include "obs/obs.h"
+
+namespace qcont {
+namespace server {
+
+/// Cache key: the PR-6 canonical (alpha-renamed) FNV-1a hashes. For
+/// verdict/analysis entries the pair is (program_hash, query_hash); for
+/// evaluation entries it is (program_hash, database_hash); single-hash
+/// entries (core UCQs) use {hash, 0}.
+using PlanKey = std::pair<std::uint64_t, std::uint64_t>;
+
+/// A memoized containment verdict: everything a repeated Π/Θ pair needs to
+/// answer without re-expanding the type-automaton state space — the verdict
+/// itself, the route and ACk level the router chose, and for "not
+/// contained" the witness expansion plus its canonical database (a concrete
+/// counterexample D with goal(D) ∈ Π(D) \ Θ(D)).
+struct CachedVerdict {
+  bool contained = false;
+  ContainmentRoute route = ContainmentRoute::kGeneralEngine;
+  int ack_level = 0;
+  std::optional<std::string> witness;            // θ_τ in CQ text form
+  std::optional<std::string> counterexample_db;  // canonical DB of θ_τ
+};
+
+/// A memoized evaluation result: the goal tuples of Π(D), keyed by
+/// (program_hash, canonical database hash).
+struct CachedEval {
+  std::vector<Tuple> tuples;
+};
+
+/// Aggregate counters across all four entry kinds. `entries` is the
+/// current total population, the rest are monotonic.
+struct PlanCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+};
+
+/// Per-kind LRU capacities plus the observability sink. A capacity of 0
+/// disables that kind (every lookup misses, inserts are dropped).
+struct PlanCacheConfig {
+  std::size_t verdict_capacity = 4096;
+  std::size_t analysis_capacity = 4096;
+  std::size_t core_capacity = 4096;
+  std::size_t eval_capacity = 512;
+  /// Optional, borrowed. Publishes `server.cache.<kind>.{hits,misses,
+  /// insertions,evictions}` counters per lookup/insert and a
+  /// `server.cache.entries` gauge after every insert.
+  const ObsContext* obs = nullptr;
+};
+
+/// The server's plan cache: four independent LRU maps keyed by canonical
+/// hashes, so alpha-renamed resubmissions of the same query/program hit.
+///
+///  - **verdict**: containment verdicts with witnesses (CachedVerdict),
+///  - **analysis**: AnalysisReports (the routed entry points' input),
+///  - **core**: minimized (subsumption-pruned, per-disjunct-cored) UCQs,
+///    stored structurally (the CQ text form is display-only, not
+///    re-parseable),
+///  - **eval**: goal tuples of Π(D) per (program, database) pair.
+///
+/// Thread safety: one mutex per kind; entries are returned by value. All
+/// methods may be called concurrently. Eviction is strict LRU per kind
+/// (lookup refreshes recency).
+class PlanCache {
+ public:
+  explicit PlanCache(PlanCacheConfig config = {});
+
+  std::optional<CachedVerdict> LookupVerdict(const PlanKey& key);
+  void InsertVerdict(const PlanKey& key, CachedVerdict verdict);
+
+  std::optional<analysis::AnalysisReport> LookupAnalysis(const PlanKey& key);
+  void InsertAnalysis(const PlanKey& key, analysis::AnalysisReport report);
+
+  /// Core entries are keyed by the original query's canonical hash alone.
+  std::optional<UnionQuery> LookupCoreUcq(std::uint64_t query_hash);
+  void InsertCoreUcq(std::uint64_t query_hash, UnionQuery core);
+
+  std::optional<CachedEval> LookupEval(const PlanKey& key);
+  void InsertEval(const PlanKey& key, CachedEval eval);
+
+  /// Counters summed over the four kinds.
+  PlanCacheStats stats() const;
+
+  /// Drops every entry (counters keep accumulating; drops do not count as
+  /// evictions).
+  void Clear();
+
+ private:
+  /// One LRU shard: recency list of (key, value) with an index into it.
+  template <typename V>
+  struct Shard {
+    mutable std::mutex mu;
+    std::size_t capacity = 0;
+    std::list<std::pair<PlanKey, V>> order;  // front = most recent
+    std::unordered_map<PlanKey, typename std::list<std::pair<PlanKey, V>>::iterator,
+                       PairHash<std::uint64_t, std::uint64_t>>
+        index;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+
+    std::optional<V> Lookup(const PlanKey& key);
+    /// Returns the number of entries evicted by this insert (0 or 1).
+    std::uint64_t Insert(const PlanKey& key, V value);
+    void Collect(PlanCacheStats* out) const;
+    void Clear();
+  };
+
+  void Publish(const char* kind, bool hit) const;
+  void PublishInsert(const char* kind, std::uint64_t evicted) const;
+
+  PlanCacheConfig config_;
+  Shard<CachedVerdict> verdicts_;
+  Shard<analysis::AnalysisReport> reports_;
+  Shard<UnionQuery> cores_;
+  Shard<CachedEval> evals_;
+};
+
+}  // namespace server
+}  // namespace qcont
+
+#endif  // QCONT_SERVER_PLAN_CACHE_H_

@@ -19,16 +19,29 @@ median is just that run). The check fails when
     reports a (median) counter NAME above VALUE — used to assert the
     analysis-overhead columns (`analysis_pct` < 5) emitted by E1/E2/E9.
 
+A series that does NOT report a bounded counter is a hard error: a renamed
+or dropped counter must fail the gate, never silently pass it. When the
+counter is only emitted by some series of a file by design (the analysis_pct
+column comes from one benchmark function per file), pass --allow-missing —
+then series without the counter are reported as notes, but at least one
+series must still report it.
+
 Benchmarks present in only one file are reported but never fail the check,
 so series can be added or retired without touching the gate. With a single
 file and --max-counter, the timing comparison is skipped and only the
 counter bounds are checked.
+
+--self-test runs the checker against embedded fixtures (exercising the
+missing-counter paths) and exits 0 only if every expectation holds; CI runs
+it in the lint job so a regression in this gate is itself gated.
 """
 
 import argparse
 import json
+import os
 import statistics
 import sys
+import tempfile
 
 
 def load_medians(path):
@@ -45,31 +58,45 @@ def load_medians(path):
 
 
 def load_counter_medians(path, counter):
-    """Returns {benchmark name: median COUNTER} for iteration runs that
-    report the counter; series without it are simply absent."""
+    """Returns ({benchmark name: median COUNTER}, [names without it]) over
+    the iteration runs."""
     with open(path) as f:
         data = json.load(f)
     values = {}
+    missing = set()
     for bench in data.get("benchmarks", []):
         if bench.get("run_type", "iteration") != "iteration":
             continue
+        name = bench["name"]
         if counter not in bench:
+            missing.add(name)
             continue
-        values.setdefault(bench["name"], []).append(float(bench[counter]))
-    return {name: statistics.median(vals) for name, vals in values.items()}
+        values.setdefault(name, []).append(float(bench[counter]))
+    medians = {name: statistics.median(vals) for name, vals in values.items()}
+    # A series counts as missing only if no run of it reports the counter.
+    return medians, sorted(missing - set(medians))
 
 
-def check_counter_bounds(path, bounds):
-    """Fails when any series' median counter exceeds its bound. Returns
-    True on failure."""
+def check_counter_bounds(path, bounds, allow_missing):
+    """Fails when any series' median counter exceeds its bound, or (unless
+    allow_missing) when any series lacks the counter. Returns True on
+    failure."""
     failed = False
     for counter, bound in bounds:
-        values = load_counter_medians(path, counter)
+        values, missing = load_counter_medians(path, counter)
         if not values:
             print(f"ERROR: no series in {path} reports counter "
                   f"'{counter}'")
             failed = True
             continue
+        for name in missing:
+            if allow_missing:
+                print(f"note: {name} does not report '{counter}' "
+                      f"(--allow-missing)")
+            else:
+                print(f"   MISSING  {name}: counter '{counter}' absent "
+                      f"(pass --allow-missing if intentional)")
+                failed = True
         for name, value in sorted(values.items()):
             status = "ok"
             if value > bound:
@@ -80,9 +107,51 @@ def check_counter_bounds(path, bounds):
     return failed
 
 
+def self_test():
+    """Runs the counter gate against embedded fixtures; returns an exit
+    code (0 = every expectation held)."""
+    def bench(name, **extra):
+        return {"name": name, "run_type": "iteration",
+                "real_time": 100.0, **extra}
+
+    fixtures = {
+        # (bounds, allow_missing, expect_failure)
+        "all series report, under bound": (
+            [bench("a", c=1.0), bench("b", c=2.0)], False, False),
+        "over bound fails": (
+            [bench("a", c=9.0)], False, True),
+        "missing on one series fails by default": (
+            [bench("a", c=1.0), bench("b")], False, True),
+        "missing on one series passes with --allow-missing": (
+            [bench("a", c=1.0), bench("b")], True, False),
+        "counter absent everywhere fails even with --allow-missing": (
+            [bench("a"), bench("b")], True, True),
+        "aggregate rows never satisfy the counter": (
+            [bench("a"), {"name": "a_mean", "run_type": "aggregate",
+                          "c": 1.0, "real_time": 100.0}], False, True),
+    }
+
+    code = 0
+    for label, (benches, allow_missing, expect_failure) in fixtures.items():
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".json", delete=False) as f:
+            json.dump({"benchmarks": benches}, f)
+            path = f.name
+        try:
+            failed = check_counter_bounds(path, [("c", 5.0)], allow_missing)
+        finally:
+            os.unlink(path)
+        verdict = "ok" if failed == expect_failure else "SELF-TEST FAIL"
+        print(f"[{verdict}] {label}")
+        if failed != expect_failure:
+            code = 1
+    print("self-test " + ("passed" if code == 0 else "FAILED"))
+    return code
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("before")
+    parser.add_argument("before", nargs="?", default=None)
     parser.add_argument("after", nargs="?", default=None)
     parser.add_argument(
         "--tolerance",
@@ -104,7 +173,24 @@ def main():
         help="fail when any series' median counter NAME exceeds VALUE "
              "(checked in the newest file; repeatable)",
     )
+    parser.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="tolerate series that do not report a bounded counter "
+             "(at least one series must still report it)",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the embedded fixtures through the counter gate and exit",
+    )
     args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.before is None:
+        print("ERROR: BEFORE.json required (or --self-test)")
+        return 2
 
     bounds = []
     for spec in args.max_counter:
@@ -119,7 +205,8 @@ def main():
         if not bounds:
             print("ERROR: a single file requires --max-counter")
             return 2
-        return 1 if check_counter_bounds(args.before, bounds) else 0
+        return 1 if check_counter_bounds(args.before, bounds,
+                                         args.allow_missing) else 0
 
     before = load_medians(args.before)
     after = load_medians(args.after)
@@ -147,7 +234,8 @@ def main():
         print(f"{status:>10}  {name}: {b:.0f} -> {a:.0f} ns "
               f"({speedup:.2f}x)")
 
-    if bounds and check_counter_bounds(args.after, bounds):
+    if bounds and check_counter_bounds(args.after, bounds,
+                                       args.allow_missing):
         failed = True
     if failed:
         print(f"FAIL: at least one series regressed by more than "
