@@ -30,12 +30,30 @@ using SymbolId = std::uint32_t;
 ///
 /// Moving is allowed (engine-internal interners live in movable state
 /// structs) but is NOT thread-safe: never move an interner other threads
-/// may be touching.
+/// may be touching. The moved-from interner is left valid and empty (it
+/// keeps a live mutex), so accidental use degrades to an empty interner
+/// instead of a null-mutex dereference.
 class Interner {
  public:
   Interner() : mu_(std::make_unique<std::shared_mutex>()) {}
-  Interner(Interner&&) = default;
-  Interner& operator=(Interner&&) = default;
+  Interner(Interner&& other)
+      : mu_(std::make_unique<std::shared_mutex>()),
+        ids_(std::move(other.ids_)),
+        names_(std::move(other.names_)) {
+    mu_.swap(other.mu_);  // take the old mutex, leave the fresh one behind
+    other.ids_.clear();
+    other.names_.clear();
+  }
+  Interner& operator=(Interner&& other) {
+    if (this != &other) {
+      mu_.swap(other.mu_);  // both stay non-null
+      ids_ = std::move(other.ids_);
+      names_ = std::move(other.names_);
+      other.ids_.clear();
+      other.names_.clear();
+    }
+    return *this;
+  }
 
   /// Returns the id of `name`, creating one if it is new.
   SymbolId Intern(std::string_view name);

@@ -81,10 +81,12 @@ std::string JsonValue::Dump() const {
     case Kind::kBool:
       return bool_ ? "true" : "false";
     case Kind::kNumber: {
+      // JSON has no inf/nan (the parser rejects them; this guards values
+      // constructed programmatically).
+      if (!std::isfinite(number_)) return "null";
       // Integral values (the only numbers the protocol emits) print without
       // a fraction so ids round-trip textually.
-      if (std::isfinite(number_) && number_ == std::floor(number_) &&
-          std::fabs(number_) < 9.0e15) {
+      if (number_ == std::floor(number_) && std::fabs(number_) < 9.0e15) {
         char buf[32];
         std::snprintf(buf, sizeof(buf), "%.0f", number_);
         return buf;
@@ -217,6 +219,9 @@ class Parser {
     char* end = nullptr;
     double v = std::strtod(text.c_str(), &end);
     if (end == text.c_str() || *end != '\0') return Error("bad number");
+    // strtod overflows literals like 1e999 to ±inf; admitting those would
+    // let Dump() echo invalid JSON back into the response stream.
+    if (!std::isfinite(v)) return Error("bad number (out of range)");
     *out = JsonValue::Number(v);
     return Status::Ok();
   }

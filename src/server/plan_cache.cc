@@ -4,7 +4,10 @@ namespace qcont {
 namespace server {
 
 template <typename V>
-std::optional<V> PlanCache::Shard<V>::Lookup(const PlanKey& key) {
+std::optional<V> PlanCache::Shard<V>::Lookup(const PlanKey& key,
+                                             std::uint64_t current_epoch,
+                                             bool* stable) {
+  if (stable != nullptr) *stable = false;
   std::lock_guard<std::mutex> lock(mu);
   auto it = index.find(key);
   if (it == index.end()) {
@@ -12,26 +15,30 @@ std::optional<V> PlanCache::Shard<V>::Lookup(const PlanKey& key) {
     return std::nullopt;
   }
   ++hits;
+  if (stable != nullptr) *stable = it->second->epoch < current_epoch;
   order.splice(order.begin(), order, it->second);  // refresh recency
-  return it->second->second;
+  return it->second->value;
 }
 
 template <typename V>
-std::uint64_t PlanCache::Shard<V>::Insert(const PlanKey& key, V value) {
+std::uint64_t PlanCache::Shard<V>::Insert(const PlanKey& key, V value,
+                                          std::uint64_t epoch) {
   if (capacity == 0) return 0;
   std::lock_guard<std::mutex> lock(mu);
   auto it = index.find(key);
   if (it != index.end()) {
-    it->second->second = std::move(value);
+    // Keep the original epoch: the entry already existed, so its
+    // stability classification must not regress on a re-insert.
+    it->second->value = std::move(value);
     order.splice(order.begin(), order, it->second);
     return 0;
   }
-  order.emplace_front(key, std::move(value));
+  order.emplace_front(Entry{key, std::move(value), epoch});
   index.emplace(key, order.begin());
   ++insertions;
   std::uint64_t evicted = 0;
   while (index.size() > capacity) {
-    index.erase(order.back().first);
+    index.erase(order.back().key);
     order.pop_back();
     ++evictions;
     ++evicted;
@@ -79,46 +86,64 @@ void PlanCache::PublishInsert(const char* kind, std::uint64_t evicted) const {
            static_cast<std::uint64_t>(stats().entries));
 }
 
-std::optional<CachedVerdict> PlanCache::LookupVerdict(const PlanKey& key) {
-  auto out = verdicts_.Lookup(key);
+void PlanCache::BeginEpoch() {
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::optional<CachedVerdict> PlanCache::LookupVerdict(const PlanKey& key,
+                                                      bool* stable) {
+  auto out =
+      verdicts_.Lookup(key, epoch_.load(std::memory_order_relaxed), stable);
   Publish("verdict", out.has_value());
   return out;
 }
 
 void PlanCache::InsertVerdict(const PlanKey& key, CachedVerdict verdict) {
-  PublishInsert("verdict", verdicts_.Insert(key, std::move(verdict)));
+  PublishInsert("verdict",
+                verdicts_.Insert(key, std::move(verdict),
+                                 epoch_.load(std::memory_order_relaxed)));
 }
 
 std::optional<analysis::AnalysisReport> PlanCache::LookupAnalysis(
-    const PlanKey& key) {
-  auto out = reports_.Lookup(key);
+    const PlanKey& key, bool* stable) {
+  auto out =
+      reports_.Lookup(key, epoch_.load(std::memory_order_relaxed), stable);
   Publish("analysis", out.has_value());
   return out;
 }
 
 void PlanCache::InsertAnalysis(const PlanKey& key,
                                analysis::AnalysisReport report) {
-  PublishInsert("analysis", reports_.Insert(key, std::move(report)));
+  PublishInsert("analysis",
+                reports_.Insert(key, std::move(report),
+                                epoch_.load(std::memory_order_relaxed)));
 }
 
-std::optional<UnionQuery> PlanCache::LookupCoreUcq(std::uint64_t query_hash) {
-  auto out = cores_.Lookup({query_hash, 0});
+std::optional<UnionQuery> PlanCache::LookupCoreUcq(std::uint64_t query_hash,
+                                                   bool* stable) {
+  auto out = cores_.Lookup({query_hash, 0},
+                           epoch_.load(std::memory_order_relaxed), stable);
   Publish("core", out.has_value());
   return out;
 }
 
 void PlanCache::InsertCoreUcq(std::uint64_t query_hash, UnionQuery core) {
-  PublishInsert("core", cores_.Insert({query_hash, 0}, std::move(core)));
+  PublishInsert("core",
+                cores_.Insert({query_hash, 0}, std::move(core),
+                              epoch_.load(std::memory_order_relaxed)));
 }
 
-std::optional<CachedEval> PlanCache::LookupEval(const PlanKey& key) {
-  auto out = evals_.Lookup(key);
+std::optional<CachedEval> PlanCache::LookupEval(const PlanKey& key,
+                                                bool* stable) {
+  auto out =
+      evals_.Lookup(key, epoch_.load(std::memory_order_relaxed), stable);
   Publish("eval", out.has_value());
   return out;
 }
 
 void PlanCache::InsertEval(const PlanKey& key, CachedEval eval) {
-  PublishInsert("eval", evals_.Insert(key, std::move(eval)));
+  PublishInsert("eval", evals_.Insert(key, std::move(eval),
+                                      epoch_.load(std::memory_order_relaxed)));
 }
 
 PlanCacheStats PlanCache::stats() const {

@@ -1,6 +1,7 @@
 #ifndef QCONT_SERVER_PLAN_CACHE_H_
 #define QCONT_SERVER_PLAN_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <mutex>
@@ -81,21 +82,43 @@ struct PlanCacheConfig {
 /// Thread safety: one mutex per kind; entries are returned by value. All
 /// methods may be called concurrently. Eviction is strict LRU per kind
 /// (lookup refreshes recency).
+///
+/// Epochs: every entry records the epoch it was first inserted in, and
+/// `BeginEpoch` (called by the server at batch start) advances the
+/// counter. A lookup's optional `stable` out-param reports whether the
+/// entry predates the current epoch — i.e. whether it would be present no
+/// matter how the current batch's work items are scheduled. The server
+/// derives its "hit"/"miss" response markers from `stable`, not from mere
+/// presence, which keeps the response stream identical across thread
+/// counts even when concurrent work items share a cache key (e.g. a
+/// containment and an analyze over the same Π/Θ, or two containments
+/// whose queries minimize to the same core).
 class PlanCache {
  public:
   explicit PlanCache(PlanCacheConfig config = {});
 
-  std::optional<CachedVerdict> LookupVerdict(const PlanKey& key);
+  /// Starts a new epoch: entries inserted from now on are reported as
+  /// unstable (`*stable == false`) until the next BeginEpoch call.
+  void BeginEpoch();
+
+  /// Lookups: `stable` (optional) is set to true iff the returned entry
+  /// was inserted before the current epoch; false on a miss or on an
+  /// entry inserted within the current epoch.
+  std::optional<CachedVerdict> LookupVerdict(const PlanKey& key,
+                                             bool* stable = nullptr);
   void InsertVerdict(const PlanKey& key, CachedVerdict verdict);
 
-  std::optional<analysis::AnalysisReport> LookupAnalysis(const PlanKey& key);
+  std::optional<analysis::AnalysisReport> LookupAnalysis(
+      const PlanKey& key, bool* stable = nullptr);
   void InsertAnalysis(const PlanKey& key, analysis::AnalysisReport report);
 
   /// Core entries are keyed by the original query's canonical hash alone.
-  std::optional<UnionQuery> LookupCoreUcq(std::uint64_t query_hash);
+  std::optional<UnionQuery> LookupCoreUcq(std::uint64_t query_hash,
+                                          bool* stable = nullptr);
   void InsertCoreUcq(std::uint64_t query_hash, UnionQuery core);
 
-  std::optional<CachedEval> LookupEval(const PlanKey& key);
+  std::optional<CachedEval> LookupEval(const PlanKey& key,
+                                       bool* stable = nullptr);
   void InsertEval(const PlanKey& key, CachedEval eval);
 
   /// Counters summed over the four kinds.
@@ -106,13 +129,20 @@ class PlanCache {
   void Clear();
 
  private:
-  /// One LRU shard: recency list of (key, value) with an index into it.
+  /// One LRU shard: recency list of (key, value, insertion epoch) with an
+  /// index into it.
   template <typename V>
   struct Shard {
+    struct Entry {
+      PlanKey key;
+      V value;
+      std::uint64_t epoch = 0;  // epoch of the entry's FIRST insertion
+    };
+
     mutable std::mutex mu;
     std::size_t capacity = 0;
-    std::list<std::pair<PlanKey, V>> order;  // front = most recent
-    std::unordered_map<PlanKey, typename std::list<std::pair<PlanKey, V>>::iterator,
+    std::list<Entry> order;  // front = most recent
+    std::unordered_map<PlanKey, typename std::list<Entry>::iterator,
                        PairHash<std::uint64_t, std::uint64_t>>
         index;
     std::uint64_t hits = 0;
@@ -120,9 +150,10 @@ class PlanCache {
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;
 
-    std::optional<V> Lookup(const PlanKey& key);
+    std::optional<V> Lookup(const PlanKey& key, std::uint64_t current_epoch,
+                            bool* stable);
     /// Returns the number of entries evicted by this insert (0 or 1).
-    std::uint64_t Insert(const PlanKey& key, V value);
+    std::uint64_t Insert(const PlanKey& key, V value, std::uint64_t epoch);
     void Collect(PlanCacheStats* out) const;
     void Clear();
   };
@@ -131,6 +162,7 @@ class PlanCache {
   void PublishInsert(const char* kind, std::uint64_t evicted) const;
 
   PlanCacheConfig config_;
+  std::atomic<std::uint64_t> epoch_{0};
   Shard<CachedVerdict> verdicts_;
   Shard<analysis::AnalysisReport> reports_;
   Shard<UnionQuery> cores_;

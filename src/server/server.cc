@@ -334,11 +334,17 @@ Outcome RunContainment(const ServerOptions& options, PlanCache& cache,
     }
   }
 
+  // The response marker reports "hit" only for entries that predate the
+  // batch: an entry inserted by a concurrently running work item (a
+  // same-batch analyze over the same Π/Θ, or another containment whose
+  // query minimized to the same core) is still reused, but marked "miss"
+  // so the marker never depends on how the batch was scheduled.
   const PlanKey verdict_key{p.key1, query_hash};
-  std::optional<CachedVerdict> verdict = cache.LookupVerdict(verdict_key);
-  std::string cache_marker = "hit";
+  bool stable = false;
+  std::optional<CachedVerdict> verdict =
+      cache.LookupVerdict(verdict_key, &stable);
+  const std::string cache_marker = stable ? "hit" : "miss";
   if (!verdict.has_value()) {
-    cache_marker = "miss";
     if (p.Expired()) return Outcome::Deadline();
 
     analysis::AnalysisReport report;
@@ -398,10 +404,10 @@ Outcome RunContainment(const ServerOptions& options, PlanCache& cache,
 Outcome RunEval(const ServerOptions& options, PlanCache& cache,
                 const std::shared_ptr<Interner>& pool, Prepared& p) {
   const PlanKey key{p.key1, p.key2};
-  std::optional<CachedEval> cached = cache.LookupEval(key);
-  std::string cache_marker = "hit";
+  bool stable = false;
+  std::optional<CachedEval> cached = cache.LookupEval(key, &stable);
+  const std::string cache_marker = stable ? "hit" : "miss";
   if (!cached.has_value()) {
-    cache_marker = "miss";
     if (p.Expired()) return Outcome::Deadline();
     ObsSpan span(options.obs, "server/engine", "server");
     Database db(pool);
@@ -431,11 +437,16 @@ Outcome RunEval(const ServerOptions& options, PlanCache& cache,
 /// verdicts, rendered as its schema-v1 JSON.
 Outcome RunAnalyze(const ServerOptions& options, PlanCache& cache,
                    Prepared& p) {
+  // The analysis shard is shared with RunContainment (which reads and
+  // fills it under the same key), so hit/miss must use the epoch-stable
+  // flag: a report inserted by a same-batch containment is reused but
+  // reported "miss", keeping the marker schedule-independent.
   const PlanKey key{p.key1, p.key2};
-  std::optional<analysis::AnalysisReport> report = cache.LookupAnalysis(key);
-  std::string cache_marker = "hit";
+  bool stable = false;
+  std::optional<analysis::AnalysisReport> report =
+      cache.LookupAnalysis(key, &stable);
+  const std::string cache_marker = stable ? "hit" : "miss";
   if (!report.has_value()) {
-    cache_marker = "miss";
     if (p.Expired()) return Outcome::Deadline();
     ObsSpan span(options.obs, "server/engine", "server");
     analysis::RoutingOptions routing;
@@ -460,6 +471,10 @@ std::vector<std::string> Server::HandleChunk(
   ObsCount(options_.obs, "server.batches", 1);
   ObsSpan batch_span(options_.obs, "server/batch", "server");
   batch_span.AddArg("requests", lines.size());
+  // New cache epoch: only entries that predate this batch count as "hit"
+  // in response markers, so markers cannot depend on the schedule of the
+  // batch's own insertions.
+  cache_.BeginEpoch();
 
   const std::size_t n = lines.size();
   std::vector<Prepared> prepared(n);

@@ -81,8 +81,11 @@ struct ServerStats {
 /// canonical hashes) are coalesced — one leader computes, the duplicates
 /// reuse its result with cache marker "coalesced". Unique work items fan
 /// out over the pool. Because batch formation, coalescing, and the
-/// engines themselves are deterministic, the response stream (modulo the
-/// elapsed_us timing field) is identical for every `threads` value.
+/// engines themselves are deterministic, and cache hit/miss markers are
+/// decided against the cache state at batch start (PlanCache epochs:
+/// entries inserted by a concurrently running work item of the same
+/// batch are reused but reported "miss"), the response stream (modulo
+/// the elapsed_us timing field) is identical for every `threads` value.
 ///
 /// Thread safety: one Server may be driven from one thread at a time
 /// (`ServeStream`/`HandleBatch`/`HandleLine` are not reentrant); the

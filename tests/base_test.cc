@@ -1,3 +1,6 @@
+#include <memory>
+#include <utility>
+
 #include <gtest/gtest.h>
 
 #include "base/hash.h"
@@ -64,6 +67,28 @@ TEST(InternerTest, DenseIdsAndRoundTrip) {
   EXPECT_EQ(interner.Find("beta"), b);
   EXPECT_EQ(interner.Find("gamma"), Interner::kMissing);
   EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(InternerTest, MovedFromInternerStaysValidAndEmpty) {
+  Interner source;
+  source.Intern("alpha");
+  source.Intern("beta");
+
+  Interner moved(std::move(source));
+  EXPECT_EQ(moved.size(), 2u);
+  EXPECT_EQ(moved.Find("alpha"), 0u);
+  // The moved-from interner is empty but fully usable (live mutex).
+  EXPECT_EQ(source.size(), 0u);
+  EXPECT_EQ(source.Find("alpha"), Interner::kMissing);
+  EXPECT_EQ(source.Intern("gamma"), 0u);
+
+  Interner assigned;
+  assigned.Intern("delta");
+  assigned = std::move(moved);
+  EXPECT_EQ(assigned.size(), 2u);
+  EXPECT_EQ(assigned.NameOf(1), "beta");
+  EXPECT_EQ(moved.size(), 0u);
+  EXPECT_EQ(moved.Intern("epsilon"), 0u);
 }
 
 TEST(HashTest, VectorAndPairHashersDiscriminate) {

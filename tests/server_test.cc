@@ -4,6 +4,7 @@
 // counts, within-batch coalescing, deadline and malformed-request error
 // paths, and cache-marker semantics.
 
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -63,6 +64,24 @@ TEST(JsonTest, IntegralNumbersDumpWithoutExponent) {
   EXPECT_EQ(v->Get("id")->Dump(), "123456789");
 }
 
+TEST(JsonTest, RejectsNonFiniteNumbers) {
+  // strtod overflows these to ±inf; echoing them back via Dump() would
+  // produce invalid JSON, so the parser must reject them up front.
+  EXPECT_FALSE(ParseJson("1e999").ok());
+  EXPECT_FALSE(ParseJson("-1e999").ok());
+  EXPECT_FALSE(ParseJson(R"({"id":1e999})").ok());
+  // Values near the double range edge still parse.
+  EXPECT_TRUE(ParseJson("1e308").ok());
+}
+
+TEST(JsonTest, NonFiniteNumbersDumpAsNull) {
+  // Programmatically constructed values (the parser never produces these).
+  EXPECT_EQ(JsonValue::Number(std::numeric_limits<double>::infinity()).Dump(),
+            "null");
+  EXPECT_EQ(JsonValue::Number(std::numeric_limits<double>::quiet_NaN()).Dump(),
+            "null");
+}
+
 // ---------------------------------------------------------------------------
 // PlanCache.
 // ---------------------------------------------------------------------------
@@ -97,6 +116,33 @@ TEST(PlanCacheTest, ZeroCapacityDisablesKind) {
   cache.InsertVerdict({1, 1}, CachedVerdict{});
   EXPECT_FALSE(cache.LookupVerdict({1, 1}).has_value());
   EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(PlanCacheTest, StableFlagsEntriesFromEarlierEpochsOnly) {
+  PlanCache cache;
+  cache.BeginEpoch();
+  cache.InsertVerdict({1, 1}, CachedVerdict{});
+
+  // Same epoch: the entry is found but not stable.
+  bool stable = true;
+  EXPECT_TRUE(cache.LookupVerdict({1, 1}, &stable).has_value());
+  EXPECT_FALSE(stable);
+  // A miss is never stable.
+  stable = true;
+  EXPECT_FALSE(cache.LookupVerdict({9, 9}, &stable).has_value());
+  EXPECT_FALSE(stable);
+
+  // Next epoch: the entry predates the batch, so it is stable.
+  cache.BeginEpoch();
+  EXPECT_TRUE(cache.LookupVerdict({1, 1}, &stable).has_value());
+  EXPECT_TRUE(stable);
+
+  // Re-inserting an existing key keeps the original epoch: the entry was
+  // already present before this batch, so it stays stable.
+  cache.InsertVerdict({1, 1}, CachedVerdict{});
+  stable = false;
+  EXPECT_TRUE(cache.LookupVerdict({1, 1}, &stable).has_value());
+  EXPECT_TRUE(stable);
 }
 
 // ---------------------------------------------------------------------------
@@ -146,6 +192,41 @@ TEST(ServerTest, ReplayIsDeterministicAcrossThreadCounts) {
   }
   ASSERT_EQ(runs[0].size(), requests.size());
   EXPECT_EQ(runs[0], runs[1]) << "threads=1 and threads=8 replies differ";
+}
+
+// Work items of one batch can share a cache key without sharing a
+// coalescing key: a containment and an analyze over the same Π/Θ both use
+// the analysis shard, and two containments whose queries minimize to the
+// same core share a verdict key. Whether the second item finds the
+// first's insert depends on the schedule, so the "hit"/"miss" marker must
+// be decided against the cache state at batch start: all of these report
+// "miss" in their first batch, at every thread count, and "hit" on a
+// replay.
+TEST(ServerTest, CacheMarkersIgnoreSameBatchInsertsAcrossWorkItems) {
+  const std::vector<std::string> requests = {
+      // ids 1/2: same program and query, different ops => distinct
+      // coalescing keys, same analysis-shard key.
+      R"({"id":1,"op":"containment","program":"g(x,y) :- e(x,y). g(x,y) :- e(x,z), g(z,y). goal g.","query":"Q(x,y) :- e(x,y). Q(x,y) :- e(x,z), e(z,y)."})",
+      R"({"id":2,"op":"analyze","program":"g(x,y) :- e(x,y). g(x,y) :- e(x,z), g(z,y). goal g.","query":"Q(x,y) :- e(x,y). Q(x,y) :- e(x,z), e(z,y)."})",
+      // ids 3/4: id 4's redundant second disjunct minimizes away, leaving
+      // id 3's query => distinct coalescing keys, same verdict key.
+      R"({"id":3,"op":"containment","program":"g(x,y) :- e(x,y). goal g.","query":"Q(x,y) :- e(x,y)."})",
+      R"({"id":4,"op":"containment","program":"g(x,y) :- e(x,y). goal g.","query":"Q(x,y) :- e(x,y). Q(u,v) :- e(u,w), e(w,v)."})",
+  };
+  for (int threads : {1, 8}) {
+    Server server(ServerOptions{.threads = threads});
+    std::vector<std::string> responses = server.HandleBatch(requests);
+    ASSERT_EQ(responses.size(), requests.size());
+    for (const std::string& r : responses) {
+      EXPECT_NE(r.find("\"cache\":\"miss\""), std::string::npos)
+          << "threads=" << threads << ": " << r;
+    }
+    // Replayed in a later batch, every entry predates the batch.
+    for (const std::string& r : server.HandleBatch(requests)) {
+      EXPECT_NE(r.find("\"cache\":\"hit\""), std::string::npos)
+          << "threads=" << threads << ": " << r;
+    }
+  }
 }
 
 TEST(ServerTest, CoalescesDuplicatesWithinBatchAndHitsAcrossBatches) {
