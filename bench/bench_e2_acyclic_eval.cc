@@ -81,6 +81,18 @@ void BM_AcyclicEvalChain(benchmark::State& state) {
   state.counters["semijoins"] = static_cast<double>(stats.semijoins);
   state.counters["tuples_scanned"] = static_cast<double>(stats.tuples_scanned);
   state.counters["index_probes"] = static_cast<double>(stats.index_probes);
+  // Probe-kernel counters (DESIGN.md §16), cumulative on the shared
+  // database over the run. This is the E2 series that drives the db probe
+  // tables (the satisfiability series run pure semijoin passes), so CI
+  // gates probe_tag_hits > 0 here via --min-counter to pin the tag filter
+  // as engaged.
+  {
+    const DatabaseIndexStats idx = db.index_stats();
+    state.counters["probe_tag_hits"] = static_cast<double>(idx.tag_hits);
+    state.counters["probe_tag_skips"] = static_cast<double>(idx.tag_skips);
+    state.counters["probe_filter_skips"] =
+        static_cast<double>(idx.filter_skips);
+  }
 }
 BENCHMARK(BM_AcyclicEvalChain)->RangeMultiplier(2)->Range(8, 64);
 

@@ -77,6 +77,21 @@ void BM_TcChain(benchmark::State& state) {
         trace, "e9_tc_n" + std::to_string(n) + (semi ? "_semi" : "_naive") +
                    "_t" + std::to_string(threads));
   }
+  // Probe-kernel traffic of one evaluation (DESIGN.md §16): the db.probe.*
+  // counters are deterministic per (program, database, options), so one
+  // untimed pass records them. Gated >0 on the semi-naive rows by
+  // check_bench_regression.py --min-counter in CI.
+  {
+    const Database derived = *EvaluateProgram(tc, db, options);
+    const DatabaseIndexStats idx = derived.index_stats();
+    state.counters["probe_probes"] = static_cast<double>(idx.probes);
+    state.counters["probe_tag_hits"] = static_cast<double>(idx.tag_hits);
+    state.counters["probe_tag_skips"] = static_cast<double>(idx.tag_skips);
+    state.counters["probe_filter_skips"] =
+        static_cast<double>(idx.filter_skips);
+    state.counters["probe_prefetch_batches"] =
+        static_cast<double>(idx.prefetch_batches);
+  }
   state.SetLabel(semi ? "semi_naive" : "naive");
 }
 // Every (size, strategy) at threads=1 (the shape-check rows); semi-naive —

@@ -1,0 +1,130 @@
+// Probe-kernel microbenchmark (DESIGN.md §16): ProbeMany throughput on one
+// flat index, swept over the three kernel knobs — table load factor ×
+// probe-group width × Bloom filter on/off — and over the batch's hit rate
+// (the filters only pay off on misses). Each row reports the db.probe.*
+// counters per batch, so a capture records not just the speed but how the
+// kernel got it (tag-filter skips, filter skips, prefetch batches). The
+// label carries SimdKernelName() so a JSON capture states which vector
+// implementation (sse2/neon/scalar) it measured.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "base/simd.h"
+#include "bench/workloads.h"
+#include "cq/database.h"
+
+namespace qcont {
+namespace {
+
+// One arity-2 relation with `rows` random edges over a node space twice as
+// large, probed on the first column (mask 0b01). Key batches mix resident
+// first-column values with interned-but-absent values at `hit_pct`.
+struct ProbeFixture {
+  Database db;
+  RelationId rel = kNoRelation;
+  std::vector<ValueId> keys;
+
+  ProbeFixture(int rows, int hit_pct, const ProbeOptions& options) {
+    std::mt19937 rng(11);
+    for (int i = 0; i < rows; ++i) {
+      db.AddFact("e", {"n" + std::to_string(rng() % (2 * rows)),
+                       "n" + std::to_string(rng() % (2 * rows))});
+    }
+    db.set_probe_options(options);
+    rel = db.RelationIdOf("e");
+    keys.reserve(rows);
+    for (int i = 0; i < rows; ++i) {
+      if (static_cast<int>(rng() % 100) < hit_pct) {
+        keys.push_back(db.Row(rel, rng() % db.NumRows(rel))[0]);
+      } else {
+        // Interned but never inserted: a guaranteed miss the Bloom filter
+        // can answer without touching the table.
+        keys.push_back(db.pool()->Intern("miss" + std::to_string(i)));
+      }
+    }
+  }
+};
+
+void BM_ProbeManyKnobs(benchmark::State& state) {
+  ProbeOptions options;
+  options.max_load_percent = static_cast<int>(state.range(0));
+  options.group_width = static_cast<int>(state.range(1));
+  options.use_filters = state.range(2) != 0;
+  const int hit_pct = static_cast<int>(state.range(3));
+  ProbeFixture fx(/*rows=*/4096, hit_pct, options);
+  std::vector<std::span<const std::uint32_t>> hits(fx.keys.size());
+  // One untimed batch builds the index outside the timed loop.
+  fx.db.ProbeMany(fx.rel, 0b01u, fx.keys, hits);
+  const DatabaseIndexStats before = fx.db.index_stats();
+  for (auto _ : state) {
+    hits.assign(fx.keys.size(), {});
+    fx.db.ProbeMany(fx.rel, 0b01u, fx.keys, hits);
+    benchmark::DoNotOptimize(hits.data());
+  }
+  const DatabaseIndexStats after = fx.db.index_stats();
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["keys"] = static_cast<double>(fx.keys.size());
+  state.counters["probes"] =
+      static_cast<double>(after.probes - before.probes) / iters;
+  state.counters["probe_tag_hits"] =
+      static_cast<double>(after.tag_hits - before.tag_hits) / iters;
+  state.counters["probe_tag_skips"] =
+      static_cast<double>(after.tag_skips - before.tag_skips) / iters;
+  state.counters["probe_filter_skips"] =
+      static_cast<double>(after.filter_skips - before.filter_skips) / iters;
+  state.counters["probe_prefetch_batches"] =
+      static_cast<double>(after.prefetch_batches - before.prefetch_batches) /
+      iters;
+  state.SetLabel(std::string(SimdKernelName()) + "/load" +
+                 std::to_string(state.range(0)) + "/w" +
+                 std::to_string(state.range(1)) +
+                 (options.use_filters ? "/filters" : "/nofilters"));
+}
+// load factor {40, 75, 90} × group width {8, 16} × filters {off, on} at a
+// half-hit batch, plus the all-miss and all-hit extremes at the defaults.
+void ProbeKnobArgs(benchmark::internal::Benchmark* b) {
+  for (int load : {40, 75, 90}) {
+    for (int width : {8, 16}) {
+      for (int filters : {0, 1}) {
+        b->Args({load, width, filters, 50});
+      }
+    }
+  }
+  for (int hit_pct : {0, 100}) {
+    for (int filters : {0, 1}) {
+      b->Args({75, 16, filters, hit_pct});
+    }
+  }
+}
+BENCHMARK(BM_ProbeManyKnobs)->Apply(ProbeKnobArgs);
+
+// Prefetch-distance sweep at the default knobs: distance 1 degenerates to
+// probe-at-a-time, larger distances overlap more slot-line fetches.
+void BM_ProbeManyPrefetch(benchmark::State& state) {
+  ProbeOptions options;
+  options.prefetch_distance = static_cast<int>(state.range(0));
+  ProbeFixture fx(/*rows=*/4096, /*hit_pct=*/50, options);
+  std::vector<std::span<const std::uint32_t>> hits(fx.keys.size());
+  fx.db.ProbeMany(fx.rel, 0b01u, fx.keys, hits);
+  const DatabaseIndexStats before = fx.db.index_stats();
+  for (auto _ : state) {
+    hits.assign(fx.keys.size(), {});
+    fx.db.ProbeMany(fx.rel, 0b01u, fx.keys, hits);
+    benchmark::DoNotOptimize(hits.data());
+  }
+  const DatabaseIndexStats after = fx.db.index_stats();
+  state.counters["probe_prefetch_batches"] =
+      static_cast<double>(after.prefetch_batches - before.prefetch_batches) /
+      static_cast<double>(state.iterations());
+  state.SetLabel(SimdKernelName());
+}
+BENCHMARK(BM_ProbeManyPrefetch)->Arg(1)->Arg(4)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace qcont
+
+BENCHMARK_MAIN();

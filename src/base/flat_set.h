@@ -1,0 +1,121 @@
+#ifndef QCONT_BASE_FLAT_SET_H_
+#define QCONT_BASE_FLAT_SET_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "base/check.h"
+#include "base/hash.h"
+#include "base/simd.h"
+
+namespace qcont {
+
+/// Open-addressing set of nonzero 64-bit keys with a 1-byte tag array
+/// filtered by the SIMD group compare of base/simd.h — the same kernel
+/// shape as the Database probe tables, packaged for engine-local key sets
+/// (e.g. the Yannakakis semijoin passes, which build one key set per join
+/// edge and discard it). Keys must be nonzero: callers pack values with the
+/// same +1 bias the probe tables use. Not thread-safe; single-writer
+/// ephemeral use only.
+class FlatU64Set {
+ public:
+  FlatU64Set() = default;
+  explicit FlatU64Set(std::size_t expected_keys) { Reserve(expected_keys); }
+
+  /// Grows so `n` keys stay under 7/8 load (growth rehashes every key).
+  void Reserve(std::size_t n) {
+    std::size_t cap = slots_.size();
+    if (cap != 0 && n * 8 <= cap * 7) return;
+    std::size_t new_cap = cap == 0 ? kGroupWidth : cap;
+    while (n * 8 > new_cap * 7) new_cap <<= 1;
+    Rehash(new_cap);
+  }
+
+  /// Inserts `key` (nonzero); returns true if newly added.
+  bool Insert(std::uint64_t key) {
+    QCONT_CHECK_MSG(key != 0, "FlatU64Set keys must be nonzero");
+    Reserve(used_ + 1);
+    const std::uint64_t h = Mix64(key);
+    const std::size_t slot = FindSlot(key, h);
+    if (slots_[slot] == key) return false;
+    slots_[slot] = key;
+    SetTag(slot, TagOf(h));
+    ++used_;
+    return true;
+  }
+
+  bool Contains(std::uint64_t key) const {
+    if (slots_.empty()) return false;
+    const std::uint64_t h = Mix64(key);
+    return slots_[FindSlot(key, h)] == key;
+  }
+
+  std::size_t size() const { return used_; }
+  bool empty() const { return used_ == 0; }
+
+ private:
+  static constexpr std::size_t kGroupWidth = 16;
+
+  static std::uint8_t TagOf(std::uint64_t h) {
+    return static_cast<std::uint8_t>(h >> 56) | 0x80u;
+  }
+
+  // Tag writes mirror the first group past the end so a group load starting
+  // at any slot index stays in bounds.
+  void SetTag(std::size_t slot, std::uint8_t tag) {
+    tags_[slot] = tag;
+    if (slot < kGroupWidth) tags_[slots_.size() + slot] = tag;
+  }
+
+  // Slot holding `key`, or the empty slot where it would go: scan 16-slot
+  // groups from the home slot; tag matches select candidates for the full
+  // compare, the first empty tag terminates the probe sequence.
+  std::size_t FindSlot(std::uint64_t key, std::uint64_t h) const {
+    const std::size_t cap_mask = slots_.size() - 1;
+    const std::uint8_t tag = TagOf(h);
+    std::size_t i = h & cap_mask;
+    while (true) {
+      const std::uint8_t* group = tags_.data() + i;
+      std::uint32_t match = MatchBytes16(group, tag);
+      const std::uint32_t empty = MatchBytes16(group, 0);
+      const std::uint32_t stop =
+          empty != 0 ? static_cast<std::uint32_t>(std::countr_zero(empty))
+                     : static_cast<std::uint32_t>(kGroupWidth);
+      match &= stop >= 32 ? ~0u : ((1u << stop) - 1u);
+      while (match != 0) {
+        const std::uint32_t b =
+            static_cast<std::uint32_t>(std::countr_zero(match));
+        match &= match - 1;
+        const std::size_t s = (i + b) & cap_mask;
+        if (slots_[s] == key) return s;
+      }
+      if (empty != 0) return (i + stop) & cap_mask;
+      i = (i + kGroupWidth) & cap_mask;
+    }
+  }
+
+  void Rehash(std::size_t new_cap) {
+    std::vector<std::uint64_t> old = std::move(slots_);
+    slots_.assign(new_cap, 0);
+    tags_.assign(new_cap + kGroupWidth, 0);
+    const std::size_t cap_mask = new_cap - 1;
+    for (std::uint64_t key : old) {
+      if (key == 0) continue;
+      const std::uint64_t h = Mix64(key);
+      std::size_t i = h & cap_mask;
+      while (slots_[i] != 0) i = (i + 1) & cap_mask;
+      slots_[i] = key;
+      SetTag(i, TagOf(h));
+    }
+  }
+
+  std::vector<std::uint64_t> slots_;  // power-of-two capacity; 0 = empty
+  std::vector<std::uint8_t> tags_;    // capacity + 16, mirrored head
+  std::size_t used_ = 0;
+};
+
+}  // namespace qcont
+
+#endif  // QCONT_BASE_FLAT_SET_H_

@@ -8,11 +8,51 @@
 #include <utility>
 
 #include "base/check.h"
+#include "base/simd.h"
 #include "obs/obs.h"
 
 namespace qcont {
 
 namespace {
+
+// Overhang of the tag array past the slot capacity: the first group is
+// mirrored there so a group load starting at any slot index stays in
+// bounds. Sized for the widest probe group (ProbeOptions::group_width).
+constexpr std::size_t kTagMirror = 16;
+
+// Slot tag: the top 7 hash bits with the high bit set, so an occupied
+// slot's tag is never 0 (the empty-slot tag) and never matches a
+// zero-needle group compare. The low hash bits pick the home slot, so tag
+// and slot index are nearly independent.
+inline std::uint8_t TagOf(std::uint64_t h) {
+  return static_cast<std::uint8_t>(h >> 56) | 0x80u;
+}
+
+inline void SetTagAt(std::vector<std::uint8_t>& tags, std::size_t cap,
+                     std::size_t slot, std::uint8_t tag) {
+  tags[slot] = tag;
+  if (slot < kTagMirror) tags[cap + slot] = tag;
+}
+
+// Blocked Bloom filter over key hashes: 2 probe bits per key drawn from
+// hash bits disjoint from the slot-index (low) and tag (top 8) bits. The
+// word vector is power-of-two sized, so masking replaces modulo.
+inline void BloomAdd(std::vector<std::uint64_t>& bloom, std::uint64_t h) {
+  const std::size_t bit_mask = bloom.size() * 64 - 1;
+  const std::size_t b1 = (h >> 16) & bit_mask;
+  const std::size_t b2 = (h >> 36) & bit_mask;
+  bloom[b1 >> 6] |= 1ULL << (b1 & 63);
+  bloom[b2 >> 6] |= 1ULL << (b2 & 63);
+}
+
+inline bool BloomMayContain(const std::vector<std::uint64_t>& bloom,
+                            std::uint64_t h) {
+  const std::size_t bit_mask = bloom.size() * 64 - 1;
+  const std::size_t b1 = (h >> 16) & bit_mask;
+  const std::size_t b2 = (h >> 36) & bit_mask;
+  return (bloom[b1 >> 6] >> (b1 & 63) & 1) != 0 &&
+         (bloom[b2 >> 6] >> (b2 & 63) & 1) != 0;
+}
 
 // Highest position a mask constrains (mask must be nonzero).
 inline std::uint32_t HighestBit(std::uint32_t mask) {
@@ -65,43 +105,90 @@ std::uint64_t Database::HashKey(const FlatIndex& idx,
   return h;
 }
 
-// Linear-probe scan for `key`: returns the slot holding it, or the empty
-// slot where it would be inserted. `steps` accumulates the probe length
-// past the home bucket (the collision signal). Requires nonempty `slots`.
+// Tag-filtered probe scan for `key`: returns the slot holding it, or the
+// empty slot where it would be inserted. Scans probe groups of
+// `group_width` slots from the home slot: one byte-wise group compare
+// against the key's tag selects the candidate slots (counted in
+// `tag_hits`, with the occupied non-candidates in `tag_skips`), each
+// candidate is full-key compared in scan order (failures counted in
+// `collisions`), and the first empty tag terminates the probe sequence —
+// exactly the slot-by-slot linear-probing order, so tables are laid out
+// identically to the pre-tag kernel. The group compare is SSE2/NEON or the
+// scalar SWAR fallback (base/simd.h); the returned slot and every counter
+// are bit-identical across kernels by the MatchBytes contract. Requires
+// nonempty `slots` and `h == HashKey(idx, key, packed)`.
 std::size_t Database::FindSlot(const FlatIndex& idx,
                                std::span<const ValueId> key,
-                               std::uint64_t packed,
-                               std::uint64_t* steps) const {
+                               std::uint64_t packed, std::uint64_t h,
+                               LocalProbeCounters* c) const {
   const std::size_t cap_mask = idx.slots.size() - 1;
-  std::size_t i = HashKey(idx, key, packed) & cap_mask;
-  std::uint64_t local = 0;
+  const auto width = static_cast<std::uint32_t>(probe_options_.group_width);
+  const std::uint8_t tag = TagOf(h);
+  std::size_t i = h & cap_mask;
   while (true) {
-    const FlatIndex::Slot& s = idx.slots[i];
-    if (s.key == 0) break;
-    if (idx.key_width <= 2) {
-      if (s.key == packed) break;
-    } else {
-      const ValueId* stored =
-          idx.wide_keys.data() + (s.key - 1) * idx.key_width;
-      if (std::equal(key.begin(), key.end(), stored)) break;
+    const std::uint8_t* group = idx.tags.data() + i;
+    std::uint32_t match = MatchBytes(group, tag, width);
+    const std::uint32_t empty = MatchBytes(group, 0, width);
+    const std::uint32_t stop =
+        empty != 0 ? static_cast<std::uint32_t>(std::countr_zero(empty))
+                   : width;
+    match &= (1u << stop) - 1u;  // stop <= 16 < 32: no shift UB
+    c->tag_skips += stop - static_cast<std::uint32_t>(std::popcount(match));
+    while (match != 0) {
+      const auto b = static_cast<std::uint32_t>(std::countr_zero(match));
+      match &= match - 1;
+      const std::size_t s = (i + b) & cap_mask;
+      ++c->tag_hits;
+      const std::uint64_t stored = idx.slots[s].key;
+      if (idx.key_width <= 2) {
+        if (stored == packed) return s;
+      } else {
+        const ValueId* wide =
+            idx.wide_keys.data() + (stored - 1) * idx.key_width;
+        if (std::equal(key.begin(), key.end(), wide)) return s;
+      }
+      ++c->collisions;
     }
-    ++local;
-    i = (i + 1) & cap_mask;
+    if (empty != 0) return (i + stop) & cap_mask;
+    i = (i + width) & cap_mask;
   }
-  *steps += local;
-  return i;
 }
 
-// Grows `idx` so that `keys` occupied slots stay under 3/4 load. Growing
-// rehashes the slots only — the postings arena and wide-key storage are
-// untouched, so a resize moves 16 bytes per distinct key.
+void Database::FlushProbeCounters(const LocalProbeCounters& c) const {
+  if (c.tag_hits != 0) {
+    index_stats_.tag_hits.fetch_add(c.tag_hits, std::memory_order_relaxed);
+  }
+  if (c.tag_skips != 0) {
+    index_stats_.tag_skips.fetch_add(c.tag_skips, std::memory_order_relaxed);
+  }
+  if (c.collisions != 0) {
+    index_stats_.probe_collisions.fetch_add(c.collisions,
+                                            std::memory_order_relaxed);
+  }
+  if (c.filter_skips != 0) {
+    index_stats_.filter_skips.fetch_add(c.filter_skips,
+                                        std::memory_order_relaxed);
+  }
+}
+
+// Grows `idx` so that `keys` occupied slots stay at or under the
+// configured load factor (ProbeOptions::max_load_percent, default 75).
+// Growing rehashes the slots and rebuilds the tag array and Bloom filter —
+// the postings arena and wide-key storage are untouched.
 void Database::EnsureFlatCapacity(FlatIndex* idx, std::size_t keys) const {
   const std::size_t cap = idx->slots.size();
-  if (cap != 0 && keys * 4 <= cap * 3) return;
-  std::size_t new_cap = cap == 0 ? 16 : cap;
-  while (keys * 4 > new_cap * 3) new_cap <<= 1;
+  const auto load = static_cast<std::size_t>(probe_options_.max_load_percent);
+  if (cap != 0 && keys * 100 <= cap * load) return;
+  // Start at 32 slots: small relations (canonical databases are a few dozen
+  // rows) reach steady state with at most one growth rebuild, which now
+  // rebuilds tag and filter metadata alongside the slots. ~0.8 KB per
+  // index at rest.
+  std::size_t new_cap = cap == 0 ? 32 : cap;
+  while (keys * 100 > new_cap * load) new_cap <<= 1;
   std::vector<FlatIndex::Slot> old = std::move(idx->slots);
   idx->slots.assign(new_cap, FlatIndex::Slot{});
+  idx->tags.assign(new_cap + kTagMirror, 0);
+  idx->bloom.assign(std::max<std::size_t>(new_cap / 8, 2), 0);
   const std::size_t cap_mask = new_cap - 1;
   for (const FlatIndex::Slot& s : old) {
     if (s.key == 0) continue;
@@ -116,19 +203,23 @@ void Database::EnsureFlatCapacity(FlatIndex* idx, std::size_t keys) const {
     std::size_t i = h & cap_mask;
     while (idx->slots[i].key != 0) i = (i + 1) & cap_mask;
     idx->slots[i] = s;
+    SetTagAt(idx->tags, new_cap, i, TagOf(h));
+    BloomAdd(idx->bloom, h);
   }
   if (cap != 0) {
     index_stats_.probe_resizes.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
-// Finds `key`'s slot, claiming an empty one for it if absent. The caller
-// must have ensured capacity for the insert (no growth happens here, so
-// slot indices handed out earlier in a batch stay valid).
+// Finds `key`'s slot, claiming an empty one for it (tag + Bloom metadata
+// included) if absent. The caller must have ensured capacity for the
+// insert (no growth happens here, so slot indices handed out earlier in a
+// batch stay valid).
 std::size_t Database::InsertSlot(FlatIndex* idx, std::span<const ValueId> key,
                                  std::uint64_t packed) const {
-  std::uint64_t steps = 0;
-  const std::size_t i = FindSlot(*idx, key, packed, &steps);
+  const std::uint64_t h = HashKey(*idx, key, packed);
+  LocalProbeCounters ignored;  // insert-path scans are not probe signal
+  const std::size_t i = FindSlot(*idx, key, packed, h, &ignored);
   FlatIndex::Slot& s = idx->slots[i];
   if (s.key == 0) {
     if (idx->key_width <= 2) {
@@ -138,6 +229,8 @@ std::size_t Database::InsertSlot(FlatIndex* idx, std::span<const ValueId> key,
       idx->wide_keys.insert(idx->wide_keys.end(), key.begin(), key.end());
       s.key = off + 1;
     }
+    SetTagAt(idx->tags, idx->slots.size(), i, TagOf(h));
+    BloomAdd(idx->bloom, h);
     ++idx->used;
   }
   return i;
@@ -147,11 +240,14 @@ std::span<const std::uint32_t> Database::LookupFlat(
     const FlatIndex& idx, std::span<const ValueId> key) const {
   if (idx.slots.empty()) return {};
   const std::uint64_t packed = PackedKey(idx.key_width, key);
-  std::uint64_t steps = 0;
-  const std::size_t i = FindSlot(idx, key, packed, &steps);
-  if (steps != 0) {
-    index_stats_.probe_collisions.fetch_add(steps, std::memory_order_relaxed);
+  const std::uint64_t h = HashKey(idx, key, packed);
+  if (probe_options_.use_filters && !BloomMayContain(idx.bloom, h)) {
+    index_stats_.filter_skips.fetch_add(1, std::memory_order_relaxed);
+    return {};
   }
+  LocalProbeCounters c;
+  const std::size_t i = FindSlot(idx, key, packed, h, &c);
+  FlushProbeCounters(c);
   const FlatIndex::Slot& s = idx.slots[i];
   if (s.key == 0 || s.len == 0) return {};
   return {idx.postings.data() + s.start, s.len};
@@ -325,8 +421,9 @@ bool Database::AddRowInternal(RelationData& data, std::span<const ValueId> row,
     // the fact exists and nothing below runs.
     EnsureFlatCapacity(&data.primary, data.primary.used + 1);
     const std::uint64_t packed = PackedKey(data.primary.key_width, row);
-    std::uint64_t steps = 0;
-    const std::size_t i = FindSlot(data.primary, row, packed, &steps);
+    const std::uint64_t h = HashKey(data.primary, row, packed);
+    LocalProbeCounters ignored;  // insert-path scans are not probe signal
+    const std::size_t i = FindSlot(data.primary, row, packed, h, &ignored);
     FlatIndex::Slot& s = data.primary.slots[i];
     if (s.key != 0) return false;
     if (data.primary.key_width <= 2) {
@@ -338,6 +435,8 @@ bool Database::AddRowInternal(RelationData& data, std::span<const ValueId> row,
                                     row.end());
       s.key = off + 1;
     }
+    SetTagAt(data.primary.tags, data.primary.slots.size(), i, TagOf(h));
+    BloomAdd(data.primary.bloom, h);
     ++data.primary.used;
     s.start = static_cast<std::uint32_t>(data.primary.postings.size());
     s.len = 1;
@@ -487,30 +586,54 @@ void Database::ProbeMany(RelationId rel, std::uint32_t mask,
     std::fill(out.begin(), out.end(), std::span<const std::uint32_t>());
     return;
   }
-  // Resolve the block in home-bucket order so consecutive lookups touch
-  // adjacent cache lines instead of hopping around the table.
+  // Staged pipeline over the block: (1) hash every key once and answer
+  // Bloom-filter misses immediately, (2) software-prefetch the surviving
+  // keys' home tag groups and slots a fixed distance ahead of (3) the
+  // in-order resolving pass, so the resolve never stalls on a cold line.
   const std::size_t cap_mask = idx->slots.size() - 1;
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> order(n);
+  std::vector<std::uint64_t> hashes(n);
+  std::vector<std::uint64_t> packs(n);
+  LocalProbeCounters c;
   for (std::size_t i = 0; i < n; ++i) {
     const std::span<const ValueId> key = keys.subspan(i * w, w);
-    order[i] = {static_cast<std::uint32_t>(
-                    HashKey(*idx, key, PackedKey(w, key)) & cap_mask),
-                static_cast<std::uint32_t>(i)};
+    packs[i] = PackedKey(w, key);
+    hashes[i] = HashKey(*idx, key, packs[i]);
   }
-  std::sort(order.begin(), order.end());
-  std::uint64_t steps = 0;
-  for (const auto& [bucket, i] : order) {
+  const bool filter = probe_options_.use_filters;
+  const std::size_t dist =
+      std::min<std::size_t>(probe_options_.prefetch_distance, n);
+  if (dist > 0) {
+    index_stats_.prefetch_batches.fetch_add((n + dist - 1) / dist,
+                                            std::memory_order_relaxed);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + dist < n && (!filter || BloomMayContain(idx->bloom,
+                                                    hashes[i + dist]))) {
+      const std::size_t home = hashes[i + dist] & cap_mask;
+      PrefetchRead(idx->tags.data() + home);
+      PrefetchRead(idx->slots.data() + home);
+    }
+    if (filter && !BloomMayContain(idx->bloom, hashes[i])) {
+      ++c.filter_skips;
+      out[i] = {};
+      continue;
+    }
     const std::span<const ValueId> key = keys.subspan(i * w, w);
-    const std::size_t s = FindSlot(*idx, key, PackedKey(w, key), &steps);
+    const std::size_t s = FindSlot(*idx, key, packs[i], hashes[i], &c);
     const FlatIndex::Slot& slot = idx->slots[s];
     out[i] = (slot.key == 0 || slot.len == 0)
                  ? std::span<const std::uint32_t>()
                  : std::span<const std::uint32_t>(
                        idx->postings.data() + slot.start, slot.len);
   }
-  if (steps != 0) {
-    index_stats_.probe_collisions.fetch_add(steps, std::memory_order_relaxed);
-  }
+  FlushProbeCounters(c);
+}
+
+void Database::set_probe_options(const ProbeOptions& options) {
+  ProbeOptions clamped = options;
+  clamped.max_load_percent = std::clamp(clamped.max_load_percent, 40, 90);
+  clamped.group_width = clamped.group_width <= 8 ? 8 : 16;
+  probe_options_ = clamped;
 }
 
 const std::vector<std::string>& Database::Relations() const {

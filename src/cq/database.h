@@ -45,24 +45,70 @@ inline constexpr RelationId kNoRelation = Interner::kMissing;
 /// reference (mirroring the `use_index=false` pattern of the search engine).
 enum class DatabaseLayout { kFlat, kLegacy };
 
+/// Tuning knobs of the flat probe tables (DESIGN.md §16). Set per database
+/// via `Database::set_probe_options` before the first probe; the benches
+/// sweep them (`bench_probe_kernel`, E2/E9 knob rows). Every setting is a
+/// pure performance knob: probe *results* are bit-identical across the
+/// whole grid (and across the SIMD/scalar kernel builds).
+struct ProbeOptions {
+  /// Probe-table growth threshold: grow when occupied slots exceed this
+  /// percentage of capacity. Clamped to [40, 90].
+  int max_load_percent = 75;
+  /// Tag probe-group width in slots: 16 (one SSE2/NEON vector compare per
+  /// group) or 8 (one 64-bit SWAR compare). Values other than 8 become 16.
+  int group_width = 16;
+  /// Consult the per-(relation, mask) Bloom filters on lookups: a probe
+  /// whose key hash misses the filter is answered "empty" without touching
+  /// the slot array (the semi-naive delta joins' guaranteed-miss skip).
+  bool use_filters = true;
+  /// ProbeMany lookahead: while key i resolves, the tag group and slot of
+  /// key i+distance are software-prefetched. 0 disables the prefetch stage.
+  int prefetch_distance = 8;
+};
+
 /// Counters for the per-relation hash indexes (benchmark signal). Obtained
 /// as a snapshot via `Database::index_stats()`; the registry mirror
 /// (`db.*` gauges) is published from such snapshots by the engines/CLI,
 /// never inline per probe.
+///
+/// Counter contract (pinned by tests/probe_kernel_test.cc): `probes` is
+/// bumped exactly once per key looked up — `Probe()` adds 1, a `ProbeMany`
+/// of k keys adds exactly k — regardless of how many slots, tag groups or
+/// filter words the lookup touched. Work done *inside* a lookup is
+/// accounted separately (`tag_hits`/`tag_skips`/`probe_collisions`), and
+/// lookups short-circuited by the Bloom filter still count as probes, with
+/// the skip recorded in `filter_skips`. All counters are deterministic for
+/// a given (database, probe sequence, ProbeOptions) and identical between
+/// the SIMD and scalar kernel builds.
 struct DatabaseIndexStats {
   /// Distinct (relation, mask) indexes built so far. Monotonic per database.
   std::uint64_t indexes_built = 0;
-  /// `Probe()` calls issued (hot: bumped on every index lookup; a ProbeMany
-  /// of k keys counts k). Monotonic.
+  /// Keys looked up (hot: one per `Probe`, k per k-key `ProbeMany`).
+  /// Monotonic.
   std::uint64_t probes = 0;
   /// Rows folded into some index (a row indexed under k masks counts k
   /// times). Monotonic per database.
   std::uint64_t rows_indexed = 0;
-  /// Linear-probing steps past the home bucket across all probe-table
-  /// lookups (flat layout only; legacy indexes report 0). Monotonic.
+  /// Full key compares that failed during lookups — tag false positives
+  /// plus genuine probe-chain walks (flat layout only; legacy indexes
+  /// report 0). Monotonic.
   std::uint64_t probe_collisions = 0;
   /// Probe-table capacity rehashes (flat layout only). Monotonic.
   std::uint64_t probe_resizes = 0;
+  /// Slots whose tag matched the key's tag and were full-key compared
+  /// during lookups (flat layout only). Monotonic.
+  std::uint64_t tag_hits = 0;
+  /// Occupied slots the tag filter rejected without a full key compare
+  /// during lookups — the compares the PR 5 kernel would have run (flat
+  /// layout only). Monotonic.
+  std::uint64_t tag_skips = 0;
+  /// Lookups answered "empty" by the per-(relation, mask) Bloom filter
+  /// without touching the slot array (flat layout, filters enabled).
+  /// Monotonic.
+  std::uint64_t filter_skips = 0;
+  /// ProbeMany key blocks resolved through the staged pipeline (hash all →
+  /// prefetch → resolve in order). Monotonic.
+  std::uint64_t prefetch_batches = 0;
 };
 
 /// A finite relational database: a set of facts R(v1,...,vn).
@@ -83,8 +129,12 @@ struct DatabaseIndexStats {
 /// maintained incrementally as facts are added — `AddFact` never
 /// invalidates an index. Flat indexes are open-addressing tables (linear
 /// probing, power-of-two capacity, packed inline keys for masks covering
-/// ≤2 positions) whose buckets are slices of a shared postings arena, so a
-/// probe is hash → one cache line → postings slice with no allocation.
+/// ≤2 positions) whose buckets are slices of a shared postings arena, with
+/// a Swiss-table-style 1-byte tag array filtered by one SIMD group compare
+/// per 16 slots and a per-table Bloom filter answering guaranteed misses
+/// before the slots are touched — a probe is hash → filter word → tag
+/// group → postings slice with no allocation (see ProbeOptions and
+/// DESIGN.md §16).
 ///
 /// Thread safety: all const probing entry points (`Probe`, `ProbeMany`,
 /// `Facts`, `Row`, `HasFact`, `HasRow`, `Relations`, `ValueIdOf`, ...) may
@@ -185,14 +235,26 @@ class Database {
   /// Batched probe: `out.size()` keys laid out consecutively in `keys`
   /// (`popcount(mask)` values each); `out[i]` receives the bucket of key i,
   /// exactly as `Probe(rel, mask, key_i)` would return it. In the flat
-  /// layout the block is sorted by home bucket before touching the table,
-  /// so a batch walks the table cache-friendly instead of hopping randomly.
+  /// layout the block runs as a staged pipeline: hash every key (answering
+  /// Bloom-filter misses immediately), then resolve in key order with the
+  /// tag group and slot of the key `prefetch_distance` ahead
+  /// software-prefetched, so slot cache lines are in flight before the
+  /// resolving pass needs them.
   void ProbeMany(RelationId rel, std::uint32_t mask,
                  std::span<const ValueId> keys,
                  std::span<std::span<const std::uint32_t>> out) const;
 
+  /// Installs probe-table tuning knobs (load factor, tag group width,
+  /// Bloom filters, prefetch distance). Call before probing: the load
+  /// factor applies to tables built or grown afterwards, the rest apply
+  /// per lookup. Not synchronized — set it while no other thread probes,
+  /// like `set_obs`. Copied along with the database.
+  void set_probe_options(const ProbeOptions& options);
+  const ProbeOptions& probe_options() const { return probe_options_; }
+
   /// Snapshot of the index counters. (Stored atomically so concurrent
   /// probes can bump them without locking; hence a by-value snapshot.)
+  /// See the DatabaseIndexStats comment for the per-key `probes` contract.
   DatabaseIndexStats index_stats() const {
     DatabaseIndexStats s;
     s.indexes_built = index_stats_.indexes_built.load(std::memory_order_relaxed);
@@ -202,6 +264,11 @@ class Database {
         index_stats_.probe_collisions.load(std::memory_order_relaxed);
     s.probe_resizes =
         index_stats_.probe_resizes.load(std::memory_order_relaxed);
+    s.tag_hits = index_stats_.tag_hits.load(std::memory_order_relaxed);
+    s.tag_skips = index_stats_.tag_skips.load(std::memory_order_relaxed);
+    s.filter_skips = index_stats_.filter_skips.load(std::memory_order_relaxed);
+    s.prefetch_batches =
+        index_stats_.prefetch_batches.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -245,6 +312,15 @@ class Database {
   // `postings` arena listing the matching row indices in row order.
   // key == 0 marks an empty slot; packed keys are nonzero by construction
   // because kNoValue never occurs in a row, so v+1 ≥ 1 for every value.
+  //
+  // Swiss-table-style metadata rides alongside the slots (DESIGN.md §16):
+  // `tags` holds one byte per slot — 0 for empty, else the top 7 hash bits
+  // with the high bit set — sized capacity + 16 with the first group
+  // mirrored past the end, so a 16-byte group load starting at any slot
+  // index stays in bounds. One vector compare filters a probe group before
+  // any full key compare. `bloom` is a blocked Bloom filter over the key
+  // hashes (8 bits per slot, 2 probe bits per key) consulted before the
+  // slot array; both are rebuilt alongside the slots on growth.
   struct FlatIndex {
     struct Slot {
       std::uint64_t key = 0;
@@ -252,6 +328,8 @@ class Database {
       std::uint32_t len = 0;
     };
     std::vector<Slot> slots;              // power-of-two capacity, or empty
+    std::vector<std::uint8_t> tags;       // capacity + 16, mirrored head
+    std::vector<std::uint64_t> bloom;     // capacity/8 words (pow2)
     std::vector<ValueId> wide_keys;       // key_width values per wide key
     std::vector<std::uint32_t> postings;  // shared bucket arena
     std::uint32_t key_width = 0;
@@ -305,6 +383,10 @@ class Database {
     std::atomic<std::uint64_t> rows_indexed{0};
     std::atomic<std::uint64_t> probe_collisions{0};
     std::atomic<std::uint64_t> probe_resizes{0};
+    std::atomic<std::uint64_t> tag_hits{0};
+    std::atomic<std::uint64_t> tag_skips{0};
+    std::atomic<std::uint64_t> filter_skips{0};
+    std::atomic<std::uint64_t> prefetch_batches{0};
     AtomicIndexStats() = default;
     AtomicIndexStats(const AtomicIndexStats& o) { *this = o; }
     AtomicIndexStats& operator=(const AtomicIndexStats& o) {
@@ -319,8 +401,26 @@ class Database {
           std::memory_order_relaxed);
       probe_resizes.store(o.probe_resizes.load(std::memory_order_relaxed),
                           std::memory_order_relaxed);
+      tag_hits.store(o.tag_hits.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+      tag_skips.store(o.tag_skips.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+      filter_skips.store(o.filter_skips.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+      prefetch_batches.store(
+          o.prefetch_batches.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
       return *this;
     }
+  };
+
+  // Per-lookup counter deltas, accumulated branch-free on the stack and
+  // flushed into the atomics once per Probe/ProbeMany call.
+  struct LocalProbeCounters {
+    std::uint64_t tag_hits = 0;
+    std::uint64_t tag_skips = 0;
+    std::uint64_t collisions = 0;  // failed full compares (tag false hits)
+    std::uint64_t filter_skips = 0;
   };
 
   // Relation lookup / creation by pool id. Returns nullptr if `rel` names
@@ -337,7 +437,9 @@ class Database {
   std::uint64_t HashKey(const FlatIndex& idx, std::span<const ValueId> key,
                         std::uint64_t packed) const;
   std::size_t FindSlot(const FlatIndex& idx, std::span<const ValueId> key,
-                       std::uint64_t packed, std::uint64_t* steps) const;
+                       std::uint64_t packed, std::uint64_t h,
+                       LocalProbeCounters* c) const;
+  void FlushProbeCounters(const LocalProbeCounters& c) const;
   void EnsureFlatCapacity(FlatIndex* idx, std::size_t keys) const;
   std::size_t InsertSlot(FlatIndex* idx, std::span<const ValueId> key,
                          std::uint64_t packed) const;
@@ -365,6 +467,7 @@ class Database {
   mutable bool relations_dirty_ = true;
   mutable AtomicIndexStats index_stats_;
   mutable UncopiedMutex memo_mu_;
+  ProbeOptions probe_options_;  // validated by set_probe_options
   const ObsContext* obs_ = nullptr;  // borrowed; see set_obs
   std::size_t num_facts_ = 0;
 };

@@ -4,13 +4,19 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "base/check.h"
+#include "base/flat_set.h"
+#include "base/hash.h"
 #include "base/thread_pool.h"
 #include "cq/homomorphism.h"
 #include "cq/query.h"
+#include "datalog/block_join.h"
 
 namespace qcont {
 
@@ -147,6 +153,157 @@ void MergeSerial(const CompiledRule& cr, FiredRule& fired, Database& all,
   }
 }
 
+// One relation's slice of a round delta in the buffered fast path: rows
+// flattened with stride `arity`, plus the in-round dedup structure (narrow
+// rows pack into one u64 key for the tag-filtered flat set; wider rows fall
+// back to a hashed vector set). Buffers are kept in first-touch order so
+// the `all.AddRow` sequence — and with it value interning and row order —
+// is identical to the Database-backed loop.
+struct DeltaBuffer {
+  RelationId rel = kNoRelation;
+  std::uint32_t arity = 0;
+  std::vector<ValueId> rows;
+  FlatU64Set packed;  // arity <= 2
+  std::unordered_set<std::vector<ValueId>, VectorHash<ValueId>> wide;
+
+  std::size_t count() const { return arity == 0 ? 0 : rows.size() / arity; }
+
+  // Appends `row` unless this round already derived it. Callers have
+  // already deduplicated against the full database.
+  bool AddUnique(std::span<const ValueId> row) {
+    if (arity <= 2) {
+      std::uint64_t key = (static_cast<std::uint64_t>(row[0]) + 1) << 32;
+      if (arity == 2) key |= static_cast<std::uint64_t>(row[1]) + 1;
+      if (!packed.Insert(key)) return false;
+    } else if (!wide.emplace(row.begin(), row.end()).second) {
+      return false;
+    }
+    rows.insert(rows.end(), row.begin(), row.end());
+    return true;
+  }
+};
+
+// Semi-naive rounds 1..n over flat per-relation delta buffers instead of a
+// per-round Database. Only reachable when every (rule, intensional
+// position) join compiled to a valid block plan and every head arity fits
+// a probe mask, so each round is: block-join every plan whose delta buffer
+// is non-empty (in parallel), dedup candidates against `all` with one
+// ProbeMany per firing plus the in-round buffer sets, then fold the
+// buffers into `all` in task order. This skips the per-round Database
+// entirely — no string-tuple materialization, no domain tracking, and one
+// hash insert per derived row instead of two.
+void EvaluateRoundsBuffered(const std::vector<CompiledRule>& compiled,
+                            const std::vector<std::vector<BlockJoinPlan>>& plans,
+                            const EvalOptions& options, const Database& delta0,
+                            Database& all, std::uint64_t* round,
+                            DatalogEvalStats* stats) {
+  // Round 0's delta arrives as a Database (its rules fire serially and need
+  // incremental visibility); flatten it into buffers once.
+  std::vector<DeltaBuffer> delta;
+  std::unordered_map<RelationId, std::size_t> slot_of;
+  auto buffer_for = [&](std::vector<DeltaBuffer>& bufs, RelationId rel,
+                        std::uint32_t arity) -> DeltaBuffer& {
+    auto [it, added] = slot_of.try_emplace(rel, bufs.size());
+    if (added) {
+      bufs.emplace_back();
+      bufs.back().rel = rel;
+      bufs.back().arity = arity;
+    }
+    return bufs[it->second];
+  };
+  for (const RelationId rel : delta0.RelationIds()) {
+    const std::size_t n = delta0.NumRows(rel);
+    if (n == 0) continue;
+    DeltaBuffer& buf = buffer_for(
+        delta, rel, static_cast<std::uint32_t>(delta0.Arity(rel)));
+    const std::span<const ValueId> arena = delta0.Arena(rel);
+    if (!arena.empty()) {
+      buf.rows.assign(arena.begin(), arena.end());
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::span<const ValueId> row = delta0.Row(rel, i);
+        buf.rows.insert(buf.rows.end(), row.begin(), row.end());
+      }
+    }
+  }
+
+  struct DeltaJoin {
+    const CompiledRule* rule;
+    const BlockJoinPlan* plan;
+    const DeltaBuffer* buf;
+  };
+  std::vector<DeltaJoin> joins;
+  std::vector<std::span<const std::uint32_t>> hits;
+  std::size_t total = 0;
+  for (const DeltaBuffer& buf : delta) total += buf.count();
+  while (total > 0) {
+    ObsSpan round_span(options.obs, "datalog/round", "datalog");
+    round_span.AddArg("round", (*round)++);
+    if (stats != nullptr) ++stats->iterations;
+    joins.clear();
+    for (std::size_t r = 0; r < compiled.size(); ++r) {
+      const CompiledRule& cr = compiled[r];
+      for (std::size_t i = 0; i < cr.rule->body.size(); ++i) {
+        if (!plans[r][i].valid()) continue;  // extensional position
+        auto it = slot_of.find(cr.body_rels[i]);
+        if (it == slot_of.end() || delta[it->second].count() == 0) continue;
+        joins.push_back(DeltaJoin{&cr, &plans[r][i], &delta[it->second]});
+      }
+    }
+    round_span.AddArg("joins", joins.size());
+    std::vector<FiredRule> fired = ParallelMap<FiredRule>(
+        options.exec, joins.size(), [&](std::size_t t) {
+          ObsSpan join_span(options.obs, "datalog/delta_join", "datalog");
+          join_span.AddArg("task", t);
+          FiredRule out;
+          out.id_path = true;
+          joins[t].plan->Execute(all, joins[t].buf->rows, joins[t].buf->arity,
+                                 options.delta_block_rows, &out.rows,
+                                 &out.num_rows, &out.stats.hom);
+          out.stats.rule_firings = out.num_rows;
+          return out;
+        });
+    // Merge in task order, exactly like the Database-backed loop: probe the
+    // full database once per firing, then keep the first in-round copy of
+    // each surviving row.
+    std::vector<DeltaBuffer> next;
+    slot_of.clear();
+    for (std::size_t t = 0; t < joins.size(); ++t) {
+      if (stats != nullptr) stats->Merge(fired[t].stats);
+      const CompiledRule& cr = *joins[t].rule;
+      if (fired[t].num_rows == 0) continue;
+      const std::size_t arity = cr.head_arity;
+      const std::uint32_t mask = arity == 32 ? ~0u : ((1u << arity) - 1u);
+      hits.assign(fired[t].num_rows, {});
+      all.ProbeMany(cr.head_rel, mask, std::span<const ValueId>(fired[t].rows),
+                    std::span<std::span<const std::uint32_t>>(hits));
+      DeltaBuffer& buf = buffer_for(next, cr.head_rel,
+                                    static_cast<std::uint32_t>(arity));
+      for (std::size_t i = 0; i < fired[t].num_rows; ++i) {
+        if (hits[i].empty()) {
+          buf.AddUnique(std::span<const ValueId>(
+              fired[t].rows.data() + i * arity, arity));
+        }
+      }
+    }
+    total = 0;
+    for (DeltaBuffer& buf : next) {
+      const std::size_t n = buf.count();
+      total += n;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (all.AddRow(buf.rel,
+                       std::span<const ValueId>(
+                           buf.rows.data() + i * buf.arity, buf.arity)) &&
+            stats != nullptr) {
+          ++stats->derived_facts;
+        }
+      }
+    }
+    round_span.AddArg("delta_facts", total);
+    delta = std::move(next);
+  }
+}
+
 Result<Database> EvaluateProgramImpl(const DatalogProgram& program,
                                      const Database& edb,
                                      const EvalOptions& options,
@@ -156,6 +313,7 @@ Result<Database> EvaluateProgramImpl(const DatalogProgram& program,
   eval_span.AddArg("rules", program.rules().size());
   Database all = edb;
   all.set_obs(options.obs);
+  all.set_probe_options(options.probe);
   const std::vector<CompiledRule> compiled = CompileRules(program, all);
   HomSearchOptions hom_options;
   hom_options.use_index = options.use_index;
@@ -188,6 +346,7 @@ Result<Database> EvaluateProgramImpl(const DatalogProgram& program,
   // the rules before it.
   Database delta(all.pool(), all.layout());
   delta.set_obs(options.obs);
+  delta.set_probe_options(options.probe);
   {
     ObsSpan round_span(options.obs, "datalog/round", "datalog");
     round_span.AddArg("round", round++);
@@ -199,12 +358,41 @@ Result<Database> EvaluateProgramImpl(const DatalogProgram& program,
     }
     round_span.AddArg("delta_facts", delta.NumFacts());
   }
+  // Block-join plans are compiled once per (rule, intensional position),
+  // after round 0 so body constants resolve against the settled pool. When
+  // EVERY join of the program has a valid plan and every head fits a probe
+  // mask, the loop runs in buffered-delta mode: each round's delta lives
+  // in flat per-relation row buffers instead of a full Database (no string
+  // tuples, no domain tracking, no second hash insert per derived row).
+  const bool use_block_joins = options.block_delta_joins && options.use_index;
+  bool buffered = use_block_joins;
+  std::vector<std::vector<BlockJoinPlan>> plans(compiled.size());
+  if (use_block_joins) {
+    for (std::size_t r = 0; r < compiled.size(); ++r) {
+      const CompiledRule& cr = compiled[r];
+      if (cr.head_arity < 1 || cr.head_arity > 32) buffered = false;
+      plans[r].resize(cr.rule->body.size());
+      for (std::size_t i = 0; i < cr.rule->body.size(); ++i) {
+        if (!program.IsIntensional(cr.rule->body[i].predicate())) continue;
+        plans[r][i] = BlockJoinPlan::Compile(*cr.rule, cr.body_rels,
+                                             static_cast<int>(i), *all.pool());
+        if (!plans[r][i].valid()) buffered = false;
+      }
+    }
+  }
+
+  if (buffered) {
+    EvaluateRoundsBuffered(compiled, plans, options, delta, all, &round,
+                           stats);
+    return all;
+  }
   while (delta.NumFacts() > 0) {
     ObsSpan round_span(options.obs, "datalog/round", "datalog");
     round_span.AddArg("round", round++);
     if (stats != nullptr) ++stats->iterations;
     Database next_delta(all.pool(), all.layout());
     next_delta.set_obs(options.obs);
+    next_delta.set_probe_options(options.probe);
     // The (rule, delta position) joins of a round are independent: they
     // only read `all` and `delta`, which are frozen until the barrier. Each
     // runs as its own pool task into a private FiredRule; the buffers are
@@ -214,13 +402,17 @@ Result<Database> EvaluateProgramImpl(const DatalogProgram& program,
     struct DeltaJoin {
       const CompiledRule* rule;
       int position;
+      const BlockJoinPlan* plan;  // null: recursive engine
     };
     std::vector<DeltaJoin> joins;
-    for (const CompiledRule& cr : compiled) {
+    for (std::size_t r = 0; r < compiled.size(); ++r) {
+      const CompiledRule& cr = compiled[r];
       for (std::size_t i = 0; i < cr.rule->body.size(); ++i) {
         if (!program.IsIntensional(cr.rule->body[i].predicate())) continue;
         if (delta.NumRows(cr.body_rels[i]) == 0) continue;
-        joins.push_back(DeltaJoin{&cr, static_cast<int>(i)});
+        const BlockJoinPlan* plan =
+            use_block_joins && plans[r][i].valid() ? &plans[r][i] : nullptr;
+        joins.push_back(DeltaJoin{&cr, static_cast<int>(i), plan});
       }
     }
     round_span.AddArg("joins", joins.size());
@@ -228,6 +420,14 @@ Result<Database> EvaluateProgramImpl(const DatalogProgram& program,
         options.exec, joins.size(), [&](std::size_t t) {
           ObsSpan join_span(options.obs, "datalog/delta_join", "datalog");
           join_span.AddArg("task", t);
+          if (joins[t].plan != nullptr) {
+            FiredRule out;
+            out.id_path = true;
+            joins[t].plan->Execute(all, delta, options.delta_block_rows,
+                                   &out.rows, &out.num_rows, &out.stats.hom);
+            out.stats.rule_firings = out.num_rows;
+            return out;
+          }
           return FireRule(*joins[t].rule, all, &delta, joins[t].position,
                           hom_options);
         });
@@ -312,6 +512,10 @@ Result<Database> EvaluateProgram(const DatalogProgram& program,
     metrics->SetGauge("db.probe_table.probes", idx.probes);
     metrics->SetGauge("db.probe_table.collisions", idx.probe_collisions);
     metrics->SetGauge("db.probe_table.resizes", idx.probe_resizes);
+    metrics->SetGauge("db.probe.tag_hits", idx.tag_hits);
+    metrics->SetGauge("db.probe.tag_skips", idx.tag_skips);
+    metrics->SetGauge("db.probe.filter_skips", idx.filter_skips);
+    metrics->SetGauge("db.probe.prefetch_batches", idx.prefetch_batches);
   }
   if (stats != nullptr) stats->Merge(run);
   return result;
@@ -331,8 +535,45 @@ Result<std::vector<Tuple>> EvaluateGoal(const DatalogProgram& program,
                                         DatalogEvalStats* stats) {
   QCONT_ASSIGN_OR_RETURN(Database all,
                          EvaluateProgram(program, edb, options, stats));
-  std::vector<Tuple> out = all.Facts(program.goal_predicate());
-  std::sort(out.begin(), out.end());
+  const std::vector<Tuple>& facts = all.Facts(program.goal_predicate());
+  const std::size_t n = facts.size();
+  const RelationId goal = all.RelationIdOf(program.goal_predicate());
+  const std::size_t arity = goal == kNoRelation ? 0 : all.Arity(goal);
+  if (n <= 1 || arity == 0) return facts;
+  // Sorting the string tuples directly costs a string compare per
+  // comparison; instead rank the distinct values by name once and sort the
+  // interned rows under that rank — element-wise it is the same order, so
+  // the output is byte-identical to std::sort over the tuples.
+  std::unordered_map<ValueId, std::uint32_t> rank;
+  for (std::size_t r = 0; r < n; ++r) {
+    for (const ValueId v : all.Row(goal, r)) rank.emplace(v, 0);
+  }
+  std::vector<std::pair<std::string_view, ValueId>> named;
+  named.reserve(rank.size());
+  for (const auto& kv : rank) {
+    named.emplace_back(all.pool()->NameOf(kv.first), kv.first);
+  }
+  std::sort(named.begin(), named.end());
+  for (std::size_t i = 0; i < named.size(); ++i) {
+    rank[named[i].second] = static_cast<std::uint32_t>(i);
+  }
+  std::vector<std::uint32_t> keys(n * arity);
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::span<const ValueId> row = all.Row(goal, r);
+    for (std::size_t j = 0; j < arity; ++j) keys[r * arity + j] = rank[row[j]];
+  }
+  std::vector<std::uint32_t> order(n);
+  for (std::size_t r = 0; r < n; ++r) order[r] = static_cast<std::uint32_t>(r);
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              const std::uint32_t* ka = keys.data() + a * arity;
+              const std::uint32_t* kb = keys.data() + b * arity;
+              return std::lexicographical_compare(ka, ka + arity, kb,
+                                                  kb + arity);
+            });
+  std::vector<Tuple> out;
+  out.reserve(n);
+  for (const std::uint32_t r : order) out.push_back(facts[r]);
   return out;
 }
 

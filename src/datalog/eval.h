@@ -69,6 +69,21 @@ struct EvalOptions {
   EvalStrategy strategy = EvalStrategy::kSemiNaive;
   bool use_index = true;
   ExecContext exec;
+  /// Semi-naive delta rounds join block-at-a-time: each (rule, delta
+  /// position) task compiles a static-order BlockJoinPlan and resolves
+  /// whole blocks of delta rows with one ProbeMany per body atom per
+  /// block, instead of one recursive search per delta row. Falls back to
+  /// the recursive engine per rule when the shape is unsupported (atom
+  /// wider than 32 positions, non-variable head term) and entirely when
+  /// `use_index` is off. The derived database is the same fact set either
+  /// way; per-engine search counters differ.
+  bool block_delta_joins = true;
+  /// Delta rows per block (bounds frontier memory; must be > 0).
+  std::size_t delta_block_rows = 1024;
+  /// Probe-kernel knobs applied to the working databases (the EDB copy,
+  /// and each round's delta) before evaluation: table load factor, probe
+  /// group width, Bloom-filter gating, prefetch distance.
+  ProbeOptions probe;
   /// Optional observability sinks, borrowed from the caller. Each
   /// EvaluateProgram run emits `datalog/eval`, `datalog/round` and
   /// `datalog/delta_join` spans plus `db/index_build` spans from the

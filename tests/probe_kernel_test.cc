@@ -1,0 +1,344 @@
+// Differential and contract tests for the SIMD tag-filtered probe kernels
+// (DESIGN.md §16): the vector group compare must agree bit-for-bit with
+// the scalar SWAR reference, probes must agree with a naive row scan
+// across the whole knob grid (load factor × group width × filters), the
+// probes counter must bump once per key, and the block-at-a-time delta
+// join must derive exactly what the recursive engine derives — with
+// thread-count-invariant counters.
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/flat_set.h"
+#include "base/simd.h"
+#include "cq/database.h"
+#include "datalog/eval.h"
+#include "tests/generators.h"
+
+namespace qcont {
+namespace {
+
+TEST(SimdKernelTest, MatchBytesAgreesWithScalarReference) {
+  std::mt19937 rng(20260808);
+  std::uint8_t buf[64];
+  for (int trial = 0; trial < 2000; ++trial) {
+    for (std::uint8_t& b : buf) {
+      // Bias toward tag-shaped bytes (high bit set) and empties (zero).
+      const std::uint32_t roll = rng() % 4;
+      b = roll == 0 ? 0 : static_cast<std::uint8_t>(rng() | 0x80u);
+    }
+    const std::uint8_t needle =
+        trial % 3 == 0 ? 0 : static_cast<std::uint8_t>(rng() | 0x80u);
+    for (std::size_t off = 0; off + 16 <= sizeof(buf); ++off) {
+      EXPECT_EQ(MatchBytes16(buf + off, needle),
+                MatchBytes16Scalar(buf + off, needle));
+      EXPECT_EQ(MatchBytes(buf + off, needle, 16),
+                MatchBytes16Scalar(buf + off, needle));
+      EXPECT_EQ(MatchBytes(buf + off, needle, 8),
+                MatchBytes8Scalar(buf + off, needle));
+    }
+  }
+}
+
+TEST(SimdKernelTest, MatchBytesMatchesPositionByPosition) {
+  std::mt19937 rng(77);
+  std::uint8_t buf[16];
+  for (int trial = 0; trial < 500; ++trial) {
+    for (std::uint8_t& b : buf) b = static_cast<std::uint8_t>(rng());
+    const std::uint8_t needle = static_cast<std::uint8_t>(rng());
+    const std::uint32_t mask = MatchBytes16(buf, needle);
+    for (int i = 0; i < 16; ++i) {
+      EXPECT_EQ((mask >> i) & 1u, buf[i] == needle ? 1u : 0u);
+    }
+    EXPECT_EQ(mask >> 16, 0u);
+  }
+}
+
+// Naive reference: the row indices whose masked positions equal `key`, in
+// insertion order — exactly the postings contract of Database::Probe.
+std::vector<std::uint32_t> ScanReference(const Database& db, RelationId rel,
+                                         std::uint32_t mask,
+                                         std::span<const ValueId> key) {
+  std::vector<std::uint32_t> out;
+  for (std::size_t r = 0; r < db.NumRows(rel); ++r) {
+    const std::span<const ValueId> row = db.Row(rel, r);
+    std::size_t k = 0;
+    bool match = true;
+    for (std::uint32_t p = 0; mask >> p != 0; ++p) {
+      if ((mask >> p & 1u) == 0) continue;
+      if (p >= row.size() || row[p] != key[k++]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) out.push_back(static_cast<std::uint32_t>(r));
+  }
+  return out;
+}
+
+TEST(ProbeKernelTest, ProbeMatchesScanReferenceAcrossKnobGrid) {
+  for (const int load : {40, 75, 90}) {
+    for (const int width : {8, 16}) {
+      for (const bool filters : {false, true}) {
+        std::mt19937 rng(1000 * load + 10 * width + (filters ? 1 : 0));
+        ProbeOptions opts;
+        opts.max_load_percent = load;
+        opts.group_width = width;
+        opts.use_filters = filters;
+        Database db(DatabaseLayout::kFlat);
+        db.set_probe_options(opts);
+        const int domain = 12;
+        for (int i = 0; i < 300; ++i) {
+          db.AddFact(i % 5 == 0 ? "u" : "e",
+                     i % 5 == 0
+                         ? Tuple{"v" + std::to_string(rng() % domain)}
+                         : Tuple{"v" + std::to_string(rng() % domain),
+                                 "v" + std::to_string(rng() % domain)});
+        }
+        const RelationId e = db.RelationIdOf("e");
+        const RelationId u = db.RelationIdOf("u");
+        auto vid = [&](int i) {
+          return db.pool()->Find("v" + std::to_string(i));
+        };
+        for (int trial = 0; trial < 200; ++trial) {
+          // Mix of present and absent keys (absent drawn past the domain
+          // half the time never interned — skip those, Probe requires
+          // interned ids only through this test's construction).
+          const ValueId a = vid(static_cast<int>(rng() % domain));
+          const ValueId b = vid(static_cast<int>(rng() % domain));
+          for (const std::uint32_t mask : {1u, 2u, 3u}) {
+            const ValueId key[2] = {a, b};
+            const std::size_t w = std::popcount(mask);
+            const std::span<const ValueId> k(key, w);
+            const auto got = db.Probe(e, mask, k);
+            const auto want = ScanReference(db, e, mask, k);
+            ASSERT_EQ(std::vector<std::uint32_t>(got.begin(), got.end()),
+                      want)
+                << "load=" << load << " width=" << width
+                << " filters=" << filters << " mask=" << mask;
+          }
+          const ValueId ku[1] = {a};
+          const auto got = db.Probe(u, 1u, ku);
+          ASSERT_EQ(std::vector<std::uint32_t>(got.begin(), got.end()),
+                    ScanReference(db, u, 1u, ku));
+        }
+      }
+    }
+  }
+}
+
+TEST(ProbeKernelTest, ProbeManyMatchesSingleProbes) {
+  std::mt19937 rng(909);
+  ProbeOptions opts;
+  Database db(DatabaseLayout::kFlat);
+  db.set_probe_options(opts);
+  for (int i = 0; i < 400; ++i) {
+    db.AddFact("e", Tuple{"v" + std::to_string(rng() % 20),
+                          "v" + std::to_string(rng() % 20)});
+  }
+  const RelationId e = db.RelationIdOf("e");
+  std::vector<ValueId> keys;
+  const std::size_t n = 256;
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.push_back(db.pool()->Find("v" + std::to_string(rng() % 20)));
+  }
+  std::vector<std::span<const std::uint32_t>> hits(n);
+  db.ProbeMany(e, 1u, keys, hits);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto single = db.Probe(e, 1u, std::span<const ValueId>(&keys[i], 1));
+    EXPECT_EQ(std::vector<std::uint32_t>(hits[i].begin(), hits[i].end()),
+              std::vector<std::uint32_t>(single.begin(), single.end()));
+  }
+}
+
+// The index_stats() contract: `probes` counts keys, not slots visited —
+// one per Probe call, one per ProbeMany key — for every knob setting, with
+// tag-filter and Bloom-filter traffic accounted separately.
+TEST(ProbeKernelTest, ProbesCounterBumpsOncePerKey) {
+  for (const bool filters : {false, true}) {
+    std::mt19937 rng(4242 + (filters ? 1 : 0));
+    ProbeOptions opts;
+    opts.use_filters = filters;
+    // High load forces collision chains: slot visits far exceed keys.
+    opts.max_load_percent = 90;
+    Database db(DatabaseLayout::kFlat);
+    db.set_probe_options(opts);
+    for (int i = 0; i < 500; ++i) {
+      db.AddFact("e", Tuple{"v" + std::to_string(rng() % 30),
+                            "v" + std::to_string(rng() % 30)});
+    }
+    const RelationId e = db.RelationIdOf("e");
+    const std::uint64_t before = db.index_stats().probes;
+    std::vector<ValueId> keys;
+    const std::size_t n = 300;
+    for (std::size_t i = 0; i < n; ++i) {
+      keys.push_back(db.pool()->Find("v" + std::to_string(rng() % 30)));
+    }
+    std::vector<std::span<const std::uint32_t>> hits(n);
+    db.ProbeMany(e, 1u, keys, hits);
+    EXPECT_EQ(db.index_stats().probes, before + n);
+    for (std::size_t i = 0; i < 10; ++i) {
+      db.Probe(e, 1u, std::span<const ValueId>(&keys[i], 1));
+    }
+    EXPECT_EQ(db.index_stats().probes, before + n + 10);
+    // Tag traffic exists and is accounted outside `probes`.
+    const DatabaseIndexStats s = db.index_stats();
+    EXPECT_GT(s.tag_hits, 0u);
+    if (filters) {
+      // With a domain this size some keys miss both Bloom bits.
+      EXPECT_GE(s.filter_skips, 0u);
+    }
+  }
+}
+
+// Identical databases probed with identical sequences must produce
+// identical counters for every knob setting — the determinism contract
+// that makes the scalar-vs-SIMD CI legs comparable.
+TEST(ProbeKernelTest, CountersDeterministicAcrossRuns) {
+  for (const int width : {8, 16}) {
+    DatabaseIndexStats runs[2];
+    for (int run = 0; run < 2; ++run) {
+      std::mt19937 rng(606);
+      ProbeOptions opts;
+      opts.group_width = width;
+      Database db(DatabaseLayout::kFlat);
+      db.set_probe_options(opts);
+      for (int i = 0; i < 300; ++i) {
+        db.AddFact("e", Tuple{"v" + std::to_string(rng() % 15),
+                              "v" + std::to_string(rng() % 15)});
+      }
+      const RelationId e = db.RelationIdOf("e");
+      for (int i = 0; i < 500; ++i) {
+        const ValueId k = db.pool()->Find("v" + std::to_string(rng() % 15));
+        db.Probe(e, 1u, std::span<const ValueId>(&k, 1));
+      }
+      runs[run] = db.index_stats();
+    }
+    EXPECT_EQ(runs[0].probes, runs[1].probes);
+    EXPECT_EQ(runs[0].tag_hits, runs[1].tag_hits);
+    EXPECT_EQ(runs[0].tag_skips, runs[1].tag_skips);
+    EXPECT_EQ(runs[0].probe_collisions, runs[1].probe_collisions);
+    EXPECT_EQ(runs[0].filter_skips, runs[1].filter_skips);
+  }
+}
+
+void ExpectHomStatsEqual(const HomSearchStats& a, const HomSearchStats& b,
+                         int trial, const char* what) {
+  EXPECT_EQ(a.atom_attempts, b.atom_attempts) << what << " trial " << trial;
+  EXPECT_EQ(a.backtracks, b.backtracks) << what << " trial " << trial;
+  EXPECT_EQ(a.index_probes, b.index_probes) << what << " trial " << trial;
+  EXPECT_EQ(a.index_candidates, b.index_candidates)
+      << what << " trial " << trial;
+  EXPECT_EQ(a.scan_candidates, b.scan_candidates)
+      << what << " trial " << trial;
+}
+
+TEST(BlockJoinTest, MatchesRecursiveEngineOnRandomPrograms) {
+  std::mt19937 rng(314159);
+  const testgen::SchemaSpec schema = testgen::SmallSchema();
+  for (int trial = 0; trial < 25; ++trial) {
+    Database edb = testgen::RandomDatabase(&rng, schema, 4, 14);
+    DatalogProgram program = testgen::RandomLinearProgram(&rng, schema, 2);
+    EvalOptions block, recursive;
+    block.block_delta_joins = true;
+    recursive.block_delta_joins = false;
+    DatalogEvalStats bs, rs;
+    auto block_goal = EvaluateGoal(program, edb, block, &bs);
+    auto rec_goal = EvaluateGoal(program, edb, recursive, &rs);
+    ASSERT_TRUE(block_goal.ok() && rec_goal.ok()) << "trial " << trial;
+    EXPECT_EQ(*block_goal, *rec_goal) << "trial " << trial;
+    // Same homomorphism multiset: both engines fire each body match once.
+    EXPECT_EQ(bs.derived_facts, rs.derived_facts) << "trial " << trial;
+  }
+}
+
+TEST(BlockJoinTest, ThreadCountInvariantAnswersAndCounters) {
+  std::mt19937 rng(271828);
+  const testgen::SchemaSpec schema = testgen::SmallSchema();
+  for (int trial = 0; trial < 12; ++trial) {
+    Database edb = testgen::RandomDatabase(&rng, schema, 4, 12);
+    DatalogProgram program = testgen::RandomLinearProgram(&rng, schema, 2);
+    std::vector<std::vector<Tuple>> goals;
+    std::vector<DatalogEvalStats> stats;
+    for (const int threads : {1, 8}) {
+      EvalOptions options;
+      options.exec = ExecContext{.threads = threads, .stats = nullptr};
+      DatalogEvalStats s;
+      auto goal = EvaluateGoal(program, edb, options, &s);
+      ASSERT_TRUE(goal.ok()) << "trial " << trial;
+      goals.push_back(*goal);
+      stats.push_back(s);
+    }
+    EXPECT_EQ(goals[0], goals[1]) << "trial " << trial;
+    EXPECT_EQ(stats[0].iterations, stats[1].iterations) << "trial " << trial;
+    EXPECT_EQ(stats[0].rule_firings, stats[1].rule_firings)
+        << "trial " << trial;
+    EXPECT_EQ(stats[0].derived_facts, stats[1].derived_facts)
+        << "trial " << trial;
+    ExpectHomStatsEqual(stats[0].hom, stats[1].hom, trial, "threads");
+  }
+}
+
+TEST(BlockJoinTest, KnobGridProducesIdenticalGoals) {
+  std::mt19937 rng(161803);
+  const testgen::SchemaSpec schema = testgen::BinarySchema();
+  for (int trial = 0; trial < 8; ++trial) {
+    Database edb = testgen::RandomDatabase(&rng, schema, 5, 16);
+    DatalogProgram program = testgen::RandomLinearProgram(&rng, schema, 2);
+    EvalOptions base;
+    auto want = EvaluateGoal(program, edb, base);
+    ASSERT_TRUE(want.ok()) << "trial " << trial;
+    for (const int load : {40, 90}) {
+      for (const int width : {8, 16}) {
+        for (const bool filters : {false, true}) {
+          for (const std::size_t block : {std::size_t{1}, std::size_t{7},
+                                          std::size_t{1024}}) {
+            EvalOptions options;
+            options.probe.max_load_percent = load;
+            options.probe.group_width = width;
+            options.probe.use_filters = filters;
+            options.delta_block_rows = block;
+            auto got = EvaluateGoal(program, edb, options);
+            ASSERT_TRUE(got.ok()) << "trial " << trial;
+            EXPECT_EQ(*got, *want)
+                << "trial " << trial << " load=" << load
+                << " width=" << width << " filters=" << filters
+                << " block=" << block;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(FlatSetTest, MatchesUnorderedSetOnRandomWorkload) {
+  std::mt19937 rng(5150);
+  for (int trial = 0; trial < 20; ++trial) {
+    FlatU64Set flat;
+    std::unordered_set<std::uint64_t> ref;
+    const int ops = 2000;
+    for (int i = 0; i < ops; ++i) {
+      // Small key space forces duplicate inserts and positive lookups.
+      const std::uint64_t key = 1 + rng() % 500;
+      if (rng() % 2 == 0) {
+        EXPECT_EQ(flat.Insert(key), ref.insert(key).second);
+      } else {
+        EXPECT_EQ(flat.Contains(key), ref.count(key) > 0);
+      }
+      EXPECT_EQ(flat.size(), ref.size());
+    }
+    for (std::uint64_t key = 1; key <= 600; ++key) {
+      EXPECT_EQ(flat.Contains(key), ref.count(key) > 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qcont

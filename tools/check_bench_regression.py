@@ -15,9 +15,17 @@ median is just that run). The check fails when
   * --min-speedup X is given and no shared series got at least X times
     faster (before / after >= X) — used to assert that a committed
     before/after pair actually demonstrates the optimisation it claims, or
+  * --min-geomean X is given and the geometric mean of the per-series
+    speedups (before / after) over the gated series is below X. By default
+    every shared series participates; --geomean-filter SUBSTR restricts the
+    gate to series whose name contains SUBSTR (e.g. "/64" for the large-n
+    acceptance rows) — zero matching series is then a hard error, or
   * --max-counter NAME=VALUE is given and any series in the newest file
     reports a (median) counter NAME above VALUE — used to assert the
-    analysis-overhead columns (`analysis_pct` < 5) emitted by E1/E2/E9.
+    analysis-overhead columns (`analysis_pct` < 5) emitted by E1/E2/E9, or
+  * --min-counter NAME=VALUE is given and any series in the newest file
+    reports a (median) counter NAME at or below VALUE — used to assert the
+    probe-kernel columns actually engaged (`probe_tag_hits` > 0).
 
 A series that does NOT report a bounded counter is a hard error: a renamed
 or dropped counter must fail the gate, never silently pass it. When the
@@ -38,6 +46,7 @@ it in the lint job so a regression in this gate is itself gated.
 
 import argparse
 import json
+import math
 import os
 import statistics
 import sys
@@ -77,10 +86,10 @@ def load_counter_medians(path, counter):
     return medians, sorted(missing - set(medians))
 
 
-def check_counter_bounds(path, bounds, allow_missing):
-    """Fails when any series' median counter exceeds its bound, or (unless
-    allow_missing) when any series lacks the counter. Returns True on
-    failure."""
+def check_counter_bounds(path, bounds, allow_missing, lower=False):
+    """Fails when any series' median counter violates its bound (above it
+    by default, at-or-below it with lower=True), or (unless allow_missing)
+    when any series lacks the counter. Returns True on failure."""
     failed = False
     for counter, bound in bounds:
         values, missing = load_counter_medians(path, counter)
@@ -99,12 +108,37 @@ def check_counter_bounds(path, bounds, allow_missing):
                 failed = True
         for name, value in sorted(values.items()):
             status = "ok"
-            if value > bound:
-                status = "OVER BOUND"
+            if (value <= bound) if lower else (value > bound):
+                status = "UNDER BOUND" if lower else "OVER BOUND"
                 failed = True
-            print(f"{status:>10}  {name}: {counter} = {value:.3f} "
-                  f"(bound {bound:g})")
+            print(f"{status:>11}  {name}: {counter} = {value:.3f} "
+                  f"({'floor' if lower else 'bound'} {bound:g})")
     return failed
+
+
+def check_geomean(before, after, shared, min_geomean, substr):
+    """Fails when the geometric-mean speedup over the gated series (those
+    whose name contains `substr`, or all shared series when substr is None)
+    is below `min_geomean`. Returns True on failure."""
+    gated = [n for n in shared if substr in n] if substr else list(shared)
+    if not gated:
+        print(f"ERROR: --geomean-filter {substr!r} matches no shared series")
+        return True
+    logs = []
+    for name in gated:
+        b, a = before[name], after[name]
+        if a <= 0:
+            continue  # degenerate timing; never let it dominate the mean
+        logs.append(math.log(b / a))
+    gm = math.exp(sum(logs) / len(logs)) if logs else 0.0
+    scope = f" matching {substr!r}" if substr else ""
+    if gm < min_geomean:
+        print(f"FAIL: geomean speedup over {len(gated)} series{scope} is "
+              f"{gm:.3f}x, below the required {min_geomean:g}x")
+        return True
+    print(f"geomean speedup over {len(gated)} series{scope}: {gm:.3f}x "
+          f"(floor {min_geomean:g}x)")
+    return False
 
 
 def self_test():
@@ -145,6 +179,43 @@ def self_test():
         print(f"[{verdict}] {label}")
         if failed != expect_failure:
             code = 1
+
+    # Counter floors (--min-counter): at-or-below the floor must fail.
+    floor_fixtures = {
+        "counter above floor passes": ([bench("a", c=3.0)], False),
+        "counter at floor fails": ([bench("a", c=0.0)], True),
+        "floor counter absent fails": ([bench("a")], True),
+    }
+    for label, (benches, expect_failure) in floor_fixtures.items():
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".json", delete=False) as f:
+            json.dump({"benchmarks": benches}, f)
+            path = f.name
+        try:
+            failed = check_counter_bounds(path, [("c", 0.0)], False,
+                                          lower=True)
+        finally:
+            os.unlink(path)
+        verdict = "ok" if failed == expect_failure else "SELF-TEST FAIL"
+        print(f"[{verdict}] {label}")
+        if failed != expect_failure:
+            code = 1
+
+    # Geomean gate: 2x and 1x speedups geomean to ~1.414x.
+    before = {"tc/64": 200.0, "tc/8": 100.0, "other/64": 100.0}
+    after = {"tc/64": 100.0, "tc/8": 100.0, "other/64": 100.0}
+    shared = sorted(before)
+    geomean_fixtures = {
+        "geomean over all series fails a 1.3x floor": (1.3, None, True),
+        "geomean filtered to tc/64 passes 1.3x": (1.3, "tc/64", False),
+        "filter matching nothing is an error": (1.3, "absent", True),
+    }
+    for label, (floor, substr, expect_failure) in geomean_fixtures.items():
+        failed = check_geomean(before, after, shared, floor, substr)
+        verdict = "ok" if failed == expect_failure else "SELF-TEST FAIL"
+        print(f"[{verdict}] {label}")
+        if failed != expect_failure:
+            code = 1
     print("self-test " + ("passed" if code == 0 else "FAILED"))
     return code
 
@@ -166,12 +237,33 @@ def main():
         help="require at least one series to be this many times faster",
     )
     parser.add_argument(
+        "--min-geomean",
+        type=float,
+        default=None,
+        help="require the geometric-mean speedup over the gated series "
+             "(see --geomean-filter) to reach this factor",
+    )
+    parser.add_argument(
+        "--geomean-filter",
+        default=None,
+        metavar="SUBSTR",
+        help="restrict --min-geomean to series whose name contains SUBSTR",
+    )
+    parser.add_argument(
         "--max-counter",
         action="append",
         default=[],
         metavar="NAME=VALUE",
         help="fail when any series' median counter NAME exceeds VALUE "
              "(checked in the newest file; repeatable)",
+    )
+    parser.add_argument(
+        "--min-counter",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="fail when any series' median counter NAME is at or below "
+             "VALUE (checked in the newest file; repeatable)",
     )
     parser.add_argument(
         "--allow-missing",
@@ -192,21 +284,33 @@ def main():
         print("ERROR: BEFORE.json required (or --self-test)")
         return 2
 
-    bounds = []
-    for spec in args.max_counter:
-        name, _, value = spec.partition("=")
-        try:
-            bounds.append((name, float(value)))
-        except ValueError:
-            print(f"ERROR: --max-counter expects NAME=VALUE, got {spec!r}")
-            return 2
+    def parse_bounds(specs, flag):
+        parsed = []
+        for spec in specs:
+            name, _, value = spec.partition("=")
+            try:
+                parsed.append((name, float(value)))
+            except ValueError:
+                print(f"ERROR: {flag} expects NAME=VALUE, got {spec!r}")
+                return None
+        return parsed
+
+    bounds = parse_bounds(args.max_counter, "--max-counter")
+    floors = parse_bounds(args.min_counter, "--min-counter")
+    if bounds is None or floors is None:
+        return 2
 
     if args.after is None:
-        if not bounds:
-            print("ERROR: a single file requires --max-counter")
+        if not bounds and not floors:
+            print("ERROR: a single file requires --max-counter or "
+                  "--min-counter")
             return 2
-        return 1 if check_counter_bounds(args.before, bounds,
-                                         args.allow_missing) else 0
+        failed = check_counter_bounds(args.before, bounds,
+                                      args.allow_missing)
+        if check_counter_bounds(args.before, floors, args.allow_missing,
+                                lower=True):
+            failed = True
+        return 1 if failed else 0
 
     before = load_medians(args.before)
     after = load_medians(args.after)
@@ -237,9 +341,12 @@ def main():
     if bounds and check_counter_bounds(args.after, bounds,
                                        args.allow_missing):
         failed = True
+    if floors and check_counter_bounds(args.after, floors,
+                                       args.allow_missing, lower=True):
+        failed = True
     if failed:
         print(f"FAIL: at least one series regressed by more than "
-              f"{args.tolerance:.0%} or a counter bound was exceeded")
+              f"{args.tolerance:.0%} or a counter bound was violated")
         return 1
     if args.min_speedup is not None:
         if best_speedup < args.min_speedup:
@@ -247,6 +354,10 @@ def main():
                   f"is below the required {args.min_speedup:.2f}x")
             return 1
         print(f"best speedup: {best_speedup:.2f}x ({best_name})")
+    if args.min_geomean is not None:
+        if check_geomean(before, after, shared, args.min_geomean,
+                         args.geomean_filter):
+            return 1
     print(f"OK: {len(shared)} series within {args.tolerance:.0%}")
     return 0
 
