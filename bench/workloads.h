@@ -31,6 +31,43 @@ inline int BenchThreads() {
   return hw > 1 ? static_cast<int>(hw) : 2;
 }
 
+/// Thread axis of the multicore scaling rows (EXPERIMENTS.md): {1, 2, 4, 8}
+/// pruned to counts this machine can actually schedule (oversubscribed rows
+/// measure contention, not scaling), floored so the 2-thread pool row always
+/// runs. A capture from a small machine simply has fewer rows; the
+/// cross-file gates in CI use --allow-missing for exactly this reason.
+inline std::vector<int> BenchThreadGrid() {
+  const int cap =
+      std::max(2, std::max(BenchThreads(),
+                           static_cast<int>(std::thread::hardware_concurrency())));
+  std::vector<int> grid;
+  for (int t : {1, 2, 4, 8}) {
+    if (t <= cap) grid.push_back(t);
+  }
+  return grid;
+}
+
+/// Shard axis of the scaling rows: QCONT_BENCH_SHARDS as a comma-separated
+/// list (see run_benchmarks.sh --shards), otherwise {1, 4, 16} — unsharded
+/// baseline, one shard per typical worker, and oversharded.
+inline std::vector<int> BenchShardGrid() {
+  if (const char* env = std::getenv("QCONT_BENCH_SHARDS")) {
+    std::vector<int> grid;
+    int v = 0;
+    for (const char* p = env;; ++p) {
+      if (*p >= '0' && *p <= '9') {
+        v = v * 10 + (*p - '0');
+      } else {
+        if (v > 0) grid.push_back(v);
+        v = 0;
+        if (*p == '\0') break;
+      }
+    }
+    if (!grid.empty()) return grid;
+  }
+  return {1, 4, 16};
+}
+
 /// Per-call wall time of `fn` in microseconds, averaged over `calls`
 /// invocations. Used by the instrumented (untimed) passes to price the
 /// analysis layer against the engine work.

@@ -1,0 +1,71 @@
+#ifndef QCONT_BASE_SHARD_H_
+#define QCONT_BASE_SHARD_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "base/check.h"
+
+namespace qcont {
+
+/// Hash-shard routing for the sharded relation storage (DESIGN.md §17,
+/// ARCHITECTURE.md). A relation's rows are partitioned into `shards`
+/// disjoint (arena, probe-table) pairs by the row-key hash, so parallel
+/// writers append and deduplicate shard-locally with no shared locks.
+///
+/// Routing contract — stable, documented for a future multi-node split:
+/// a row with key hash `h` (the same splitmix64 `Mix64` finalizer the
+/// FlatIndex probe tables use, see `Database::HashKey`) belongs to shard
+///
+///     ShardOf(h, P) = floor(high32(h) * P / 2^32)
+///
+/// i.e. the *top* 32 hash bits mapped onto [0, P) by fixed-point
+/// multiplication (Lemire's fastrange). Properties the storage layer and
+/// any future split rely on:
+///  - works for any P >= 1, including non-power-of-two shard counts;
+///  - ShardOf(h, 1) == 0 for every h, so P=1 routes all rows to shard 0
+///    and the layout degenerates to the unsharded one bit for bit;
+///  - disjoint from the bits that pick the slot *within* a shard's probe
+///    table (the low `log2(capacity)` bits) and from the 7-bit Swiss tag
+///    (bits 56..62), so sharding does not degrade either distribution.
+inline std::uint32_t ShardOf(std::uint64_t h, std::uint32_t shards) {
+  return static_cast<std::uint32_t>((h >> 32) * shards >> 32);
+}
+
+/// Upper bound on the shard count of one database. Purely a sanity bound:
+/// shards cost ~1 KB each per relation at rest, and past the worker count
+/// extra shards only add merge bookkeeping.
+inline constexpr int kMaxShards = 256;
+
+/// Debug-build validator for the freeze contract of the concurrency model
+/// (ARCHITECTURE.md): a database handed to a parallel region is *frozen* —
+/// concurrent probes are lock-free precisely because no mutation runs
+/// until the barrier. Mutating entry points bump a relaxed epoch counter;
+/// a guard constructed at the top of a lock-free read path re-checks the
+/// epoch on destruction and aborts if a mutation raced the read. Compiled
+/// out entirely in NDEBUG builds (the sanitizer CI legs build Debug, so
+/// the contract stays exercised without taxing release probes).
+class EpochReadGuard {
+ public:
+#ifndef NDEBUG
+  explicit EpochReadGuard(const std::atomic<std::uint64_t>& epoch)
+      : epoch_(&epoch), seen_(epoch.load(std::memory_order_relaxed)) {}
+  ~EpochReadGuard() {
+    QCONT_CHECK_MSG(epoch_->load(std::memory_order_relaxed) == seen_,
+                    "database mutated during a lock-free read "
+                    "(freeze-during-parallel-region contract violated)");
+  }
+
+ private:
+  const std::atomic<std::uint64_t>* epoch_;
+  std::uint64_t seen_;
+#else
+  explicit EpochReadGuard(const std::atomic<std::uint64_t>&) {}
+#endif
+  EpochReadGuard(const EpochReadGuard&) = delete;
+  EpochReadGuard& operator=(const EpochReadGuard&) = delete;
+};
+
+}  // namespace qcont
+
+#endif  // QCONT_BASE_SHARD_H_

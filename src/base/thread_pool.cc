@@ -7,10 +7,12 @@
 
 namespace qcont {
 
-namespace {
+namespace internal {
 thread_local bool t_in_worker = false;
 thread_local int t_worker_id = -1;
-}  // namespace
+}  // namespace internal
+using internal::t_in_worker;
+using internal::t_worker_id;
 
 // One ParallelFor call. `remaining` counts iterations not yet executed;
 // the worker that takes it to zero wakes the caller. Workers accumulate
@@ -46,10 +48,6 @@ ThreadPool::~ThreadPool() {
   work_cv_.notify_all();
   for (std::thread& t : threads_) t.join();
 }
-
-bool ThreadPool::InWorker() { return t_in_worker; }
-
-int ThreadPool::CurrentWorkerId() { return t_worker_id; }
 
 void ThreadPool::PushLocal(int self, Task task) {
   {

@@ -90,7 +90,9 @@ class ThreadPool {
 
   /// The calling thread's worker index within its pool, or -1 when the
   /// caller is not a pool worker. Stable for the worker's lifetime; used by
-  /// the observability layer to lane trace spans per worker (DESIGN.md §12).
+  /// the observability layer to lane trace spans per worker (DESIGN.md §12)
+  /// and by the database's striped probe counters, so it is inline — one
+  /// thread-local read, no call, on counter hot paths.
   static int CurrentWorkerId();
 
  private:
@@ -118,6 +120,17 @@ class ThreadPool {
   std::atomic<std::size_t> pending_{0};  // queued (not yet executing) tasks
   bool stop_ = false;
 };
+
+namespace internal {
+// Worker-identity thread-locals (written by WorkerLoop, read everywhere).
+// Declared here so the accessors below inline to a single TLS load.
+extern thread_local bool t_in_worker;
+extern thread_local int t_worker_id;
+}  // namespace internal
+
+inline bool ThreadPool::InWorker() { return internal::t_in_worker; }
+
+inline int ThreadPool::CurrentWorkerId() { return internal::t_worker_id; }
 
 /// Runs `body(i)` for every i in [0, n). Serial (in index order, on the
 /// calling thread) when `ctx.threads <= 1`, when n <= 1, or when already

@@ -239,16 +239,14 @@ void BlockJoinPlan::Execute(const Database& all,
       all.ProbeMany(step.rel, step.mask, keys,
                     std::span<std::span<const std::uint32_t>>(hits));
       stats->index_probes += fcount;
-      const std::span<const ValueId> arena = all.Arena(step.rel);
+      const Database::RowView rows_view = all.Rows(step.rel);
       next.clear();
       for (std::size_t i = 0; i < fcount; ++i) {
         const ValueId* binding = frontier.data() + i * nv;
         for (const std::uint32_t row_idx : hits[i]) {
           ++stats->index_candidates;
           ++stats->atom_attempts;
-          const ValueId* row =
-              arena.empty() ? all.Row(step.rel, row_idx).data()
-                            : arena.data() + row_idx * step.arity;
+          const ValueId* row = rows_view[row_idx];
           const std::size_t at = next.size();
           next.insert(next.end(), binding, binding + nv);
           bool ok = true;

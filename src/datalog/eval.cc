@@ -6,13 +6,11 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "base/check.h"
-#include "base/flat_set.h"
-#include "base/hash.h"
+#include "base/shard.h"
 #include "base/thread_pool.h"
 #include "cq/homomorphism.h"
 #include "cq/query.h"
@@ -154,44 +152,34 @@ void MergeSerial(const CompiledRule& cr, FiredRule& fired, Database& all,
 }
 
 // One relation's slice of a round delta in the buffered fast path: rows
-// flattened with stride `arity`, plus the in-round dedup structure (narrow
-// rows pack into one u64 key for the tag-filtered flat set; wider rows fall
-// back to a hashed vector set). Buffers are kept in first-touch order so
-// the `all.AddRow` sequence — and with it value interning and row order —
-// is identical to the Database-backed loop.
-struct DeltaBuffer {
+// flattened with stride `arity`, kept in first-touch order. Carries no
+// dedup structure of its own — the round-barrier `Database::AddRowBatch`
+// deduplicates candidates against the database and within the round in one
+// shard-parallel pass (DESIGN.md §17), so between rounds the buffer holds
+// candidates, and after the barrier it holds the committed survivors.
+struct DeltaRows {
   RelationId rel = kNoRelation;
   std::uint32_t arity = 0;
   std::vector<ValueId> rows;
-  FlatU64Set packed;  // arity <= 2
-  std::unordered_set<std::vector<ValueId>, VectorHash<ValueId>> wide;
 
   std::size_t count() const { return arity == 0 ? 0 : rows.size() / arity; }
-
-  // Appends `row` unless this round already derived it. Callers have
-  // already deduplicated against the full database.
-  bool AddUnique(std::span<const ValueId> row) {
-    if (arity <= 2) {
-      std::uint64_t key = (static_cast<std::uint64_t>(row[0]) + 1) << 32;
-      if (arity == 2) key |= static_cast<std::uint64_t>(row[1]) + 1;
-      if (!packed.Insert(key)) return false;
-    } else if (!wide.emplace(row.begin(), row.end()).second) {
-      return false;
-    }
-    rows.insert(rows.end(), row.begin(), row.end());
-    return true;
-  }
 };
 
 // Semi-naive rounds 1..n over flat per-relation delta buffers instead of a
 // per-round Database. Only reachable when every (rule, intensional
 // position) join compiled to a valid block plan and every head arity fits
-// a probe mask, so each round is: block-join every plan whose delta buffer
-// is non-empty (in parallel), dedup candidates against `all` with one
-// ProbeMany per firing plus the in-round buffer sets, then fold the
-// buffers into `all` in task order. This skips the per-round Database
-// entirely — no string-tuple materialization, no domain tracking, and one
-// hash insert per derived row instead of two.
+// a probe mask. Each round: split every (plan, non-empty delta buffer)
+// join into block-sized pool tasks (so one wide delta still fans out
+// across workers), block-join them in parallel against the frozen `all`,
+// then commit each head relation's concatenated candidates with one
+// shard-parallel AddRowBatch at the barrier. This skips the per-round
+// Database entirely — no string-tuple materialization on the round path,
+// no second hash insert per derived row — and at P shards the commit
+// claims rows into P independent tables with no shared locks. The derived
+// database (row order, interning order) and all engine counters are
+// bit-identical to the serial AddRow loop for every thread and shard
+// count: tasks are merged in (join, block) order, which is the serial
+// block order, and AddRowBatch commits survivors in candidate order.
 void EvaluateRoundsBuffered(const std::vector<CompiledRule>& compiled,
                             const std::vector<std::vector<BlockJoinPlan>>& plans,
                             const EvalOptions& options, const Database& delta0,
@@ -199,10 +187,10 @@ void EvaluateRoundsBuffered(const std::vector<CompiledRule>& compiled,
                             DatalogEvalStats* stats) {
   // Round 0's delta arrives as a Database (its rules fire serially and need
   // incremental visibility); flatten it into buffers once.
-  std::vector<DeltaBuffer> delta;
+  std::vector<DeltaRows> delta;
   std::unordered_map<RelationId, std::size_t> slot_of;
-  auto buffer_for = [&](std::vector<DeltaBuffer>& bufs, RelationId rel,
-                        std::uint32_t arity) -> DeltaBuffer& {
+  auto buffer_for = [&](std::vector<DeltaRows>& bufs, RelationId rel,
+                        std::uint32_t arity) -> DeltaRows& {
     auto [it, added] = slot_of.try_emplace(rel, bufs.size());
     if (added) {
       bufs.emplace_back();
@@ -214,90 +202,111 @@ void EvaluateRoundsBuffered(const std::vector<CompiledRule>& compiled,
   for (const RelationId rel : delta0.RelationIds()) {
     const std::size_t n = delta0.NumRows(rel);
     if (n == 0) continue;
-    DeltaBuffer& buf = buffer_for(
+    DeltaRows& buf = buffer_for(
         delta, rel, static_cast<std::uint32_t>(delta0.Arity(rel)));
-    const std::span<const ValueId> arena = delta0.Arena(rel);
-    if (!arena.empty()) {
-      buf.rows.assign(arena.begin(), arena.end());
-    } else {
-      for (std::size_t i = 0; i < n; ++i) {
-        const std::span<const ValueId> row = delta0.Row(rel, i);
-        buf.rows.insert(buf.rows.end(), row.begin(), row.end());
-      }
+    const Database::RowView rows = delta0.Rows(rel);
+    buf.rows.reserve(n * buf.arity);
+    for (std::size_t i = 0; i < n; ++i) {
+      const ValueId* row = rows[static_cast<std::uint32_t>(i)];
+      buf.rows.insert(buf.rows.end(), row, row + buf.arity);
     }
   }
 
-  struct DeltaJoin {
+  // A (rule, delta position) join restricted to one block of delta rows.
+  // Tasks are enumerated join-major, block-minor, and their outputs are
+  // concatenated in task order — exactly the order one Execute call over
+  // the whole buffer produces, since Execute chunks from row 0 in
+  // `block` steps.
+  struct DeltaTask {
     const CompiledRule* rule;
     const BlockJoinPlan* plan;
-    const DeltaBuffer* buf;
+    const DeltaRows* buf;
+    std::size_t begin = 0;  // first delta row of the block
+    std::size_t end = 0;    // one past the last
   };
-  std::vector<DeltaJoin> joins;
-  std::vector<std::span<const std::uint32_t>> hits;
+  const std::size_t block = std::max<std::size_t>(options.delta_block_rows, 1);
+  std::vector<DeltaTask> tasks;
+  std::vector<std::uint32_t> added;
+  std::vector<ValueId> committed;  // scratch, reused across rounds
   std::size_t total = 0;
-  for (const DeltaBuffer& buf : delta) total += buf.count();
+  for (const DeltaRows& buf : delta) total += buf.count();
   while (total > 0) {
     ObsSpan round_span(options.obs, "datalog/round", "datalog");
     round_span.AddArg("round", (*round)++);
     if (stats != nullptr) ++stats->iterations;
-    joins.clear();
+    tasks.clear();
     for (std::size_t r = 0; r < compiled.size(); ++r) {
       const CompiledRule& cr = compiled[r];
       for (std::size_t i = 0; i < cr.rule->body.size(); ++i) {
         if (!plans[r][i].valid()) continue;  // extensional position
         auto it = slot_of.find(cr.body_rels[i]);
         if (it == slot_of.end() || delta[it->second].count() == 0) continue;
-        joins.push_back(DeltaJoin{&cr, &plans[r][i], &delta[it->second]});
+        const DeltaRows& buf = delta[it->second];
+        const std::size_t n = buf.count();
+        for (std::size_t b = 0; b < n; b += block) {
+          tasks.push_back(DeltaTask{&cr, &plans[r][i], &buf, b,
+                                    std::min(n, b + block)});
+        }
       }
     }
-    round_span.AddArg("joins", joins.size());
+    round_span.AddArg("tasks", tasks.size());
     std::vector<FiredRule> fired = ParallelMap<FiredRule>(
-        options.exec, joins.size(), [&](std::size_t t) {
+        options.exec, tasks.size(), [&](std::size_t t) {
           ObsSpan join_span(options.obs, "datalog/delta_join", "datalog");
           join_span.AddArg("task", t);
+          const DeltaTask& task = tasks[t];
           FiredRule out;
           out.id_path = true;
-          joins[t].plan->Execute(all, joins[t].buf->rows, joins[t].buf->arity,
-                                 options.delta_block_rows, &out.rows,
-                                 &out.num_rows, &out.stats.hom);
+          task.plan->Execute(
+              all,
+              std::span<const ValueId>(task.buf->rows)
+                  .subspan(task.begin * task.buf->arity,
+                           (task.end - task.begin) * task.buf->arity),
+              task.buf->arity, block, &out.rows, &out.num_rows,
+              &out.stats.hom);
           out.stats.rule_firings = out.num_rows;
           return out;
         });
-    // Merge in task order, exactly like the Database-backed loop: probe the
-    // full database once per firing, then keep the first in-round copy of
-    // each surviving row.
-    std::vector<DeltaBuffer> next;
+    // Round barrier. Gather each head relation's candidate rows in task
+    // order (relations keyed by the first producing task, exactly the
+    // first-touch order of the per-task merge this replaces), then commit
+    // each relation with one shard-parallel AddRowBatch: it deduplicates
+    // against the database and within the batch, assigns global row
+    // numbers in candidate order, and reports the committed survivors —
+    // which are precisely the next round's delta.
+    ObsSpan merge_span(options.obs, "datalog/shard_merge", "datalog");
+    std::vector<DeltaRows> next;
     slot_of.clear();
-    for (std::size_t t = 0; t < joins.size(); ++t) {
+    std::size_t candidates = 0;
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
       if (stats != nullptr) stats->Merge(fired[t].stats);
-      const CompiledRule& cr = *joins[t].rule;
       if (fired[t].num_rows == 0) continue;
-      const std::size_t arity = cr.head_arity;
-      const std::uint32_t mask = arity == 32 ? ~0u : ((1u << arity) - 1u);
-      hits.assign(fired[t].num_rows, {});
-      all.ProbeMany(cr.head_rel, mask, std::span<const ValueId>(fired[t].rows),
-                    std::span<std::span<const std::uint32_t>>(hits));
-      DeltaBuffer& buf = buffer_for(next, cr.head_rel,
-                                    static_cast<std::uint32_t>(arity));
-      for (std::size_t i = 0; i < fired[t].num_rows; ++i) {
-        if (hits[i].empty()) {
-          buf.AddUnique(std::span<const ValueId>(
-              fired[t].rows.data() + i * arity, arity));
-        }
-      }
+      const CompiledRule& cr = *tasks[t].rule;
+      DeltaRows& buf = buffer_for(
+          next, cr.head_rel, static_cast<std::uint32_t>(cr.head_arity));
+      buf.rows.insert(buf.rows.end(), fired[t].rows.begin(),
+                      fired[t].rows.end());
+      candidates += fired[t].num_rows;
     }
+    merge_span.AddArg("candidates", candidates);
+    merge_span.AddArg("relations", next.size());
     total = 0;
-    for (DeltaBuffer& buf : next) {
-      const std::size_t n = buf.count();
-      total += n;
-      for (std::size_t i = 0; i < n; ++i) {
-        if (all.AddRow(buf.rel,
-                       std::span<const ValueId>(
-                           buf.rows.data() + i * buf.arity, buf.arity)) &&
-            stats != nullptr) {
-          ++stats->derived_facts;
-        }
+    for (DeltaRows& buf : next) {
+      added.clear();
+      const std::size_t got =
+          all.AddRowBatch(buf.rel, buf.arity, buf.rows, options.exec, &added);
+      if (stats != nullptr) stats->derived_facts += got;
+      // Replace the candidates with the committed survivors (in commit
+      // order) — the relation's slice of the next delta.
+      const Database::RowView view = all.Rows(buf.rel);
+      committed.clear();
+      committed.reserve(added.size() * buf.arity);
+      for (const std::uint32_t g : added) {
+        const ValueId* row = view[g];
+        committed.insert(committed.end(), row, row + buf.arity);
       }
+      buf.rows.assign(committed.begin(), committed.end());
+      total += got;
     }
     round_span.AddArg("delta_facts", total);
     delta = std::move(next);
@@ -314,6 +323,12 @@ Result<Database> EvaluateProgramImpl(const DatalogProgram& program,
   Database all = edb;
   all.set_obs(options.obs);
   all.set_probe_options(options.probe);
+  // Physical-only layout change: partition every relation into
+  // options.shards hash-shards so the round-barrier merge can claim rows
+  // shard-parallel. Answers and engine counters do not depend on it.
+  if (options.shards > 1 && all.layout() == DatabaseLayout::kFlat) {
+    all.Reshard(std::min(options.shards, kMaxShards));
+  }
   const std::vector<CompiledRule> compiled = CompileRules(program, all);
   HomSearchOptions hom_options;
   hom_options.use_index = options.use_index;
@@ -516,6 +531,15 @@ Result<Database> EvaluateProgram(const DatalogProgram& program,
     metrics->SetGauge("db.probe.tag_skips", idx.tag_skips);
     metrics->SetGauge("db.probe.filter_skips", idx.filter_skips);
     metrics->SetGauge("db.probe.prefetch_batches", idx.prefetch_batches);
+    const DatabaseShardStats sh = (*result).shard_stats();
+    metrics->SetGauge("db.shard.count", static_cast<std::uint64_t>(sh.shards));
+    metrics->SetGauge("db.shard.rows_total", sh.rows_total);
+    metrics->SetGauge("db.shard.rows_max", sh.rows_max_shard);
+    metrics->SetGauge("db.shard.rows_min", sh.rows_min_shard);
+    metrics->SetGauge("db.shard.imbalance_pct",
+                      static_cast<std::uint64_t>(sh.imbalance_pct));
+    metrics->SetGauge("db.shard.occupancy_pct",
+                      static_cast<std::uint64_t>(sh.max_occupancy_pct));
   }
   if (stats != nullptr) stats->Merge(run);
   return result;

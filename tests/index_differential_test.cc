@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "base/thread_pool.h"
 #include "cq/database.h"
 #include "cq/homomorphism.h"
 #include "datalog/eval.h"
@@ -287,6 +288,168 @@ TEST(LayoutDifferentialTest, FactsAndDomainAgreeAcrossLayouts) {
         EXPECT_TRUE(legacy.HasRow(id, row)) << "trial " << trial;
       }
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hash-sharded storage (DESIGN.md §17). Sharding is purely physical: for
+// every shard count P — including non-power-of-two — answers, derived
+// databases, and every engine-level counter must match the legacy layout
+// and the unsharded flat layout exactly. P=1 is additionally bit-identical
+// to previous releases (same arenas, same probe tables).
+// ---------------------------------------------------------------------------
+
+TEST(LayoutDifferentialTest, ShardedSemiNaiveAgreesWithLegacyExactly) {
+  std::mt19937 rng(8081);
+  const testgen::SchemaSpec schema = testgen::SmallSchema();
+  for (int trial = 0; trial < 8; ++trial) {
+    auto [flat, legacy] = LayoutPair(&rng, schema, 4, 14);
+    DatalogProgram program = testgen::RandomLinearProgram(&rng, schema, 2);
+    std::vector<std::vector<Tuple>> goals;
+    std::vector<DatalogEvalStats> stats;
+    // The legacy run is the oracle; the flat runs sweep the full
+    // (shards, threads) grid, including the non-power-of-two P=3.
+    for (const Database* edb : {&legacy, &flat}) {
+      for (int shards : {1, 3, 16}) {
+        if (edb->layout() == DatabaseLayout::kLegacy && shards != 1) continue;
+        for (int threads : {1, 8}) {
+          EvalOptions options;
+          options.exec = ExecContext{.threads = threads, .stats = nullptr};
+          options.shards = shards;
+          DatalogEvalStats s;
+          auto goal = EvaluateGoal(program, *edb, options, &s);
+          ASSERT_TRUE(goal.ok()) << "trial " << trial;
+          goals.push_back(*goal);
+          stats.push_back(s);
+        }
+      }
+    }
+    for (std::size_t i = 1; i < goals.size(); ++i) {
+      EXPECT_EQ(goals[0], goals[i]) << "trial " << trial << " run " << i;
+      EXPECT_EQ(stats[0].iterations, stats[i].iterations)
+          << "trial " << trial << " run " << i;
+      EXPECT_EQ(stats[0].rule_firings, stats[i].rule_firings)
+          << "trial " << trial << " run " << i;
+      EXPECT_EQ(stats[0].derived_facts, stats[i].derived_facts)
+          << "trial " << trial << " run " << i;
+      ExpectStatsEqual(stats[0].hom, stats[i].hom, trial);
+    }
+  }
+}
+
+TEST(LayoutDifferentialTest, ReshardPreservesRowsOrderAndProbes) {
+  std::mt19937 rng(16061);
+  const testgen::SchemaSpec schema = testgen::SmallSchema();
+  for (int trial = 0; trial < 10; ++trial) {
+    Database base = testgen::RandomDatabase(&rng, schema, 5, 40);
+    for (int shards : {1, 3, 16}) {
+      Database sharded = base;  // copied pool: ids comparable across the two
+      sharded.Reshard(shards);
+      EXPECT_EQ(sharded.shard_count(), shards);
+      ASSERT_EQ(sharded.NumFacts(), base.NumFacts()) << "trial " << trial;
+      EXPECT_EQ(sharded.ActiveDomain(), base.ActiveDomain());
+      for (const std::string& rel : base.Relations()) {
+        EXPECT_EQ(sharded.Facts(rel), base.Facts(rel)) << "trial " << trial;
+        const RelationId id = base.RelationIdOf(rel);
+        ASSERT_EQ(sharded.NumRows(id), base.NumRows(id));
+        const std::size_t arity = base.Arity(id);
+        const std::uint32_t mask =
+            arity >= 32 ? ~0u : ((1u << arity) - 1u);
+        const Database::RowView rows = sharded.Rows(id);
+        for (std::size_t r = 0; r < base.NumRows(id); ++r) {
+          // Global row numbering survives resharding bit for bit.
+          const std::span<const ValueId> row = base.Row(id, r);
+          EXPECT_TRUE(std::equal(row.begin(), row.end(), rows[r]))
+              << "trial " << trial << " P=" << shards << " row " << r;
+          EXPECT_TRUE(sharded.HasRow(id, row)) << "trial " << trial;
+          // A full-mask probe routed to the owning shard returns the same
+          // global posting the unsharded table returns.
+          const auto hits = sharded.Probe(id, mask, row);
+          const auto base_hits = base.Probe(id, mask, row);
+          EXPECT_TRUE(std::equal(hits.begin(), hits.end(), base_hits.begin(),
+                                 base_hits.end()))
+              << "trial " << trial << " P=" << shards << " row " << r;
+        }
+      }
+      const DatabaseShardStats sh = sharded.shard_stats();
+      EXPECT_EQ(sh.shards, shards);
+      EXPECT_EQ(sh.rows_total, base.NumFacts());
+      EXPECT_GE(sh.rows_max_shard, sh.rows_min_shard);
+    }
+  }
+}
+
+TEST(LayoutDifferentialTest, ShardedGrowthPastLoadKeepsEveryRowProbeable) {
+  // Start sharded with near-empty tables, then append far past the ¾ load
+  // point so every shard's probe table rebuilds several times mid-stream;
+  // membership, postings, and the balance snapshot must stay exact.
+  Database sharded;
+  Database plain;
+  for (Database* db : {&sharded, &plain}) {
+    db->AddFact("E", {"n0", "n1"});
+  }
+  sharded.Reshard(3);
+  const int kRows = 2000;
+  for (int i = 1; i < kRows; ++i) {
+    const Tuple t = {"n" + std::to_string(i), "n" + std::to_string(i + 1)};
+    ASSERT_TRUE(sharded.AddFact("E", t));
+    ASSERT_TRUE(plain.AddFact("E", t));
+    ASSERT_FALSE(sharded.AddFact("E", t));  // dup routed to the same shard
+  }
+  EXPECT_EQ(sharded.NumFacts(), plain.NumFacts());
+  EXPECT_EQ(sharded.Facts("E"), plain.Facts("E"));
+  const RelationId id = sharded.RelationIdOf("E");
+  ASSERT_EQ(sharded.NumRows(id), static_cast<std::size_t>(kRows));
+  for (std::size_t r = 0; r < sharded.NumRows(id); ++r) {
+    const std::span<const ValueId> row = plain.Row(id, r);
+    EXPECT_TRUE(std::equal(row.begin(), row.end(), sharded.Row(id, r).begin(),
+                           sharded.Row(id, r).end()));
+    const auto hits = sharded.Probe(id, 0x3u, row);
+    ASSERT_EQ(hits.size(), 1u) << "row " << r;
+    EXPECT_EQ(hits[0], static_cast<std::uint32_t>(r));
+  }
+  const DatabaseShardStats sh = sharded.shard_stats();
+  EXPECT_EQ(sh.shards, 3);
+  EXPECT_EQ(sh.rows_total, static_cast<std::uint64_t>(kRows));
+  EXPECT_GT(sh.rows_min_shard, 0u);  // splitmix64 spreads a 2000-row chain
+  // No shard's table is past its growth threshold.
+  EXPECT_LT(sh.max_occupancy_pct, 100.0);
+}
+
+TEST(LayoutDifferentialTest, ProbeOnlyWorkloadTakesNoExclusiveLocks) {
+  // Regression test for the lock-free read contract (ARCHITECTURE.md):
+  // once a database is frozen, concurrent full-mask probes touch no
+  // exclusive lock — they are served entirely by the per-shard primary
+  // tables. Runs under the TSAN CI leg, which would also flag any data
+  // race the counter misses.
+  std::mt19937 rng(515151);
+  const testgen::SchemaSpec schema = testgen::BinarySchema();
+  for (int shards : {1, 3}) {
+    Database db = testgen::RandomDatabase(&rng, schema, 6, 200);
+    if (shards > 1) db.Reshard(shards);
+    const RelationId id = db.RelationIdOf(db.Relations().front());
+    const std::size_t n = db.NumRows(id);
+    ASSERT_GT(n, 0u);
+    std::vector<ValueId> keys;
+    for (std::size_t r = 0; r < n; ++r) {
+      const std::span<const ValueId> row = db.Row(id, r);
+      keys.insert(keys.end(), row.begin(), row.end());
+    }
+    const std::uint64_t locks_before = db.memo_exclusive_locks();
+    const std::uint64_t epoch_before = db.mutation_epoch();
+    ExecContext ctx{.threads = 4, .stats = nullptr};
+    ParallelFor(ctx, 8, [&](std::size_t) {
+      std::vector<std::span<const std::uint32_t>> hits(n);
+      db.ProbeMany(id, 0x3u, keys,
+                   std::span<std::span<const std::uint32_t>>(hits));
+      for (std::size_t r = 0; r < n; ++r) {
+        ASSERT_EQ(hits[r].size(), 1u);
+      }
+    });
+    EXPECT_EQ(db.memo_exclusive_locks(), locks_before)
+        << "a probe-only workload acquired an exclusive lock (P=" << shards
+        << ")";
+    EXPECT_EQ(db.mutation_epoch(), epoch_before);
   }
 }
 

@@ -25,7 +25,17 @@ median is just that run). The check fails when
     analysis-overhead columns (`analysis_pct` < 5) emitted by E1/E2/E9, or
   * --min-counter NAME=VALUE is given and any series in the newest file
     reports a (median) counter NAME at or below VALUE — used to assert the
-    probe-kernel columns actually engaged (`probe_tag_hits` > 0).
+    probe-kernel columns actually engaged (`probe_tag_hits` > 0), or
+  * --min-ratio BASE:TARGET=X is given and, in the newest file, the median
+    real_time of series BASE is less than X times that of series TARGET —
+    a within-file speedup floor between two rows of one capture, used for
+    the multicore scaling acceptance (the threads=8 row of E9's BM_TcWide
+    must beat the threads=1 row by >= 2x). The two rows come from the same
+    machine and the same run, so the gate is meaningful on any capture.
+    With --allow-missing, a ratio whose BASE or TARGET series is absent is
+    reported as a note and passes — that is how the gate stays armed for
+    multicore capture machines without failing captures from machines that
+    cannot schedule the BASE row (their pruned thread grid never emits it).
 
 A series that does NOT report a bounded counter is a hard error: a renamed
 or dropped counter must fail the gate, never silently pass it. When the
@@ -116,6 +126,38 @@ def check_counter_bounds(path, bounds, allow_missing, lower=False):
     return failed
 
 
+def check_min_ratios(path, ratios, allow_missing):
+    """Within-file speedup floors: for each (base, target, floor) the
+    median real_time of series `base` must be at least `floor` times the
+    median of series `target`, both read from `path`. A missing series is
+    a hard error unless allow_missing (then a note — the capture machine
+    may legitimately prune the base row). Returns True on failure."""
+    medians = load_medians(path)
+    failed = False
+    for base, target, floor in ratios:
+        absent = [n for n in (base, target) if n not in medians]
+        if absent:
+            for name in absent:
+                if allow_missing:
+                    print(f"note: ratio series {name} absent from {path} "
+                          f"(--allow-missing)")
+                else:
+                    print(f"ERROR: ratio series {name} absent from {path} "
+                          f"(pass --allow-missing if the capture machine "
+                          f"prunes it)")
+                    failed = True
+            continue
+        b, t = medians[base], medians[target]
+        ratio = b / t if t > 0 else float("inf")
+        if ratio < floor:
+            print(f"FAIL: {base} is only {ratio:.2f}x the time of {target}, "
+                  f"below the required {floor:g}x")
+            failed = True
+        else:
+            print(f"ratio {base} / {target}: {ratio:.2f}x (floor {floor:g}x)")
+    return failed
+
+
 def check_geomean(before, after, shared, min_geomean, substr):
     """Fails when the geometric-mean speedup over the gated series (those
     whose name contains `substr`, or all shared series when substr is None)
@@ -201,6 +243,36 @@ def self_test():
         if failed != expect_failure:
             code = 1
 
+    # Within-file ratio floors (--min-ratio): the new-series shape of the
+    # E9 scaling gate — threads=1 row vs threads=8 row of one capture.
+    ratio_series = [bench("tc/t1"), bench("tc/t8")]
+    ratio_series[0]["real_time"] = 400.0
+    ratio_series[1]["real_time"] = 100.0
+    ratio_fixtures = {
+        "ratio above floor passes": (
+            ratio_series, [("tc/t1", "tc/t8", 2.0)], False, False),
+        "ratio below floor fails": (
+            ratio_series, [("tc/t1", "tc/t8", 8.0)], False, True),
+        "missing base series fails by default": (
+            ratio_series, [("tc/t16", "tc/t8", 2.0)], False, True),
+        "missing base series passes with --allow-missing": (
+            ratio_series, [("tc/t16", "tc/t8", 2.0)], True, False),
+    }
+    for label, (benches, ratios, allow_missing,
+                expect_failure) in ratio_fixtures.items():
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".json", delete=False) as f:
+            json.dump({"benchmarks": benches}, f)
+            path = f.name
+        try:
+            failed = check_min_ratios(path, ratios, allow_missing)
+        finally:
+            os.unlink(path)
+        verdict = "ok" if failed == expect_failure else "SELF-TEST FAIL"
+        print(f"[{verdict}] {label}")
+        if failed != expect_failure:
+            code = 1
+
     # Geomean gate: 2x and 1x speedups geomean to ~1.414x.
     before = {"tc/64": 200.0, "tc/8": 100.0, "other/64": 100.0}
     after = {"tc/64": 100.0, "tc/8": 100.0, "other/64": 100.0}
@@ -266,6 +338,16 @@ def main():
              "VALUE (checked in the newest file; repeatable)",
     )
     parser.add_argument(
+        "--min-ratio",
+        action="append",
+        default=[],
+        metavar="BASE:TARGET=X",
+        help="fail unless, in the newest file, the median real_time of "
+             "series BASE is at least X times that of series TARGET "
+             "(within-file scaling floor; repeatable; --allow-missing "
+             "downgrades an absent series to a note)",
+    )
+    parser.add_argument(
         "--allow-missing",
         action="store_true",
         help="tolerate series that do not report a bounded counter "
@@ -300,15 +382,30 @@ def main():
     if bounds is None or floors is None:
         return 2
 
+    ratios = []
+    for spec in args.min_ratio:
+        pair, _, value = spec.rpartition("=")
+        base, sep, target = pair.partition(":")
+        try:
+            ratios.append((base, target, float(value)))
+        except ValueError:
+            sep = ""
+        if not sep or not base or not target:
+            print(f"ERROR: --min-ratio expects BASE:TARGET=X, got {spec!r}")
+            return 2
+
     if args.after is None:
-        if not bounds and not floors:
-            print("ERROR: a single file requires --max-counter or "
-                  "--min-counter")
+        if not bounds and not floors and not ratios:
+            print("ERROR: a single file requires --max-counter, "
+                  "--min-counter or --min-ratio")
             return 2
         failed = check_counter_bounds(args.before, bounds,
                                       args.allow_missing)
         if check_counter_bounds(args.before, floors, args.allow_missing,
                                 lower=True):
+            failed = True
+        if ratios and check_min_ratios(args.before, ratios,
+                                       args.allow_missing):
             failed = True
         return 1 if failed else 0
 
@@ -343,6 +440,8 @@ def main():
         failed = True
     if floors and check_counter_bounds(args.after, floors,
                                        args.allow_missing, lower=True):
+        failed = True
+    if ratios and check_min_ratios(args.after, ratios, args.allow_missing):
         failed = True
     if failed:
         print(f"FAIL: at least one series regressed by more than "
