@@ -1,0 +1,132 @@
+// E10 — program-keyed kind-space memoization (DESIGN.md §18): one hot Π,
+// sweeping Θ. The HotProgram family makes the Π-only expansion the dominant
+// cost (2^(arity-1) kinds × n rule instantiations) while each containment
+// call's Θ-side fixpoint stays shallow, which is exactly the server regime
+// the ProgramArtifactCache targets: a repeated program tested against a
+// stream of fresh queries. Cold rows rebuild the artifact every call; warm
+// rows fetch it from the cache, so Cold/Warm at equal n prices the
+// memoization (gated ≥2x at n=64 by check_bench_regression.py --min-ratio).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/workloads.h"
+#include "core/datalog_ucq.h"
+#include "core/program_artifact_cache.h"
+#include "obs/obs.h"
+
+namespace qcont {
+namespace {
+
+// 2^(kArity-1) = 128 reachable kinds; rows sweep the rule count, so the
+// per-call expansion cost grows with n while the fixpoint stays flat.
+constexpr int kArity = 8;
+
+// The Θ sweep: every iteration tests the next variant, so a row's time is
+// the mean over the pool — no iteration ever repeats a (Π, Θ) *verdict*,
+// only the program.
+std::vector<UnionQuery> ThetaPool() {
+  std::vector<UnionQuery> pool;
+  for (int extras = 0; extras < 4; ++extras) {
+    pool.push_back(bench::HotTheta(kArity, extras));
+  }
+  return pool;
+}
+
+// Engine counters summed over one full Θ sweep, untimed. By the freeze
+// contract these are identical for the cold and warm rows (the differential
+// test asserts exact equality per call), so a drift between the two rows'
+// counter columns flags an artifact-path bug before any timing does.
+void ReportSweepCounters(benchmark::State& state, const DatalogProgram& pi,
+                         const std::vector<UnionQuery>& thetas,
+                         const TypeEngineOptions& options) {
+  TypeEngineStats stats;
+  bool contained = false;
+  for (const UnionQuery& theta : thetas) {
+    TypeEngineStats run;
+    contained = DatalogContainedInUcq(pi, theta, &run, options)->contained;
+    stats.combos += run.combos;
+    stats.enumeration_steps += run.enumeration_steps;
+    stats.kinds = run.kinds;
+  }
+  state.counters["contained"] = contained ? 1 : 0;
+  state.counters["kinds"] = static_cast<double>(stats.kinds);
+  state.counters["combos"] = static_cast<double>(stats.combos);
+  state.counters["enumeration_steps"] =
+      static_cast<double>(stats.enumeration_steps);
+}
+
+// Cold path: every call pays the full Π-only expansion (a private artifact
+// is built per call; this is the exact pre-memoization engine behavior, and
+// the counters are bit-identical with the warm row's by the freeze
+// contract).
+void BM_HotProgramCold(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const DatalogProgram pi = bench::HotProgram(kArity, n);
+  const std::vector<UnionQuery> thetas = ThetaPool();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        DatalogContainedInUcq(pi, thetas[i++ % thetas.size()])->contained);
+  }
+  ReportSweepCounters(state, pi, thetas, TypeEngineOptions());
+}
+BENCHMARK(BM_HotProgramCold)->RangeMultiplier(2)->Range(8, 64);
+
+// Warm path: the artifact cache is primed once, then every call fetches the
+// frozen expansion and goes straight to the Θ-dependent product
+// construction. QCONT_BENCH_NO_ARTIFACT=1 sizes the cache at zero —
+// every call misses and builds privately — which is how the committed
+// "before" capture pins this row to pre-memoization behavior with the
+// same binary and row names.
+void BM_HotProgramWarm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const DatalogProgram pi = bench::HotProgram(kArity, n);
+  const std::vector<UnionQuery> thetas = ThetaPool();
+  const bool disabled = std::getenv("QCONT_BENCH_NO_ARTIFACT") != nullptr;
+  ProgramArtifactCacheConfig config;
+  config.capacity = disabled ? 0 : 4;
+  ProgramArtifactCache cache(config);
+  TypeEngineOptions options;
+  options.artifact_cache = &cache;
+  // Prime outside the timed loop: the first call is the one cold build.
+  benchmark::DoNotOptimize(
+      DatalogContainedInUcq(pi, thetas[0], nullptr, options)->contained);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        DatalogContainedInUcq(pi, thetas[i++ % thetas.size()], nullptr,
+                              options)
+            ->contained);
+  }
+  ReportSweepCounters(state, pi, thetas, options);
+  const ProgramArtifactCacheStats cstats = cache.stats();
+  state.counters["artifact_hits"] = static_cast<double>(cstats.hits);
+  state.counters["artifact_misses"] = static_cast<double>(cstats.misses);
+  state.counters["artifact_bytes"] = static_cast<double>(cstats.bytes);
+}
+BENCHMARK(BM_HotProgramWarm)->RangeMultiplier(2)->Range(8, 64);
+
+// The memoized quantity in isolation: one full Π-only expansion (kind-space
+// closure + probe tables). Cold ≈ Warm + Build at every n; drift in that
+// identity is the first thing to check if the Cold/Warm ratio regresses.
+void BM_ArtifactBuild(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const DatalogProgram pi = bench::HotProgram(kArity, n);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    auto artifact = ProgramArtifact::Build(pi);
+    bytes = artifact->ApproxBytes();
+    benchmark::DoNotOptimize(artifact);
+  }
+  state.counters["artifact_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_ArtifactBuild)->RangeMultiplier(2)->Range(8, 64);
+
+}  // namespace
+}  // namespace qcont
+
+BENCHMARK_MAIN();

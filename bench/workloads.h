@@ -157,6 +157,67 @@ inline DatalogProgram StrideProgram(int m) {
   return DatalogProgram(std::move(rules), "p");
 }
 
+/// E10 "hot program" family (EXPERIMENTS.md): one Π whose kind space is
+/// deliberately large relative to any single Θ-side fixpoint. The goal
+/// predicate p has arity `arity`; the base rule grounds p in one wide EDB
+/// atom c(x̄), the adjacent-merge rules make every interval-merge equality
+/// pattern of the head reachable (2^(arity-1) kinds), and filler
+/// self-recursions pad the program to `rules` rules so per-kind
+/// instantiation work scales with n. The Π-only expansion therefore costs
+/// Θ(2^arity · rules) rule instantiations, while each containment call's
+/// type fixpoint over it stays shallow — the regime where program-keyed
+/// artifact reuse pays.
+inline DatalogProgram HotProgram(int arity, int rules) {
+  std::vector<Term> xs;
+  xs.reserve(arity);
+  for (int i = 0; i < arity; ++i) {
+    xs.push_back(Term::Variable("x" + std::to_string(i)));
+  }
+  std::vector<Rule> out;
+  out.push_back(Rule{Atom("p", xs), {Atom("c", xs)}});
+  for (int k = 0; k + 1 < arity; ++k) {
+    std::vector<Term> child = xs;
+    child[k + 1] = xs[k];  // child kind merges head positions k, k+1
+    out.push_back(Rule{Atom("p", xs),
+                       {Atom("e", {xs[k], xs[k + 1]}), Atom("p", child)}});
+  }
+  if (static_cast<int>(out.size()) < rules) {
+    // Filler rules scale the Π-only instantiation work without feeding the
+    // fixpoint: their q(u,v) child (fresh variables, so its kind keeps the
+    // positions distinct) has no instances — q's only rule repeats a head
+    // variable the pattern keeps apart, so Instantiate rejects it — and a
+    // rule with a type-less child is never viable. The cold path still
+    // pays full instantiation of every filler in all 2^(arity-1) kinds.
+    Term z = Term::Variable("z"), u = Term::Variable("u"),
+         v = Term::Variable("v");
+    out.push_back(Rule{Atom("q", {z, z}), {Atom("c0", {z})}});
+    for (int j = static_cast<int>(out.size()); j < rules; ++j) {
+      out.push_back(Rule{Atom("p", xs),
+                         {Atom("f" + std::to_string(j), xs),
+                          Atom("q", {u, v})}});
+    }
+  }
+  return DatalogProgram(std::move(out), "p");
+}
+
+/// Θ variants for the hot-program sweep: single-variable c-atoms
+/// c(v,...,v) — one per 1 + `extras` — with the head repeating the first
+/// atom's variable. A one-variable atom only matches the fully-merged
+/// kind's base instance, so the subtree-type lattice stays flat (the
+/// fresh-variable alternative makes types proliferate along merge-pullback
+/// paths, and the fixpoint would then dominate the expansion). Sweeping
+/// `extras` varies the query-side element enumeration against one fixed Π
+/// without touching the Π-only kind space.
+inline UnionQuery HotTheta(int arity, int extras) {
+  std::vector<Atom> atoms;
+  std::vector<Term> head(arity, Term::Variable("v0"));
+  for (int j = 0; j <= extras; ++j) {
+    std::vector<Term> vs(arity, Term::Variable("v" + std::to_string(j)));
+    atoms.emplace_back("c", std::move(vs));
+  }
+  return UnionQuery({ConjunctiveQuery(std::move(head), std::move(atoms))});
+}
+
 /// UCQ of chain disjuncts with both endpoints free, lengths 1..m.
 inline UnionQuery ChainUnion(int m) {
   std::vector<ConjunctiveQuery> disjuncts;

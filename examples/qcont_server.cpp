@@ -7,7 +7,8 @@
 //   --engine-threads=N engine-internal parallelism per request (default 1)
 //   --max-batch=N      admission control: requests per scheduler batch (32)
 //   --deadline-ms=N    default per-request deadline, 0 = none (default 0)
-//   --cache-entries=N  per-kind plan-cache LRU capacity (default 4096)
+//   --cache-entries=N  per-kind plan-cache LRU capacity (default 4096);
+//                      also sizes the program-artifact layer (default 64)
 //   --no-minimize      skip the UCQ core-minimization pre-pass
 //   --trace=FILE       write a Chrome trace_event JSON of the run
 //   --metrics          print the final counter snapshot to stderr on exit
@@ -92,6 +93,7 @@ int main(int argc, char** argv) {
       options.cache.analysis_capacity = static_cast<std::size_t>(n);
       options.cache.core_capacity = static_cast<std::size_t>(n);
       options.cache.eval_capacity = static_cast<std::size_t>(n);
+      options.cache.artifact_capacity = static_cast<std::size_t>(n);
     } else if (arg == "--no-minimize") {
       options.minimize_queries = false;
     } else if (arg.rfind("--trace=", 0) == 0) {

@@ -12,6 +12,7 @@
 #include "base/interner.h"
 #include "base/thread_pool.h"
 #include "core/instantiate.h"
+#include "core/program_artifact_cache.h"
 
 namespace qcont {
 
@@ -19,6 +20,7 @@ namespace {
 
 using internal::InstIdbAtom;
 using internal::InstRule;
+using internal::InstRulePrecomp;
 using internal::KindSpace;
 
 // ---------------------------------------------------------------------------
@@ -27,6 +29,7 @@ using internal::KindSpace;
 
 struct DisjunctInfo {
   std::vector<std::string> preds;           // per atom
+  std::vector<int> atom_pred_ids;           // per atom: artifact EDB pred id
   std::vector<std::vector<int>> atom_vars;  // per atom: variable ids per term
   std::vector<std::uint64_t> var_atoms;     // per var: atoms using it
   std::vector<bool> is_free;                // per var
@@ -143,21 +146,30 @@ struct KindState {
 
 class TypeEngine {
  public:
-  TypeEngine(const DatalogProgram& program, const UnionQuery& ucq,
-             TypeEngineStats* stats, const TypeEngineOptions& options)
-      : program_(program),
+  // The artifact carries the frozen Π-only state (fully expanded kind
+  // space, root kinds, probe tables); the engine holds only the
+  // Θ-dependent fixpoint state and never mutates the artifact, so one
+  // artifact serves concurrent engines.
+  TypeEngine(std::shared_ptr<const ProgramArtifact> artifact,
+             const UnionQuery& ucq, TypeEngineStats* stats,
+             const TypeEngineOptions& options)
+      : artifact_(std::move(artifact)),
         ucq_(ucq),
         stats_(stats),
         options_(options),
-        kinds_(program) {}
+        kinds_(artifact_->kinds()) {}
 
   Result<ContainmentAnswer> Run() {
     ObsSpan run_span(options_.obs, "typeengine/run", "core");
     for (const ConjunctiveQuery& cq : ucq_.disjuncts()) {
       QCONT_ASSIGN_OR_RETURN(DisjunctInfo info, BuildDisjunctInfo(cq));
+      info.atom_pred_ids.reserve(info.preds.size());
+      for (const std::string& pred : info.preds) {
+        info.atom_pred_ids.push_back(artifact_->EdbPredId(pred));
+      }
       disjuncts_.push_back(std::move(info));
     }
-    std::vector<int> root_kinds = kinds_.RootKinds();
+    const std::vector<int>& root_kinds = artifact_->root_kinds();
     state_.resize(kinds_.NumKinds());
     cursors_.resize(kinds_.NumKinds());
     for (std::size_t k = 0; k < kinds_.NumKinds(); ++k) {
@@ -217,9 +229,6 @@ class TypeEngine {
       metrics->SetGauge("typeengine.elements", run_.elements);
     }
     if (stats_ == nullptr) return;
-    stats_->kinds = 0;
-    stats_->types = 0;
-    stats_->elements = 0;
     stats_->Merge(run_);
   }
 
@@ -351,6 +360,7 @@ class TypeEngine {
   // exactly once, in a deterministic order.
   TaskOutput RunComboTask(const ComboTask& task, std::uint64_t budget) const {
     const InstRule& rule = kinds_.RulesOf(task.kind)[task.rule_pos];
+    const InstRulePrecomp& pre = artifact_->precomp(task.kind, task.rule_pos);
     const std::size_t n = rule.idb_atoms.size();
     TaskOutput out;
     auto process = [&](const std::vector<int>& combo) {
@@ -358,7 +368,7 @@ class TypeEngine {
       if (out.stats.combos > budget) return false;
       ComboResult r;
       r.combo = combo;
-      r.type = ComputeType(rule, combo, &out.stats);
+      r.type = ComputeType(rule, pre, combo, &out.stats);
       r.canon = r.type.Canonical();
       out.results.push_back(std::move(r));
       return true;
@@ -397,19 +407,21 @@ class TypeEngine {
     return out;
   }
 
-  SubtreeType ComputeType(const InstRule& rule, const std::vector<int>& combo,
+  SubtreeType ComputeType(const InstRule& rule, const InstRulePrecomp& pre,
+                          const std::vector<int>& combo,
                           TypeEngineStats* stats) const {
     SubtreeType out;
     out.per_disjunct.resize(disjuncts_.size());
     for (std::size_t d = 0; d < disjuncts_.size(); ++d) {
-      ComputeElements(rule, combo, static_cast<int>(d), stats,
+      ComputeElements(rule, pre, combo, static_cast<int>(d), stats,
                       &out.per_disjunct[d]);
     }
     return out;
   }
 
-  void ComputeElements(const InstRule& rule, const std::vector<int>& combo,
-                       int d, TypeEngineStats* stats, ElementSet* out) const {
+  void ComputeElements(const InstRule& rule, const InstRulePrecomp& pre,
+                       const std::vector<int>& combo, int d,
+                       TypeEngineStats* stats, ElementSet* out) const {
     const DisjunctInfo& info = disjuncts_[d];
     std::vector<int> sigma(info.num_vars, -1);
     std::uint64_t base_atoms = 0;
@@ -419,7 +431,7 @@ class TypeEngine {
     std::function<void(std::size_t)> choose_child = [&](std::size_t j) {
       ++stats->enumeration_steps;
       if (j == rule.idb_atoms.size()) {
-        MatchLevel(rule, info, &sigma, base_atoms, 0, stats, out);
+        MatchLevel(rule, pre, info, &sigma, base_atoms, 0, stats, out);
         return;
       }
       const InstIdbAtom& child = rule.idb_atoms[j];
@@ -451,19 +463,25 @@ class TypeEngine {
   }
 
   // DFS over the disjunct's atoms not yet covered: leave uncovered, or match
-  // against one of this rule instance's extensional atoms.
-  void MatchLevel(const InstRule& rule, const DisjunctInfo& info,
-                  std::vector<int>* sigma, std::uint64_t atoms, int t,
-                  TypeEngineStats* stats, ElementSet* out) const {
+  // against one of this rule instance's extensional atoms. Candidate atoms
+  // are screened by the artifact's dense predicate ids (same candidates,
+  // same order as the string comparison they replace).
+  void MatchLevel(const InstRule& rule, const InstRulePrecomp& pre,
+                  const DisjunctInfo& info, std::vector<int>* sigma,
+                  std::uint64_t atoms, int t, TypeEngineStats* stats,
+                  ElementSet* out) const {
     ++stats->enumeration_steps;
     if (t == info.num_atoms) {
-      EmitElement(rule, info, *sigma, atoms, out);
+      EmitElement(pre, info, *sigma, atoms, out);
       return;
     }
-    MatchLevel(rule, info, sigma, atoms, t + 1, stats, out);
+    MatchLevel(rule, pre, info, sigma, atoms, t + 1, stats, out);
     if (atoms & (1ULL << t)) return;
-    for (const auto& [pred, terms] : rule.edb_atoms) {
-      if (pred != info.preds[t] || terms.size() != info.atom_vars[t].size()) {
+    const int pred_id = info.atom_pred_ids[t];
+    for (std::size_t a = 0; a < rule.edb_atoms.size(); ++a) {
+      const std::vector<int>& terms = rule.edb_atoms[a].second;
+      if (pre.edb_pred_ids[a] != pred_id ||
+          terms.size() != info.atom_vars[t].size()) {
         continue;
       }
       std::vector<int> touched;
@@ -478,13 +496,14 @@ class TypeEngine {
         }
       }
       if (ok) {
-        MatchLevel(rule, info, sigma, atoms | (1ULL << t), t + 1, stats, out);
+        MatchLevel(rule, pre, info, sigma, atoms | (1ULL << t), t + 1, stats,
+                   out);
       }
       for (int v : touched) (*sigma)[v] = -1;
     }
   }
 
-  void EmitElement(const InstRule& rule, const DisjunctInfo& info,
+  void EmitElement(const InstRulePrecomp& pre, const DisjunctInfo& info,
                    const std::vector<int>& sigma, std::uint64_t atoms,
                    ElementSet* out) const {
     Element e;
@@ -496,13 +515,9 @@ class TypeEngine {
       bool live = info.is_free[v] || (info.var_atoms[v] & ~atoms) != 0;
       if (!live) continue;
       QCONT_CHECK_MSG(sigma[v] != -1, "live variable without binding");
-      std::int8_t pos = -1;
-      for (std::size_t p = 0; p < rule.head.size(); ++p) {
-        if (rule.head[p] == sigma[v]) {
-          pos = static_cast<std::int8_t>(p);
-          break;
-        }
-      }
+      // head_pos is the precomputed first-occurrence scan of rule.head.
+      const std::size_t w = static_cast<std::size_t>(sigma[v]);
+      const std::int8_t pos = w < pre.head_pos.size() ? pre.head_pos[w] : -1;
       if (pos < 0) return;  // live variable buried below the interface
       e.f[v] = pos;
     }
@@ -530,14 +545,14 @@ class TypeEngine {
     return false;
   }
 
-  const DatalogProgram& program_;
+  std::shared_ptr<const ProgramArtifact> artifact_;
   const UnionQuery& ucq_;
   TypeEngineStats* stats_;
   TypeEngineOptions options_;
   TypeEngineStats run_;
 
   std::vector<DisjunctInfo> disjuncts_;
-  KindSpace kinds_;
+  const KindSpace& kinds_;  // the artifact's frozen, fully-expanded space
   std::vector<KindState> state_;
   std::vector<std::vector<RuleCursor>> cursors_;
 };
@@ -551,7 +566,18 @@ Result<ContainmentAnswer> DatalogContainedInUcq(
   QCONT_RETURN_IF_ERROR(ucq.Validate());
   QCONT_RETURN_IF_ERROR(
       analysis::FirstError(analysis::CheckContainmentPair(program, ucq)));
-  TypeEngine engine(program, ucq, stats, options);
+  // Resolve the Π-only artifact: caller-provided, cache-fetched, or built
+  // privately (the cold path). All three run the engine through the same
+  // frozen-artifact code, so results and counters never depend on which
+  // path was taken.
+  std::shared_ptr<const ProgramArtifact> artifact = options.artifact;
+  if (artifact == nullptr && options.artifact_cache != nullptr) {
+    artifact = options.artifact_cache->GetOrBuild(program);
+  }
+  if (artifact == nullptr) {
+    artifact = ProgramArtifact::Build(program, options.obs);
+  }
+  TypeEngine engine(std::move(artifact), ucq, stats, options);
   return engine.Run();
 }
 

@@ -2,6 +2,7 @@
 #define QCONT_CORE_DATALOG_UCQ_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -12,6 +13,9 @@
 #include "obs/obs.h"
 
 namespace qcont {
+
+class ProgramArtifact;
+class ProgramArtifactCache;
 
 /// Outcome of a Datalog-in-UCQ containment check. When the answer is "not
 /// contained", `witness` is an expansion θ_τ of Π with θ_τ ⊄ Θ; its
@@ -52,10 +56,14 @@ struct TypeEngineStats {
   /// `typeengine.enumeration_steps`.
   std::uint64_t enumeration_steps = 0;
 
+  /// Folds one run's counters into this accumulator with the per-field
+  /// semantics documented above: the snapshot fields (`kinds`, `types`,
+  /// `elements`) take `other`'s values, the accumulating fields
+  /// (`combos`, `enumeration_steps`) sum.
   void Merge(const TypeEngineStats& other) {
-    kinds += other.kinds;
-    types += other.types;
-    elements += other.elements;
+    kinds = other.kinds;
+    types = other.types;
+    elements = other.elements;
     combos += other.combos;
     enumeration_steps += other.enumeration_steps;
   }
@@ -78,6 +86,19 @@ struct TypeEngineOptions {
   /// plus `typeengine.{kinds,types,elements}` gauges — on every exit path,
   /// including budget errors, mirroring the legacy stats flush.
   const ObsContext* obs = nullptr;
+  /// Π-only expansion reuse (program_artifact_cache.h, DESIGN.md §18).
+  /// Resolution order: when `artifact` is set it is used directly — it must
+  /// have been built from a program canonically equal to the one passed
+  /// (same `analysis::CanonicalProgramHash`), and the engine then skips
+  /// kind-space expansion entirely. Otherwise, when `artifact_cache` is set
+  /// (borrowed, caller-owned), the engine fetches-or-builds the artifact
+  /// there, so a repeated Π with a new Θ goes straight to the query-side
+  /// product construction. With neither, a private artifact is built per
+  /// call — the cold path runs through the same build code, so verdicts,
+  /// witnesses, and every engine counter are identical with and without
+  /// reuse; only the expansion work is saved.
+  std::shared_ptr<const ProgramArtifact> artifact;
+  ProgramArtifactCache* artifact_cache = nullptr;
 };
 
 /// Backwards-compatible name from when the struct carried only budgets.

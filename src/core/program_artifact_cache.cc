@@ -1,0 +1,182 @@
+#include "core/program_artifact_cache.h"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+#include "analysis/report.h"
+
+namespace qcont {
+
+namespace {
+
+std::size_t VecBytes(const std::vector<int>& v) {
+  return v.capacity() * sizeof(int);
+}
+
+std::size_t RuleBytes(const internal::InstRule& rule) {
+  std::size_t n = sizeof(rule) + VecBytes(rule.head);
+  for (const auto& [pred, terms] : rule.edb_atoms) {
+    n += pred.size() + VecBytes(terms) + sizeof(terms);
+  }
+  for (const internal::InstIdbAtom& atom : rule.idb_atoms) {
+    n += sizeof(atom) + VecBytes(atom.terms);
+  }
+  return n;
+}
+
+}  // namespace
+
+std::shared_ptr<const ProgramArtifact> ProgramArtifact::Build(
+    const DatalogProgram& program, const ObsContext* obs) {
+  ObsSpan span(obs, "typeengine/artifact_build", "core");
+  // Cannot use std::make_shared: the constructor is private and the object
+  // is published as a shared_ptr-to-const.
+  std::shared_ptr<ProgramArtifact> artifact(new ProgramArtifact());
+  artifact->program_ = std::make_unique<const DatalogProgram>(program);
+  artifact->program_hash_ = analysis::CanonicalProgramHash(program);
+  // The kind space must reference the artifact's own program copy so the
+  // frozen InstRules stay valid after the caller's program is destroyed.
+  artifact->kinds_ = std::make_unique<internal::KindSpace>(*artifact->program_);
+  // RootKinds discovers, transitively, every kind reachable from the goal
+  // rules — after this call the space is fully expanded and never mutated
+  // again (the engine only reads it).
+  artifact->root_kinds_ = artifact->kinds_->RootKinds();
+
+  // Dense EDB predicate ids in first-seen rule order (deterministic for a
+  // fixed program text; the ids are artifact-local, never compared across
+  // artifacts).
+  for (const Rule& rule : artifact->program_->rules()) {
+    for (const Atom& atom : rule.body) {
+      if (!artifact->program_->IsIntensional(atom.predicate())) {
+        artifact->edb_pred_ids_.emplace(
+            atom.predicate(),
+            static_cast<int>(artifact->edb_pred_ids_.size()));
+      }
+    }
+  }
+
+  const internal::KindSpace& kinds = *artifact->kinds_;
+  std::size_t bytes = sizeof(ProgramArtifact);
+  std::size_t inst_rules = 0;
+  artifact->precomp_.resize(kinds.NumKinds());
+  for (std::size_t k = 0; k < kinds.NumKinds(); ++k) {
+    const std::vector<internal::InstRule>& rules =
+        kinds.RulesOf(static_cast<int>(k));
+    inst_rules += rules.size();
+    bytes += VecBytes(kinds.KeyOf(static_cast<int>(k)).pattern);
+    std::vector<internal::InstRulePrecomp>& pre = artifact->precomp_[k];
+    pre.resize(rules.size());
+    for (std::size_t rp = 0; rp < rules.size(); ++rp) {
+      const internal::InstRule& rule = rules[rp];
+      pre[rp].edb_pred_ids.reserve(rule.edb_atoms.size());
+      for (const auto& [pred, terms] : rule.edb_atoms) {
+        pre[rp].edb_pred_ids.push_back(artifact->EdbPredId(pred));
+      }
+      int max_rep = -1;
+      for (int w : rule.head) max_rep = std::max(max_rep, w);
+      pre[rp].head_pos.assign(static_cast<std::size_t>(max_rep + 1), -1);
+      for (std::size_t p = 0; p < rule.head.size(); ++p) {
+        std::int8_t& pos = pre[rp].head_pos[rule.head[p]];
+        if (pos < 0) pos = static_cast<std::int8_t>(p);
+      }
+      bytes += RuleBytes(rule) + VecBytes(pre[rp].edb_pred_ids) +
+               pre[rp].head_pos.capacity();
+    }
+  }
+  artifact->bytes_ = bytes;
+  span.AddArg("kinds", kinds.NumKinds());
+  span.AddArg("inst_rules", inst_rules);
+  span.AddArg("bytes", bytes);
+  return artifact;
+}
+
+int ProgramArtifact::EdbPredId(const std::string& pred) const {
+  auto it = edb_pred_ids_.find(pred);
+  return it != edb_pred_ids_.end() ? it->second : -1;
+}
+
+ProgramArtifactCache::ProgramArtifactCache(ProgramArtifactCacheConfig config)
+    : config_(config) {}
+
+std::shared_ptr<const ProgramArtifact> ProgramArtifactCache::GetOrBuild(
+    const DatalogProgram& program, bool* stable) {
+  const std::uint64_t key = analysis::CanonicalProgramHash(program);
+  std::promise<std::shared_ptr<const ProgramArtifact>> promise;
+  std::uint64_t build_id = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      ++stats_.hits;
+      ObsCount(config_.obs, "typeengine.artifact.hits", 1);
+      if (stable != nullptr) *stable = it->second->epoch < epoch_;
+      order_.splice(order_.begin(), order_, it->second);
+      std::shared_future<std::shared_ptr<const ProgramArtifact>> future =
+          it->second->artifact;
+      lock.unlock();
+      // get() outside the lock: the value may still be under construction
+      // by the thread that inserted the entry.
+      return future.get();
+    }
+    ++stats_.misses;
+    ObsCount(config_.obs, "typeengine.artifact.misses", 1);
+    if (stable != nullptr) *stable = false;
+    if (config_.capacity > 0) {
+      ++stats_.insertions;
+      Entry entry;
+      entry.key = key;
+      entry.id = build_id = ++next_id_;
+      entry.epoch = epoch_;
+      entry.artifact = promise.get_future().share();
+      order_.push_front(std::move(entry));
+      index_[key] = order_.begin();
+      if (order_.size() > config_.capacity) {
+        const Entry& victim = order_.back();
+        ++stats_.evictions;
+        stats_.bytes -= victim.bytes;
+        index_.erase(victim.key);
+        // Waiters on an evicted in-flight build keep their shared_future;
+        // the build completes for them, it just stops being resident.
+        order_.pop_back();
+      }
+      stats_.entries = order_.size();
+    }
+  }
+  std::shared_ptr<const ProgramArtifact> artifact =
+      ProgramArtifact::Build(program, config_.obs);
+  promise.set_value(artifact);
+  if (config_.capacity > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    // Account the bytes only if our entry is still resident (it may have
+    // been evicted, or evicted and re-inserted by a later miss).
+    if (it != index_.end() && it->second->id == build_id) {
+      it->second->bytes = artifact->ApproxBytes();
+      stats_.bytes += it->second->bytes;
+      ObsGauge(config_.obs, "typeengine.artifact.bytes", stats_.bytes);
+    }
+  }
+  return artifact;
+}
+
+void ProgramArtifactCache::BeginEpoch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++epoch_;
+}
+
+ProgramArtifactCacheStats ProgramArtifactCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ProgramArtifactCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  order_.clear();
+  index_.clear();
+  stats_.entries = 0;
+  stats_.bytes = 0;
+  ObsGauge(config_.obs, "typeengine.artifact.bytes", 0);
+}
+
+}  // namespace qcont

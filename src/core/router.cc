@@ -59,6 +59,9 @@ Result<RoutedAnswer> DecideContainment(const DatalogProgram& program,
   } else {
     TypeEngineOptions general = options.general;
     if (general.obs == nullptr) general.obs = options.obs;
+    if (general.artifact_cache == nullptr) {
+      general.artifact_cache = options.artifact_cache;
+    }
     QCONT_ASSIGN_OR_RETURN(
         out.answer, DatalogContainedInUcq(program, ucq, nullptr, general));
     out.route = ContainmentRoute::kGeneralEngine;

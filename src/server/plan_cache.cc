@@ -63,7 +63,10 @@ void PlanCache::Shard<V>::Clear() {
   order.clear();
 }
 
-PlanCache::PlanCache(PlanCacheConfig config) : config_(config) {
+PlanCache::PlanCache(PlanCacheConfig config)
+    : config_(config),
+      artifacts_(ProgramArtifactCacheConfig{config.artifact_capacity,
+                                            config.obs}) {
   verdicts_.capacity = config.verdict_capacity;
   reports_.capacity = config.analysis_capacity;
   cores_.capacity = config.core_capacity;
@@ -88,6 +91,7 @@ void PlanCache::PublishInsert(const char* kind, std::uint64_t evicted) const {
 
 void PlanCache::BeginEpoch() {
   epoch_.fetch_add(1, std::memory_order_relaxed);
+  artifacts_.BeginEpoch();
 }
 
 std::optional<CachedVerdict> PlanCache::LookupVerdict(const PlanKey& key,
@@ -160,6 +164,7 @@ void PlanCache::Clear() {
   reports_.Clear();
   cores_.Clear();
   evals_.Clear();
+  artifacts_.Clear();
 }
 
 }  // namespace server

@@ -13,6 +13,7 @@
 
 #include "analysis/report.h"
 #include "base/hash.h"
+#include "core/program_artifact_cache.h"
 #include "core/router.h"
 #include "cq/database.h"
 #include "cq/query.h"
@@ -63,6 +64,11 @@ struct PlanCacheConfig {
   std::size_t analysis_capacity = 4096;
   std::size_t core_capacity = 4096;
   std::size_t eval_capacity = 512;
+  /// Capacity of the program-keyed kind-space artifact cache (a fifth,
+  /// structurally different layer: it memoizes the type engine's Π-only
+  /// expansion below the verdict layer, so a verdict *miss* on a repeated
+  /// program still skips re-expansion). 0 disables it.
+  std::size_t artifact_capacity = 64;
   /// Optional, borrowed. Publishes `server.cache.<kind>.{hits,misses,
   /// insertions,evictions}` counters per lookup/insert and a
   /// `server.cache.entries` gauge after every insert.
@@ -121,7 +127,15 @@ class PlanCache {
                                        bool* stable = nullptr);
   void InsertEval(const PlanKey& key, CachedEval eval);
 
-  /// Counters summed over the four kinds.
+  /// The owned program-artifact layer. Handed to the router as
+  /// `RouterOptions::artifact_cache`; epochs advance in lockstep with the
+  /// verdict layers (BeginEpoch/Clear fan out to it).
+  ProgramArtifactCache& artifacts() { return artifacts_; }
+
+  /// Counters summed over the four entry kinds (the artifact layer reports
+  /// separately via `artifacts().stats()` — its entries are shared frozen
+  /// structures, not per-pair values, so mixing the totals would skew
+  /// hit-rate readings).
   PlanCacheStats stats() const;
 
   /// Drops every entry (counters keep accumulating; drops do not count as
@@ -167,6 +181,7 @@ class PlanCache {
   Shard<analysis::AnalysisReport> reports_;
   Shard<UnionQuery> cores_;
   Shard<CachedEval> evals_;
+  ProgramArtifactCache artifacts_;
 };
 
 }  // namespace server

@@ -363,6 +363,10 @@ Outcome RunContainment(const ServerOptions& options, PlanCache& cache,
     router.obs = options.obs;
     router.use_analysis_cache = false;
     router.report = &report;
+    // A verdict miss on a repeated Π still reuses the frozen kind-space
+    // artifact: the general engine skips straight to the Θ-dependent
+    // fixpoint over the memoized expansion.
+    router.artifact_cache = &cache.artifacts();
     router.general.exec.threads = options.engine_threads;
     auto routed = DecideContainment(program, *theta, router);
     if (!routed.ok()) return Outcome::Error(routed.status());

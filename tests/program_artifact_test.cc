@@ -1,0 +1,284 @@
+// Tests for the program-keyed kind-space memoization (DESIGN.md §18):
+// the frozen ProgramArtifact, the LRU ProgramArtifactCache (eviction,
+// epochs, schedule-independent hit counting), the cold-vs-warm differential
+// contract (identical verdicts, witnesses, and engine counters with and
+// without reuse), and the TypeEngineStats snapshot-vs-accumulate semantics.
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/workloads.h"
+#include "core/datalog_ucq.h"
+#include "core/program_artifact_cache.h"
+#include "parser/parser.h"
+#include "tests/engine_validation.h"
+
+namespace qcont {
+namespace {
+
+struct Pair {
+  const char* name;
+  const char* program;
+  const char* ucq;
+};
+
+// A cross-section of the general-engine cases (datalog_ucq_engine_test.cc):
+// contained and not, linear and nonlinear recursion, boolean and binary
+// goals, single- and multi-disjunct UCQs.
+const Pair kPairs[] = {
+    {"consumers_yes",
+     "buys(x,y) :- likes(x,y). buys(x,y) :- trendy(x), buys(z,y). goal buys.",
+     "Q(x,y) :- likes(x,y). Q(x,y) :- trendy(x), likes(z,y)."},
+    {"tc_not_in_two_steps",
+     "t(x,y) :- e(x,y). t(x,y) :- e(x,z), t(z,y). goal t.",
+     "Q(x,y) :- e(x,y). Q(x,y) :- e(x,z), e(z,y)."},
+    {"cyclic_rhs_no", "p() :- e(x,y), e(y,x). goal p.",
+     "Q() :- e(x,y), e(y,z), e(z,x)."},
+    {"nonlinear", "t(x,y) :- e(x,y). t(x,y) :- t(x,z), t(z,y). goal t.",
+     "Q(x,y) :- e(x,y)."},
+    {"mutual_recursion",
+     "p(x) :- b(x). p(x) :- a(x,y), q(y). q(x) :- a(x,y), p(y). goal p.",
+     "Q(x) :- b(x). Q(x) :- a(x,y), b(y)."},
+};
+
+std::string WitnessString(const ContainmentAnswer& a) {
+  return a.witness.has_value() ? a.witness->ToString() : "<none>";
+}
+
+void ExpectEqualStats(const TypeEngineStats& a, const TypeEngineStats& b,
+                      const std::string& what) {
+  EXPECT_EQ(a.kinds, b.kinds) << what;
+  EXPECT_EQ(a.types, b.types) << what;
+  EXPECT_EQ(a.elements, b.elements) << what;
+  EXPECT_EQ(a.combos, b.combos) << what;
+  EXPECT_EQ(a.enumeration_steps, b.enumeration_steps) << what;
+}
+
+// The freeze contract's observable half: a cold run (private artifact), a
+// cache-mediated warm run, and a pre-built-artifact run must agree on the
+// verdict, the witness expansion, and every engine counter — at 1 and at 8
+// engine threads.
+TEST(ProgramArtifactDifferentialTest, ColdAndWarmRunsAreBitIdentical) {
+  for (const Pair& pair : kPairs) {
+    auto program = ParseProgram(pair.program);
+    ASSERT_TRUE(program.ok()) << program.status().ToString();
+    auto ucq = ParseUcq(pair.ucq);
+    ASSERT_TRUE(ucq.ok()) << ucq.status().ToString();
+    for (int threads : {1, 8}) {
+      const std::string what =
+          std::string(pair.name) + " threads=" + std::to_string(threads);
+
+      TypeEngineOptions cold;
+      cold.exec.threads = threads;
+      TypeEngineStats cold_stats;
+      auto cold_answer =
+          DatalogContainedInUcq(*program, *ucq, &cold_stats, cold);
+      ASSERT_TRUE(cold_answer.ok()) << what;
+      EXPECT_EQ(testval::ValidateAnswer(*program, *ucq, *cold_answer), "")
+          << what;
+
+      ProgramArtifactCache cache;
+      TypeEngineOptions warm = cold;
+      warm.artifact_cache = &cache;
+      // Prime, then measure the warm (artifact-hit) run.
+      ASSERT_TRUE(DatalogContainedInUcq(*program, *ucq, nullptr, warm).ok())
+          << what;
+      TypeEngineStats warm_stats;
+      auto warm_answer =
+          DatalogContainedInUcq(*program, *ucq, &warm_stats, warm);
+      ASSERT_TRUE(warm_answer.ok()) << what;
+      EXPECT_EQ(cache.stats().hits, 1u) << what;
+
+      EXPECT_EQ(warm_answer->contained, cold_answer->contained) << what;
+      EXPECT_EQ(WitnessString(*warm_answer), WitnessString(*cold_answer))
+          << what;
+      ExpectEqualStats(warm_stats, cold_stats, what + " (cache warm)");
+
+      // Explicit pre-built artifact, bypassing the cache.
+      TypeEngineOptions pinned = cold;
+      pinned.artifact = ProgramArtifact::Build(*program);
+      TypeEngineStats pinned_stats;
+      auto pinned_answer =
+          DatalogContainedInUcq(*program, *ucq, &pinned_stats, pinned);
+      ASSERT_TRUE(pinned_answer.ok()) << what;
+      EXPECT_EQ(pinned_answer->contained, cold_answer->contained) << what;
+      EXPECT_EQ(WitnessString(*pinned_answer), WitnessString(*cold_answer))
+          << what;
+      ExpectEqualStats(pinned_stats, cold_stats, what + " (pinned)");
+    }
+  }
+}
+
+// Alpha-renamed resubmissions share one artifact: the cache key is the
+// canonical program hash, and the frozen InstRules are expressed in
+// variable *indices*, so the renamed program's engine run is exact.
+TEST(ProgramArtifactCacheTest, AlphaRenamedProgramsShareOneArtifact) {
+  auto a = ParseProgram(
+      "t(x,y) :- e(x,y). t(x,y) :- e(x,z), t(z,y). goal t.");
+  auto b = ParseProgram(
+      "t(u,v) :- e(u,v). t(u,v) :- e(u,w), t(w,v). goal t.");
+  ASSERT_TRUE(a.ok() && b.ok());
+  ProgramArtifactCache cache;
+  auto first = cache.GetOrBuild(*a);
+  auto second = cache.GetOrBuild(*b);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  auto ucq = ParseUcq("Q(x,y) :- e(x,y). Q(x,y) :- e(x,z), e(z,y).");
+  ASSERT_TRUE(ucq.ok());
+  TypeEngineOptions options;
+  options.artifact = second;  // built from `a`, reused for `b`
+  auto answer = DatalogContainedInUcq(*b, *ucq, nullptr, options);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_FALSE(answer->contained);
+  EXPECT_EQ(testval::ValidateAnswer(*b, *ucq, *answer), "");
+}
+
+TEST(ProgramArtifactCacheTest, EvictionAtCapacityOne) {
+  auto a = ParseProgram("p(x) :- e(x,y), p(y). p(x) :- b(x). goal p.");
+  auto b = ParseProgram("q(x) :- f(x,y), q(y). q(x) :- c(x). goal q.");
+  ASSERT_TRUE(a.ok() && b.ok());
+  ProgramArtifactCacheConfig config;
+  config.capacity = 1;
+  ProgramArtifactCache cache(config);
+
+  EXPECT_NE(cache.GetOrBuild(*a), nullptr);  // miss, resident
+  EXPECT_NE(cache.GetOrBuild(*a), nullptr);  // hit
+  EXPECT_NE(cache.GetOrBuild(*b), nullptr);  // miss, evicts a
+  EXPECT_NE(cache.GetOrBuild(*a), nullptr);  // miss again, evicts b
+
+  ProgramArtifactCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.insertions, 3u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(ProgramArtifactCacheTest, ZeroCapacityDisablesCaching) {
+  auto a = ParseProgram("p(x) :- e(x,y), p(y). p(x) :- b(x). goal p.");
+  ASSERT_TRUE(a.ok());
+  ProgramArtifactCacheConfig config;
+  config.capacity = 0;
+  ProgramArtifactCache cache(config);
+  bool stable = true;
+  auto first = cache.GetOrBuild(*a, &stable);
+  EXPECT_FALSE(stable);
+  auto second = cache.GetOrBuild(*a);
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+  EXPECT_NE(first.get(), second.get());  // private builds, nothing resident
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+// Mirrors PlanCacheTest.StableFlagsEntriesFromEarlierEpochsOnly: an entry
+// is "stable" only once it predates the current epoch, so batch-level
+// markers derived from it cannot depend on within-batch scheduling.
+TEST(ProgramArtifactCacheTest, StableFlagsEntriesFromEarlierEpochsOnly) {
+  auto a = ParseProgram("p(x) :- e(x,y), p(y). p(x) :- b(x). goal p.");
+  ASSERT_TRUE(a.ok());
+  ProgramArtifactCache cache;
+  cache.BeginEpoch();
+
+  bool stable = true;
+  EXPECT_NE(cache.GetOrBuild(*a, &stable), nullptr);  // insert this epoch
+  EXPECT_FALSE(stable);
+  stable = true;
+  EXPECT_NE(cache.GetOrBuild(*a, &stable), nullptr);  // same-epoch hit
+  EXPECT_FALSE(stable);
+
+  cache.BeginEpoch();
+  stable = false;
+  EXPECT_NE(cache.GetOrBuild(*a, &stable), nullptr);  // prior-epoch hit
+  EXPECT_TRUE(stable);
+}
+
+// Concurrent requests for one program must coalesce on the in-flight build:
+// exactly one miss no matter how the threads interleave, and every caller
+// gets the same frozen artifact.
+TEST(ProgramArtifactCacheTest, ConcurrentRequestsShareOneBuild) {
+  const DatalogProgram program = bench::HotProgram(6, 16);
+  ProgramArtifactCache cache;
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const ProgramArtifact>> results(kThreads);
+  {
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back(
+          [&, t] { results[t] = cache.GetOrBuild(program); });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(results[t].get(), results[0].get());
+  }
+  ProgramArtifactCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, static_cast<std::uint64_t>(kThreads - 1));
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+// Regression test for the TypeEngineStats snapshot-vs-accumulate contract:
+// Merge assigns the per-run snapshot fields and sums the accumulating ones
+// (it used to sum all five, silently doubling kinds/types/elements for any
+// caller that reused one stats instance across calls).
+TEST(TypeEngineStatsTest, MergeKeepsSnapshotFieldsAndSumsAccumulators) {
+  TypeEngineStats acc;
+  acc.kinds = 7;
+  acc.types = 11;
+  acc.elements = 13;
+  acc.combos = 100;
+  acc.enumeration_steps = 1000;
+  TypeEngineStats run;
+  run.kinds = 2;
+  run.types = 3;
+  run.elements = 5;
+  run.combos = 40;
+  run.enumeration_steps = 400;
+  acc.Merge(run);
+  EXPECT_EQ(acc.kinds, 2u);
+  EXPECT_EQ(acc.types, 3u);
+  EXPECT_EQ(acc.elements, 5u);
+  EXPECT_EQ(acc.combos, 140u);
+  EXPECT_EQ(acc.enumeration_steps, 1400u);
+}
+
+TEST(TypeEngineStatsTest, ReusedStatsSnapshotLastRunAndAccumulateWork) {
+  // `big` reaches three kinds — (p,[0]), (t,[0,0]) via the t(x,x) subgoal,
+  // and (t,[0,1]) via t's recursive rule — so its snapshot differs from
+  // `small`'s single-kind run.
+  auto big = ParseProgram(
+      "p(x) :- t(x,x). t(x,y) :- e(x,y). t(x,y) :- e(x,z), t(z,y). goal p.");
+  auto small = ParseProgram("p(x) :- b(x). goal p.");
+  auto ucq_big = ParseUcq("Q(x) :- e(x,x).");
+  auto ucq_small = ParseUcq("Q(x) :- b(x).");
+  ASSERT_TRUE(big.ok() && small.ok() && ucq_big.ok() && ucq_small.ok());
+
+  TypeEngineStats first_only;
+  ASSERT_TRUE(DatalogContainedInUcq(*big, *ucq_big, &first_only).ok());
+  TypeEngineStats second_only;
+  ASSERT_TRUE(DatalogContainedInUcq(*small, *ucq_small, &second_only).ok());
+  ASSERT_NE(first_only.kinds, second_only.kinds);
+
+  TypeEngineStats reused;
+  ASSERT_TRUE(DatalogContainedInUcq(*big, *ucq_big, &reused).ok());
+  ASSERT_TRUE(DatalogContainedInUcq(*small, *ucq_small, &reused).ok());
+  // Snapshots mirror the last run; work counters sum over both.
+  EXPECT_EQ(reused.kinds, second_only.kinds);
+  EXPECT_EQ(reused.types, second_only.types);
+  EXPECT_EQ(reused.elements, second_only.elements);
+  EXPECT_EQ(reused.combos, first_only.combos + second_only.combos);
+  EXPECT_EQ(reused.enumeration_steps,
+            first_only.enumeration_steps + second_only.enumeration_steps);
+}
+
+}  // namespace
+}  // namespace qcont

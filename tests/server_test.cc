@@ -256,6 +256,45 @@ TEST(ServerTest, CoalescesDuplicatesWithinBatchAndHitsAcrossBatches) {
   }
 }
 
+// A repeated Π with fresh cyclic Θs (cyclic, so every request routes to
+// the general engine) misses the verdict cache each time but shares one
+// frozen program artifact: the second batch's requests skip the Π-only
+// expansion entirely. Exercised at 1 and 8 threads so TSAN sees the
+// shared-after-freeze read path.
+TEST(ServerTest, RepeatedProgramSharesArtifactAcrossBatches) {
+  const char* kPi =
+      "g(x,y) :- e(x,y). g(x,y) :- e(x,z), g(z,y). goal g.";
+  // Every Θ is a genuine hypergraph cycle (triangle / 4-cycle): a 2-cycle
+  // like e(x,y), e(y,x) is α-acyclic (both atoms cover {x,y}) and would
+  // route to the ACk engine, which never touches the artifact layer.
+  const std::vector<std::string> first = {
+      std::string(R"({"id":1,"op":"containment","program":")") + kPi +
+          R"(","query":"Q(x,y) :- e(x,y), e(y,z), e(z,x)."})",
+  };
+  const std::vector<std::string> second = {
+      std::string(R"({"id":2,"op":"containment","program":")") + kPi +
+          R"(","query":"Q(x,y) :- e(x,y), e(y,z), e(z,w), e(w,x)."})",
+      std::string(R"({"id":3,"op":"containment","program":")") + kPi +
+          R"(","query":"Q(x,y) :- e(x,y), e(y,z), e(z,x), e(x,x)."})",
+  };
+  for (int threads : {1, 8}) {
+    Server server(ServerOptions{.threads = threads});
+    for (const std::string& r : server.HandleBatch(first)) {
+      EXPECT_NE(r.find("\"cache\":\"miss\""), std::string::npos) << r;
+    }
+    for (const std::string& r : server.HandleBatch(second)) {
+      // Fresh Θ: a verdict miss, but the artifact is already resident.
+      EXPECT_NE(r.find("\"cache\":\"miss\""), std::string::npos) << r;
+    }
+    const ProgramArtifactCacheStats astats =
+        server.cache().artifacts().stats();
+    EXPECT_EQ(astats.misses, 1u) << "threads=" << threads;
+    EXPECT_EQ(astats.hits, 2u) << "threads=" << threads;
+    EXPECT_EQ(astats.entries, 1u) << "threads=" << threads;
+    EXPECT_GT(astats.bytes, 0u) << "threads=" << threads;
+  }
+}
+
 TEST(ServerTest, ShrunkCacheStaysCorrectUnderEviction) {
   // Reference run: ample cache.
   ServerOptions reference_options;

@@ -6,7 +6,7 @@ Usage:
       --cli build/examples/qcont_cli --requests tools/server_requests.jsonl \
       [--threads 8] [--min-hit-rate 1.0]
 
-Three gates, all of which must hold:
+Four gates, all of which must hold:
 
   1. Schema: one response line per request, in request order, each a valid
      schema-v1 object (status/cache enums, id echo, result/error shape).
@@ -22,6 +22,16 @@ Three gates, all of which must hold:
      marker "hit" or "coalesced" — at a rate of at least --min-hit-rate.
      The canonical-hash plan cache makes this deterministic, so the default
      requires every tagged request to hit.
+
+  4. Artifact reuse: requests tagged `"note": "dup-program"` (the
+     repeated-program tail — one Π resubmitted with fresh *cyclic* queries,
+     so every request misses the verdict cache and routes to the general
+     engine) must each reuse the frozen program artifact rather than
+     re-expanding the kind space. The server is run with --metrics and the
+     `typeengine.artifact.hits` counter must be at least the number of
+     tagged requests (hit rate >= 1.0 on the tail; the promise-based build
+     coalescing in ProgramArtifactCache makes the count
+     schedule-independent).
 
 Exit code: 0 = all gates pass, 1 = a gate failed, 2 = usage error.
 """
@@ -66,6 +76,23 @@ def validate_schema(request, response, index):
         if not isinstance(response.get("error"), dict):
             ok = fail(f"response {index}: non-ok without error object")
     return ok
+
+
+def parse_metrics(stderr):
+    """Parses the `name value` lines qcont_server --metrics prints after
+    the `== metrics ==` marker on stderr."""
+    metrics = {}
+    seen_marker = False
+    for line in stderr.splitlines():
+        if line.strip() == "== metrics ==":
+            seen_marker = True
+            continue
+        if not seen_marker:
+            continue
+        parts = line.split()
+        if len(parts) == 2 and parts[1].isdigit():
+            metrics[parts[0]] = int(parts[1])
+    return metrics
 
 
 def run_cli(cli, args, stdin=None):
@@ -167,7 +194,7 @@ def main():
     requests = [json.loads(l) for l in lines]
 
     proc = subprocess.run(
-        [args.server, f"--threads={args.threads}"],
+        [args.server, f"--threads={args.threads}", "--metrics"],
         input="\n".join(lines) + "\n", capture_output=True, text=True)
     if proc.returncode != 0:
         print(f"FAIL: server exited {proc.returncode}: {proc.stderr}")
@@ -203,6 +230,22 @@ def main():
     if rate < args.min_hit_rate:
         ok = fail(f"duplicate-tail hit rate {rate:.2f} below "
                   f"{args.min_hit_rate:.2f}")
+
+    # Gate 4: the repeated-program tail must run off the shared artifact.
+    dup_programs = sum(1 for req in requests
+                       if req.get("note") == "dup-program")
+    if dup_programs == 0:
+        ok = fail("replay file has no \"note\": \"dup-program\" requests "
+                  "to measure artifact reuse on")
+    else:
+        metrics = parse_metrics(proc.stderr)
+        artifact_hits = metrics.get("typeengine.artifact.hits", 0)
+        print(f"artifact: {artifact_hits} kind-space reuses over "
+              f"{dup_programs} repeated-program requests")
+        if artifact_hits < dup_programs:
+            ok = fail(f"typeengine.artifact.hits = {artifact_hits} < "
+                      f"{dup_programs} dup-program requests: the repeated "
+                      f"program re-expanded its kind space")
 
     if ok:
         print(f"OK: {len(requests)} requests replayed, verdicts match the "
